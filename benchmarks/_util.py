@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table/figure of the paper: it runs the
+corresponding :mod:`repro.experiments` driver inside the pytest-benchmark
+fixture (one round — these are experiments, not microbenchmarks), prints
+the rows in the paper's format, and writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro._util import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Print a table and persist it under ``benchmarks/results/``."""
+    table = f"{title}\n{format_table(headers, rows)}\n"
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(table)
+    return table
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Format a float; NaN renders as the paper's ``o.o.t`` marker."""
+    if value != value:  # NaN
+        return "o.o.t"
+    return f"{value:.{digits}f}"

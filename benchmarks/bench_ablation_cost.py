@@ -1,0 +1,35 @@
+"""Ablation (Sect. III-B / online appendix) — relative vs absolute merge
+criterion.
+
+Shape to reproduce: summaries produced with the relative reduction
+(Eq. 11) answer queries at least as accurately as those produced with the
+absolute reduction (Eq. 10), which merges distant dissimilar nodes too
+eagerly in personalized settings.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, fmt
+
+from repro.experiments import ablations
+from repro.experiments.ablations import mean_by_variant
+
+
+def test_ablation_cost_criterion(benchmark):
+    rows = benchmark.pedantic(ablations.run_cost_criterion, rounds=1, iterations=1)
+    emit_table(
+        "ablation_cost",
+        "Ablation: merge criterion (Eq. 11 relative vs Eq. 10 absolute)",
+        ["Dataset", "Criterion", "Ratio", "SMAPE (RWR)", "Spearman (RWR)", "Personalized error"],
+        [
+            (r.dataset, r.variant, r.ratio, fmt(r.smape_rwr), fmt(r.spearman_rwr), fmt(r.personalized_error, 1))
+            for r in rows
+        ],
+    )
+    errors = mean_by_variant(rows, "personalized_error")
+    smapes = mean_by_variant(rows, "smape_rwr")
+    # The relative criterion must not lose on both metrics at once.
+    assert (
+        errors["relative"] <= errors["absolute"] * 1.05
+        or smapes["relative"] <= smapes["absolute"] * 1.05
+    )

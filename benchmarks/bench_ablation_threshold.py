@@ -1,0 +1,33 @@
+"""Ablation (Sect. III-G) — adaptive θ vs SSumM's fixed schedule.
+
+Shape to reproduce: with everything else equal, the adaptive schedule
+yields summaries with no worse personalized error / query accuracy than
+the fixed 1/(1+t) schedule — the isolated ingredient behind PeGaSus
+beating SSumM even in non-personalized settings (Sect. V-B).
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, fmt
+
+from repro.experiments import ablations
+from repro.experiments.ablations import mean_by_variant
+
+
+def test_ablation_threshold_schedule(benchmark):
+    rows = benchmark.pedantic(ablations.run_threshold_schedule, rounds=1, iterations=1)
+    emit_table(
+        "ablation_threshold",
+        "Ablation: adaptive theta (PeGaSus) vs fixed 1/(1+t) (SSumM)",
+        ["Dataset", "Schedule", "Ratio", "SMAPE (RWR)", "Spearman (RWR)", "Personalized error"],
+        [
+            (r.dataset, r.variant, r.ratio, fmt(r.smape_rwr), fmt(r.spearman_rwr), fmt(r.personalized_error, 1))
+            for r in rows
+        ],
+    )
+    errors = mean_by_variant(rows, "personalized_error")
+    smapes = mean_by_variant(rows, "smape_rwr")
+    assert (
+        errors["adaptive"] <= errors["fixed"] * 1.1
+        or smapes["adaptive"] <= smapes["fixed"] * 1.1
+    )

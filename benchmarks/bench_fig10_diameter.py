@@ -1,0 +1,39 @@
+"""Fig. 10 — the best-performing α vs the effective diameter.
+
+Shape to reproduce: on Watts–Strogatz graphs, lowering the rewiring
+probability raises the effective diameter, and the best-performing degree
+of personalization decreases with it (large α understates the weight of
+the many distant edges on high-diameter graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit_table, fmt
+
+from repro.experiments import fig10_diameter
+
+
+def test_fig10_best_alpha_vs_diameter(benchmark):
+    rows = benchmark.pedantic(fig10_diameter.run, rounds=1, iterations=1)
+    emit_table(
+        "fig10_diameter",
+        "Fig. 10: accuracy per (rewiring p, alpha); best alpha shrinks with diameter",
+        ["p", "Eff. diameter", "alpha", "Query", "SMAPE", "Spearman"],
+        [
+            (r.rewire_probability, fmt(r.effective_diameter, 2), r.alpha, r.query_type, fmt(r.smape), fmt(r.spearman))
+            for r in rows
+        ],
+    )
+    pairs = fig10_diameter.best_alpha_per_probability(rows, query_type="rwr")
+    print("  (diameter, best alpha):", [(round(d, 1), a) for d, a in pairs])
+    diameters = np.asarray([d for d, _ in pairs])
+    best_alphas = np.asarray([a for _, a in pairs])
+    # The rewiring sweep must actually span diameters...
+    assert diameters.max() > 2 * diameters.min()
+    # ...and the best alpha should not grow with diameter (negative or flat
+    # rank trend, the qualitative Fig. 10 relation).
+    from repro.eval import spearman_correlation
+
+    trend = spearman_correlation(diameters, best_alphas.astype(float))
+    assert trend <= 0.35, f"best alpha should not increase with diameter (trend={trend:.2f})"

@@ -1,0 +1,50 @@
+"""Fig. 2 — the paper's headline summary, in one bench.
+
+(a) Effectiveness: PeGaSus personalized to a single node has lower
+    personalized error than its non-personalized run and than SSumM.
+(b) Scalability: covered in depth by ``bench_fig6_scalability``; here a
+    two-point sanity ratio keeps the headline self-contained.
+(c) Applicability: covered in depth by ``bench_fig12_distributed``.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, fmt
+
+from repro.baselines import ssumm_summarize
+from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
+from repro.experiments.common import ExperimentScale
+from repro.graph import load_dataset
+
+
+def _headline():
+    scale = ExperimentScale.from_env()
+    graph = load_dataset("lastfm_asia", scale=scale.dataset_scale * 1.5, seed=scale.seed).graph
+    target = [0]
+    alpha = 1.75
+    weights = PersonalizedWeights(graph, target, alpha=alpha)
+    config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+    personalized = summarize(graph, compression_ratio=0.5, weights=weights, config=config).summary
+    plain = summarize(
+        graph, compression_ratio=0.5, config=PegasusConfig(t_max=scale.t_max, seed=scale.seed)
+    ).summary
+    ssumm = ssumm_summarize(graph, compression_ratio=0.5, t_max=scale.t_max, seed=scale.seed).summary
+    reference = personalized_error(plain, weights)
+    return {
+        "PeGaSus (personalized)": personalized_error(personalized, weights) / reference,
+        "PeGaSus (non-personalized)": 1.0,
+        "SSumM": personalized_error(ssumm, weights) / reference,
+    }
+
+
+def test_fig2_headline_effectiveness(benchmark):
+    relative = benchmark.pedantic(_headline, rounds=1, iterations=1)
+    emit_table(
+        "fig2_headline",
+        "Fig. 2(a): relative personalized error at compression ratio 0.5",
+        ["Method", "Relative personalized error"],
+        [(name, fmt(value)) for name, value in relative.items()],
+    )
+    # The headline ordering: personalized < non-personalized <= SSumM-ish.
+    assert relative["PeGaSus (personalized)"] < 1.0
+    assert relative["PeGaSus (personalized)"] < relative["SSumM"]

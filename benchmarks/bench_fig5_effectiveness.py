@@ -1,0 +1,40 @@
+"""Fig. 5 — PeGaSus provides personalized summary graphs.
+
+Shape to reproduce: the relative personalized error (vs the T = V summary)
+drops below 1 for focused target sets, decreases as |T| shrinks and as α
+grows, and the SSumM reference stays near or above 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit_table, fmt
+
+from repro.experiments import fig5_effectiveness
+
+
+def test_fig5_effectiveness(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5_effectiveness.run(alphas=(1.25, 1.75)), rounds=1, iterations=1
+    )
+    emit_table(
+        "fig5_effectiveness",
+        "Fig. 5: relative personalized error (PeGaSus vs non-personalized reference)",
+        ["Dataset", "alpha", "|T|", "RelErr(PeGaSus)", "RelErr(SSumM ref)"],
+        [
+            (r.dataset, r.alpha, r.target_spec, fmt(r.relative_error), fmt(r.ssumm_relative_error))
+            for r in rows
+        ],
+    )
+
+    def mean_rel(alpha, spec):
+        return float(
+            np.mean([r.relative_error for r in rows if r.alpha == alpha and r.target_spec == spec])
+        )
+
+    # Personalization helps: a single-target summary beats the reference...
+    assert mean_rel(1.75, "1") < 0.9
+    # ...and focus fades as the target set covers everything.
+    assert mean_rel(1.75, "1") < mean_rel(1.75, "|V|") + 0.05
+    # Stronger alpha sharpens the effect for the most focused setting.
+    assert mean_rel(1.75, "1") <= mean_rel(1.25, "1") + 0.1

@@ -1,0 +1,36 @@
+"""Fig. 9 — effect of the degree of personalization α.
+
+Shape to reproduce: queries on target nodes are answered more accurately
+from personalized summaries (α > 1) than non-personalized ones (α = 1),
+and accuracy peaks at a moderate α rather than the extremes.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, fmt
+
+from repro.experiments import fig9_alpha
+
+
+def test_fig9_alpha_effect(benchmark):
+    rows = benchmark.pedantic(fig9_alpha.run, rounds=1, iterations=1)
+    emit_table(
+        "fig9_alpha",
+        "Fig. 9: accuracy vs alpha (averaged over datasets)",
+        ["alpha", "Ratio", "Query", "SMAPE", "Spearman"],
+        [(r.alpha, r.ratio, r.query_type, fmt(r.smape), fmt(r.spearman)) for r in rows],
+    )
+
+    def smape_at(alpha, ratio, qt):
+        (row,) = [r for r in rows if r.alpha == alpha and r.ratio == ratio and r.query_type == qt]
+        return row.smape
+
+    for ratio in (0.3, 0.5):
+        # Moderate personalization beats none (the paper's core claim);
+        # where exactly the peak lands is scale-sensitive, so it is
+        # reported in the table rather than asserted.
+        best_moderate = min(smape_at(a, ratio, "rwr") for a in (1.25, 1.5))
+        assert best_moderate <= smape_at(1.0, ratio, "rwr") + 0.02
+        best = fig9_alpha.best_alpha(rows, ratio=ratio, query_type="rwr")
+        print(f"  best alpha at ratio {ratio}: {best}")
+        assert best > 1.0  # some personalization always helps

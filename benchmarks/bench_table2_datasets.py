@@ -1,0 +1,31 @@
+"""Table II — dataset summary (stand-in edition).
+
+Regenerates the dataset table: name, node count, edge count, family.
+Absolute sizes are scaled down (DESIGN.md Sect. 3); the *ordering* by size
+and the family labels match the paper.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table
+
+from repro.experiments.common import ExperimentScale
+from repro.graph import table2_rows
+
+
+def test_table2_datasets(benchmark):
+    scale = ExperimentScale.from_env()
+    rows = benchmark.pedantic(
+        lambda: table2_rows(scale=scale.dataset_scale, seed=scale.seed), rounds=1, iterations=1
+    )
+    emit_table(
+        "table2_datasets",
+        "Table II: synthetic stand-ins (name, #nodes, #edges, family)",
+        ["Name", "# Nodes", "# Edges", "Summary"],
+        rows,
+    )
+    assert len(rows) == 7
+    # Same size ordering as the paper: LastFM smallest, synthetic-BA largest.
+    edges = [r[2] for r in rows]
+    assert edges[0] < edges[-1]
+    assert all(n > 0 and e > 0 for _, n, e, _ in rows)

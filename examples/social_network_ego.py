@@ -1,0 +1,73 @@
+"""Ego-centric summarization of a social network.
+
+The paper's motivating scenario (Sect. I): users of an online social
+network care about connections *near their friends*, not about strangers.
+This example builds summaries personalized to a user's ego (the user plus
+their friends), then shows that
+
+* friend-recommendation style queries (RWR from the user) are much more
+  accurate on the ego-personalized summary than on a stranger's summary
+  of the same size, and
+* the effect strengthens with the degree of personalization α.
+
+Run with::
+
+    python examples/social_network_ego.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Pegasus, load_dataset, rwr_scores
+from repro.eval import smape, spearman_correlation
+from repro.graph import bfs_distances
+
+
+def ego_targets(graph, user: int) -> np.ndarray:
+    """The user plus their direct friends — the personalization target."""
+    return np.concatenate([[user], graph.neighbors(user)])
+
+
+def main() -> None:
+    dataset = load_dataset("lastfm_asia", scale=0.8, seed=3)
+    graph = dataset.graph
+    rng = np.random.default_rng(0)
+    user = int(rng.integers(0, graph.num_nodes))
+    # A "stranger": someone far from the user.
+    distances = bfs_distances(graph, user)
+    stranger = int(np.argmax(distances))
+    print(
+        f"{dataset.display_name}: |V|={graph.num_nodes}, |E|={graph.num_edges}; "
+        f"user={user} (deg {graph.degree(user)}), stranger={stranger} "
+        f"({distances[stranger]} hops away)"
+    )
+
+    ratio = 0.4
+    exact = rwr_scores(graph, user)
+    print(f"\nRWR from user {user}, summaries at compression ratio {ratio}:")
+    print(f"{'summary personalized to':<28} {'alpha':>5} {'SMAPE':>7} {'Spearman':>9}")
+    for alpha in (1.25, 1.75):
+        for label, targets in (
+            ("user's ego network", ego_targets(graph, user)),
+            ("stranger's ego network", ego_targets(graph, stranger)),
+        ):
+            summary = (
+                Pegasus(alpha=alpha, seed=0)
+                .summarize(graph, targets=targets, compression_ratio=ratio)
+                .summary
+            )
+            approx = rwr_scores(summary, user)
+            print(
+                f"{label:<28} {alpha:>5} {smape(exact, approx):>7.3f} "
+                f"{spearman_correlation(exact, approx):>9.3f}"
+            )
+
+    print(
+        "\nThe user's queries are answered far more accurately from the summary"
+        "\npersonalized to *their* neighborhood — the Fig. 1 scenario."
+    )
+
+
+if __name__ == "__main__":
+    main()

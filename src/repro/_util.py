@@ -1,0 +1,51 @@
+"""Small internal helpers shared across subpackages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share RNG state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def as_node_array(nodes: Iterable[int]) -> np.ndarray:
+    """Convert an iterable of node ids into a sorted, deduplicated array."""
+    arr = np.asarray(list(nodes) if not isinstance(nodes, np.ndarray) else nodes, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("node collection must be one-dimensional")
+    return np.unique(arr)
+
+
+def log2_capped(x: int) -> float:
+    """``log2(x)`` with ``log2(1) = 0`` and a guard against ``x < 1``.
+
+    The size model of the paper uses ``log2 |S|`` bits per supernode
+    reference; with a single supernode that legitimately degenerates to 0.
+    """
+    if x < 1:
+        raise ValueError(f"log2 argument must be >= 1, got {x}")
+    return float(np.log2(x))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned ASCII table (used by benches and the CLI)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Non-personalized summarization baselines the paper compares against.
+
+* :func:`repro.baselines.ssumm.ssumm_summarize` — SSumM (KDD'20), the
+  state of the art PeGaSus generalizes; shares the PeGaSus machinery with
+  uniform weights and a fixed threshold schedule (Sect. III-G);
+* :func:`repro.baselines.kgrass.kgrass_summarize` — GraSS (SDM'10) with
+  the SamplePairs strategy;
+* :func:`repro.baselines.s2l.s2l_summarize` — S2L (DMKD'17), clustering
+  adjacency rows under the L1 metric;
+* :func:`repro.baselines.saags.saags_summarize` — SAAGs (PAKDD'18), a
+  sampled greedy with count-min-sketch similarity estimates;
+* :func:`repro.baselines.random_merge.random_merge_summarize` — a sanity
+  floor that merges uniformly random pairs.
+
+SSumM emits an *unweighted* summary under the same bit budget as PeGaSus;
+the other three take a supernode budget and emit *weighted* summaries,
+mirroring the configurations in Sect. V-A of the paper.
+"""
+
+from repro.baselines.ssumm import ssumm_summarize
+from repro.baselines.kgrass import kgrass_summarize
+from repro.baselines.s2l import s2l_summarize
+from repro.baselines.saags import saags_summarize
+from repro.baselines.random_merge import random_merge_summarize
+
+__all__ = [
+    "ssumm_summarize",
+    "kgrass_summarize",
+    "s2l_summarize",
+    "saags_summarize",
+    "random_merge_summarize",
+]

@@ -1,0 +1,152 @@
+"""Shared machinery for the agglomerative baselines (k-Grass, SAAGs, random).
+
+These algorithms merge supernodes greedily while tracking the *L1
+reconstruction error under density (expected-adjacency) encoding*: a block
+``{A, B}`` with ``e`` edges out of ``p`` possible pairs is decoded as the
+constant ``e / p``, contributing
+
+    ``err(e, p) = 2 e (p − e) / p``
+
+to the L1 error (the optimum over constant decodings, used by GraSS).
+:class:`PartitionState` maintains the evolving partition and answers merge
+deltas in ``O(deg(A) + deg(B))`` like the main cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.summary import SummaryGraph
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+def density_error(edges: float, pairs: float) -> float:
+    """L1 error of decoding a block by its density: ``2 e (p − e) / p``."""
+    if pairs <= 0:
+        return 0.0
+    return 2.0 * edges * (pairs - edges) / pairs
+
+
+class PartitionState:
+    """An evolving node partition with block edge counts (uniform weights)."""
+
+    def __init__(self, graph: Graph):
+        n = graph.num_nodes
+        self.graph = graph
+        self.assignment: List[int] = list(range(n))
+        self.members: Dict[int, List[int]] = {u: [u] for u in range(n)}
+        indptr, indices = graph.indptr, graph.indices
+        index_list = indices.tolist()
+        self._adj: List[List[int]] = [index_list[indptr[u] : indptr[u + 1]] for u in range(n)]
+
+    @property
+    def num_supernodes(self) -> int:
+        """Current number of supernodes."""
+        return len(self.members)
+
+    def supernodes(self) -> List[int]:
+        """Live supernode ids."""
+        return list(self.members)
+
+    def block_counts(self, supernode: int) -> Dict[int, float]:
+        """Edge counts from *supernode* to every adjacent supernode.
+
+        The self entry counts each within-block edge once.
+        """
+        sn = self.assignment
+        acc: Dict[int, float] = {}
+        get = acc.get
+        for u in self.members[supernode]:
+            for v in self._adj[u]:
+                x = sn[v]
+                acc[x] = get(x, 0.0) + 1.0
+        if supernode in acc:
+            acc[supernode] *= 0.5
+        return acc
+
+    def _side_error(self, supernode: int, counts: Dict[int, float]) -> float:
+        size_of = self.members
+        size_a = len(size_of[supernode])
+        error = 0.0
+        for x, edges in counts.items():
+            if x == supernode:
+                pairs = size_a * (size_a - 1) / 2.0
+            else:
+                pairs = size_a * len(size_of[x])
+            error += density_error(edges, pairs)
+        return error
+
+    def merge_error_delta(self, a: int, b: int) -> float:
+        """Increase in density-encoded L1 error if *a* and *b* merge.
+
+        Lower is better; 0 means the merge is lossless (identical
+        connectivity), mirroring GraSS's merge score.
+        """
+        if a == b or a not in self.members or b not in self.members:
+            raise GraphFormatError(f"cannot evaluate merge of {a} and {b}")
+        counts_a = self.block_counts(a)
+        counts_b = self.block_counts(b)
+        before = self._side_error(a, counts_a) + self._side_error(b, counts_b)
+        # Correct the double-counted {a, b} cross block.
+        size_a, size_b = len(self.members[a]), len(self.members[b])
+        cross = counts_a.get(b, 0.0)
+        before -= density_error(cross, size_a * size_b)
+
+        merged: Dict[int, float] = {}
+        get = merged.get
+        for counts in (counts_a, counts_b):
+            for x, edges in counts.items():
+                if x != a and x != b:
+                    merged[x] = get(x, 0.0) + edges
+        self_edges = counts_a.get(a, 0.0) + counts_b.get(b, 0.0) + cross
+        size_m = size_a + size_b
+        after = density_error(self_edges, size_m * (size_m - 1) / 2.0)
+        for x, edges in merged.items():
+            after += density_error(edges, size_m * len(self.members[x]))
+        return after - before
+
+    def merge(self, a: int, b: int) -> int:
+        """Merge supernodes *a* and *b*; the union keeps id *a*."""
+        if a == b or a not in self.members or b not in self.members:
+            raise GraphFormatError(f"cannot merge {a} and {b}")
+        moved = self.members.pop(b)
+        self.members[a].extend(moved)
+        for u in moved:
+            self.assignment[u] = a
+        return a
+
+    def to_summary(self, *, weighted: bool = True, superedge_rule: str = "all_blocks") -> SummaryGraph:
+        """Materialize the partition as a :class:`SummaryGraph`."""
+        return SummaryGraph.from_partition(
+            self.graph,
+            np.asarray(self.assignment, dtype=np.int64),
+            weighted=weighted,
+            superedge_rule=superedge_rule,
+        )
+
+
+def sample_distinct_pairs(ids: List[int], count: int, rng: np.random.Generator) -> List[tuple]:
+    """*count* random pairs of distinct entries of *ids* (may repeat pairs)."""
+    size = len(ids)
+    if size < 2 or count <= 0:
+        return []
+    first = rng.integers(0, size, size=count)
+    second = rng.integers(0, size - 1, size=count)
+    second = second + (second >= first)
+    return [(ids[i], ids[j]) for i, j in zip(first.tolist(), second.tolist())]
+
+
+def resolve_supernode_budget(graph: Graph, num_supernodes: "int | None", fraction: "float | None") -> int:
+    """Resolve a supernode budget given either an absolute count or a fraction."""
+    if (num_supernodes is None) == (fraction is None):
+        raise GraphFormatError("specify exactly one of num_supernodes or fraction")
+    if num_supernodes is None:
+        if not 0.0 < fraction <= 1.0:
+            raise GraphFormatError(f"fraction must be in (0, 1], got {fraction}")
+        num_supernodes = max(int(round(fraction * graph.num_nodes)), 1)
+    if num_supernodes < 1:
+        raise GraphFormatError(f"num_supernodes must be >= 1, got {num_supernodes}")
+    return min(num_supernodes, graph.num_nodes)

@@ -1,0 +1,33 @@
+"""Random-merge baseline: a sanity floor for summarization quality.
+
+Merges uniformly random supernode pairs until the budget is met.  Any
+published summarizer should beat this by a wide margin; tests and benches
+use it to confirm that quality metrics actually discriminate.
+"""
+
+from __future__ import annotations
+
+from repro._util import ensure_rng
+from repro.baselines._blocks import PartitionState, resolve_supernode_budget
+from repro.core.summary import SummaryGraph
+from repro.graph.graph import Graph
+
+
+def random_merge_summarize(
+    graph: Graph,
+    *,
+    num_supernodes: "int | None" = None,
+    supernode_fraction: "float | None" = None,
+    seed: "int | None" = None,
+) -> SummaryGraph:
+    """Merge random supernode pairs down to the target count."""
+    target = resolve_supernode_budget(graph, num_supernodes, supernode_fraction)
+    rng = ensure_rng(seed)
+    state = PartitionState(graph)
+    while state.num_supernodes > target:
+        ids = state.supernodes()
+        i = int(rng.integers(0, len(ids)))
+        j = int(rng.integers(0, len(ids) - 1))
+        j = j + (j >= i)
+        state.merge(ids[i], ids[j])
+    return state.to_summary(weighted=True, superedge_rule="all_blocks")

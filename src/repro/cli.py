@@ -1,0 +1,218 @@
+"""Command-line interface: ``repro-pegasus`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``datasets``
+    Print Table II for the synthetic stand-ins.
+``summarize``
+    Summarize a dataset or edge-list file with PeGaSus (or SSumM) and
+    optionally save the summary graph.
+``query``
+    Answer an RWR / HOP / PHP query from a graph and (optionally) compare
+    it against the answer from a personalized summary.
+``experiment``
+    Run one of the paper's experiments and print its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+import numpy as np
+
+from repro._util import format_table
+from repro.baselines import ssumm_summarize
+from repro.core import PegasusConfig, summarize
+from repro.core.summary_io import save_summary
+from repro.eval import smape, spearman_correlation
+from repro.graph import dataset_names, load_dataset, read_edgelist, table2_rows
+from repro.queries import hop_distances, php_scores, rwr_scores
+
+
+def _load_graph(args) -> "tuple":
+    if args.input:
+        graph, labels = read_edgelist(args.input)
+        return graph, f"file:{args.input}"
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return dataset.graph, dataset.display_name
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--input", help="edge-list file to summarize")
+    source.add_argument(
+        "--dataset",
+        choices=dataset_names(),
+        default="lastfm_asia",
+        help="synthetic stand-in dataset (default: lastfm_asia)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _cmd_datasets(args) -> int:
+    rows = table2_rows(scale=args.scale, seed=args.seed)
+    print(format_table(["Name", "# Nodes", "# Edges", "Summary"], rows))
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    graph, name = _load_graph(args)
+    targets = [int(t) for t in args.targets.split(",")] if args.targets else None
+    if args.method == "ssumm":
+        result = ssumm_summarize(
+            graph, compression_ratio=args.ratio, t_max=args.t_max, seed=args.seed
+        )
+    else:
+        config = PegasusConfig(alpha=args.alpha, beta=args.beta, t_max=args.t_max, seed=args.seed)
+        result = summarize(graph, targets=targets, compression_ratio=args.ratio, config=config)
+    summary = result.summary
+    print(f"graph           {name}: |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    print(f"summary         |S|={summary.num_supernodes}, |P|={summary.num_superedges}")
+    print(f"size            {summary.size_in_bits():.0f} bits (ratio {summary.compression_ratio():.3f})")
+    print(f"budget met      {result.budget_met}")
+    print(f"iterations      {result.iterations}, merges {result.total_merges}")
+    print(f"elapsed         {result.elapsed_seconds:.2f}s")
+    if args.output:
+        save_summary(summary, args.output)
+        print(f"saved           {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    graph, name = _load_graph(args)
+    node = args.node
+    if not 0 <= node < graph.num_nodes:
+        print(f"error: node {node} out of range for {name}", file=sys.stderr)
+        return 2
+
+    def answer(source):
+        if args.type == "rwr":
+            return rwr_scores(source, node)
+        if args.type == "hop":
+            return hop_distances(source, node).astype(np.float64)
+        return php_scores(source, node)
+
+    exact = answer(graph)
+    top = np.argsort(exact)[::-1][: args.top]
+    rows: List[Sequence[object]] = [(int(u), f"{exact[u]:.6f}") for u in top]
+    headers = ["Node", f"{args.type.upper()} (exact)"]
+    if args.compare_summary:
+        config = PegasusConfig(alpha=args.alpha, seed=args.seed)
+        result = summarize(graph, targets=[node], compression_ratio=args.ratio, config=config)
+        approx = answer(result.summary)
+        rows = [(int(u), f"{exact[u]:.6f}", f"{approx[u]:.6f}") for u in top]
+        headers.append(f"{args.type.upper()} (summary @ {result.summary.compression_ratio():.2f})")
+        print(
+            f"summary answer quality: SMAPE={smape(exact, approx):.4f}, "
+            f"Spearman={spearman_correlation(exact, approx):.4f}"
+        )
+    print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (  # imported lazily: heavy modules
+        ablations,
+        fig5_effectiveness,
+        fig6_scalability,
+        fig7_accuracy,
+        fig8_runtime,
+        fig9_alpha,
+        fig10_diameter,
+        fig11_beta,
+        fig12_distributed,
+    )
+
+    runners = {
+        "fig5": fig5_effectiveness.run,
+        "fig6": fig6_scalability.run,
+        "fig7": fig7_accuracy.run,
+        "fig8": fig8_runtime.run,
+        "fig9": fig9_alpha.run,
+        "fig10": fig10_diameter.run,
+        "fig11": fig11_beta.run,
+        "fig12": fig12_distributed.run,
+        "ablation-cost": ablations.run_cost_criterion,
+        "ablation-threshold": ablations.run_threshold_schedule,
+    }
+    rows = runners[args.name]()
+    if not rows:
+        print("no rows produced")
+        return 1
+    headers = list(vars(rows[0]).keys())
+    table_rows = [
+        [f"{v:.4f}" if isinstance(v, float) else v for v in vars(row).values()] for row in rows
+    ]
+    print(format_table(headers, table_rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pegasus",
+        description="Personalized graph summarization (PeGaSus, ICDE 2022) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="print the Table II stand-ins")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.set_defaults(func=_cmd_datasets)
+
+    summarize_cmd = sub.add_parser("summarize", help="summarize a graph with PeGaSus")
+    _add_graph_arguments(summarize_cmd)
+    summarize_cmd.add_argument("--method", choices=("pegasus", "ssumm"), default="pegasus")
+    summarize_cmd.add_argument("--ratio", type=float, default=0.5, help="compression ratio budget")
+    summarize_cmd.add_argument("--targets", help="comma-separated target nodes (default: all)")
+    summarize_cmd.add_argument("--alpha", type=float, default=1.25)
+    summarize_cmd.add_argument("--beta", type=float, default=0.1)
+    summarize_cmd.add_argument("--t-max", type=int, default=20)
+    summarize_cmd.add_argument("--output", help="write the summary graph to this file")
+    summarize_cmd.set_defaults(func=_cmd_summarize)
+
+    query_cmd = sub.add_parser("query", help="answer a node-similarity query")
+    _add_graph_arguments(query_cmd)
+    query_cmd.add_argument("--type", choices=("rwr", "hop", "php"), default="rwr")
+    query_cmd.add_argument("--node", type=int, default=0, help="query node")
+    query_cmd.add_argument("--top", type=int, default=10, help="rows to print")
+    query_cmd.add_argument(
+        "--compare-summary",
+        action="store_true",
+        help="also answer from a summary personalized to the query node",
+    )
+    query_cmd.add_argument("--ratio", type=float, default=0.5)
+    query_cmd.add_argument("--alpha", type=float, default=1.25)
+    query_cmd.set_defaults(func=_cmd_query)
+
+    experiment_cmd = sub.add_parser("experiment", help="run one paper experiment")
+    experiment_cmd.add_argument(
+        "name",
+        choices=(
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablation-cost",
+            "ablation-threshold",
+        ),
+    )
+    experiment_cmd.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point for ``repro-pegasus`` and ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

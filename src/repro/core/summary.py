@@ -1,0 +1,392 @@
+"""The summary-graph structure ``G̅ = (S, P)`` (Sect. II-A of the paper).
+
+A :class:`SummaryGraph` overlays a fixed input :class:`~repro.graph.Graph`
+with
+
+* a **partition** of the nodes into supernodes (``supernode_of`` maps each
+  node to the id of its supernode; merged supernodes absorb their partner's
+  members and keep one of the two ids, so live ids are always a subset of
+  ``0..|V|-1``), and
+* a **superedge set** ``P`` stored as adjacency sets, with self-loops
+  represented by a supernode appearing in its own set.
+
+The decoded (reconstructed) graph ``Ĝ`` has an edge ``{u, v}`` iff
+``{S_u, S_v}`` is a superedge (Sect. II-A); :meth:`reconstructed_neighbors`
+is exactly ``getNeighbors`` from Alg. 4 and is the primitive every query in
+:mod:`repro.queries` builds on.
+
+Baselines that emit *weighted* summary graphs (S2L, k-Grass, SAAGs) attach
+per-superedge weights; :meth:`size_in_bits` then uses the weighted encoding
+from Sect. V-A (``|P| (2 log2|S| + log2 w_max) + |V| log2|S|``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+import numpy as np
+
+from repro._util import log2_capped
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+def _canonical(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class SummaryGraph:
+    """A mutable summary graph over a fixed input graph.
+
+    Freshly constructed, it is the *identity* summary: every node is its own
+    supernode and every input edge its own superedge (the initialization of
+    Alg. 1, line 1), which reconstructs the input graph exactly.
+    """
+
+    def __init__(self, graph: Graph, *, weighted: bool = False):
+        n = graph.num_nodes
+        self.graph = graph
+        self.supernode_of = np.arange(n, dtype=np.int64)
+        self._members: Dict[int, List[int]] = {u: [u] for u in range(n)}
+        self._adjacency: Dict[int, Set[int]] = {u: set() for u in range(n)}
+        self._num_superedges = 0
+        self._weights: "Dict[Tuple[int, int], float] | None" = {} if weighted else None
+        for u, v in graph.edge_array():
+            self.add_superedge(int(u), int(v))
+
+    @classmethod
+    def from_partition(
+        cls,
+        graph: Graph,
+        assignment: np.ndarray,
+        *,
+        weighted: bool = False,
+        superedge_rule: str = "majority",
+    ) -> "SummaryGraph":
+        """Build a summary graph from a node partition.
+
+        Parameters
+        ----------
+        graph:
+            The input graph.
+        assignment:
+            ``assignment[u]`` is an arbitrary cluster label for node ``u``.
+            Each cluster becomes one supernode whose id is its smallest
+            member node (so supernode ids stay within ``0..|V|-1``).
+        weighted:
+            Whether to attach edge-count weights to superedges (the output
+            format of the S2L / k-Grass / SAAGs baselines).
+        superedge_rule:
+            How to decide superedges per block with at least one edge:
+
+            * ``"majority"`` — superedge iff edge density ≥ 0.5, the
+              L1-optimal unweighted decoding;
+            * ``"all_blocks"`` — superedge for every block with ≥ 1 edge
+              (the dense decoding of weighted baseline summaries).
+        """
+        if superedge_rule not in ("majority", "all_blocks"):
+            raise GraphFormatError(f"unknown superedge_rule {superedge_rule!r}")
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (graph.num_nodes,):
+            raise GraphFormatError("assignment must have one label per node")
+        obj = cls.__new__(cls)
+        obj.graph = graph
+        obj._weights = {} if weighted else None
+        labels, compact = np.unique(assignment, return_inverse=True)
+        # Representative (smallest) node id per cluster becomes the supernode id.
+        reps = np.full(labels.size, graph.num_nodes, dtype=np.int64)
+        np.minimum.at(reps, compact, np.arange(graph.num_nodes, dtype=np.int64))
+        obj.supernode_of = reps[compact]
+        obj._members = {int(rep): [] for rep in reps}
+        for u, rep in enumerate(obj.supernode_of.tolist()):
+            obj._members[rep].append(u)
+        obj._adjacency = {int(rep): set() for rep in reps}
+        obj._num_superedges = 0
+
+        edges = graph.edge_array()
+        if edges.size:
+            a = obj.supernode_of[edges[:, 0]]
+            b = obj.supernode_of[edges[:, 1]]
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            key = lo * np.int64(graph.num_nodes) + hi
+            uniq, counts = np.unique(key, return_counts=True)
+            n = graph.num_nodes
+            for k, count in zip(uniq.tolist(), counts.tolist()):
+                sa, sb = int(k // n), int(k % n)
+                if sa == sb:
+                    size = len(obj._members[sa])
+                    pairs = size * (size - 1) // 2
+                else:
+                    pairs = len(obj._members[sa]) * len(obj._members[sb])
+                if superedge_rule == "all_blocks" or (pairs and count * 2 >= pairs):
+                    obj.add_superedge(sa, sb, weight=float(count) if weighted else None)
+        return obj
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of input-graph nodes ``|V|``."""
+        return self.graph.num_nodes
+
+    @property
+    def num_supernodes(self) -> int:
+        """Number of live supernodes ``|S|``."""
+        return len(self._members)
+
+    @property
+    def num_superedges(self) -> int:
+        """Number of superedges ``|P|`` (self-loops count once)."""
+        return self._num_superedges
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether superedges carry weights (baseline summarizers only)."""
+        return self._weights is not None
+
+    def supernodes(self) -> List[int]:
+        """Live supernode ids (unordered)."""
+        return list(self._members)
+
+    def members(self, supernode: int) -> np.ndarray:
+        """Member nodes of *supernode* as an array."""
+        try:
+            return np.asarray(self._members[supernode], dtype=np.int64)
+        except KeyError:
+            raise GraphFormatError(f"supernode {supernode} does not exist") from None
+
+    def member_list(self, supernode: int) -> List[int]:
+        """Member nodes of *supernode* as the internal list (do not mutate).
+
+        Hot-path variant of :meth:`members` that skips the array copy; the
+        cost model walks this list once per block evaluation (Lemma 1).
+        """
+        try:
+            return self._members[supernode]
+        except KeyError:
+            raise GraphFormatError(f"supernode {supernode} does not exist") from None
+
+    def member_count(self, supernode: int) -> int:
+        """``|A|`` for supernode *A*."""
+        try:
+            return len(self._members[supernode])
+        except KeyError:
+            raise GraphFormatError(f"supernode {supernode} does not exist") from None
+
+    def superedge_neighbors(self, supernode: int) -> Set[int]:
+        """Supernodes adjacent to *supernode* in ``P`` (may include itself)."""
+        try:
+            return self._adjacency[supernode]
+        except KeyError:
+            raise GraphFormatError(f"supernode {supernode} does not exist") from None
+
+    def has_superedge(self, a: int, b: int) -> bool:
+        """Whether the superedge ``{a, b}`` (possibly a self-loop) exists."""
+        return b in self._adjacency.get(a, ())
+
+    def superedges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate superedges once each as ``(a, b)`` with ``a <= b``."""
+        for a, neighbors in self._adjacency.items():
+            for b in neighbors:
+                if a <= b:
+                    yield a, b
+
+    def superedge_weight(self, a: int, b: int) -> float:
+        """Weight of superedge ``{a, b}`` (weighted summaries only)."""
+        if self._weights is None:
+            raise GraphFormatError("summary graph is unweighted")
+        return self._weights.get(_canonical(a, b), 0.0)
+
+    def block_pair_count(self, a: int, b: int) -> int:
+        """Number of node pairs in block ``{a, b}`` (``C(|A|, 2)`` if ``a=b``)."""
+        if a == b:
+            size = self.member_count(a)
+            return size * (size - 1) // 2
+        return self.member_count(a) * self.member_count(b)
+
+    def superedge_density(self, a: int, b: int) -> float:
+        """Edge density encoded by superedge ``{a, b}``.
+
+        For unweighted summaries a superedge means "all pairs present", so
+        the density is 1.  For weighted summaries it is the stored edge
+        count divided by the block's pair count — the expected-adjacency
+        interpretation the weighted baselines (and the weighted-query
+        answering of Sect. V-A) rely on.
+        """
+        if self._weights is None:
+            return 1.0 if self.has_superedge(a, b) else 0.0
+        pairs = self.block_pair_count(a, b)
+        if pairs == 0:
+            return 0.0
+        return min(self._weights.get(_canonical(a, b), 0.0) / pairs, 1.0)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_superedge(self, a: int, b: int, *, weight: "float | None" = None) -> None:
+        """Insert superedge ``{a, b}``; idempotent for existing edges."""
+        if a not in self._adjacency or b not in self._adjacency:
+            raise GraphFormatError(f"superedge endpoints {a}, {b} must be live supernodes")
+        if b not in self._adjacency[a]:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            self._num_superedges += 1
+        if self._weights is not None:
+            self._weights[_canonical(a, b)] = 1.0 if weight is None else float(weight)
+
+    def remove_superedge(self, a: int, b: int) -> None:
+        """Remove superedge ``{a, b}``; no-op if absent."""
+        if b in self._adjacency.get(a, ()):
+            self._adjacency[a].discard(b)
+            self._adjacency[b].discard(a)
+            self._num_superedges -= 1
+            if self._weights is not None:
+                self._weights.pop(_canonical(a, b), None)
+
+    def merge_supernodes(self, a: int, b: int) -> Tuple[int, Set[int]]:
+        """Merge supernodes *a* and *b* into one (Alg. 2, lines 6–8).
+
+        The union keeps id *a*; all superedges incident to either endpoint
+        are dropped (the caller re-adds the beneficial ones, line 9).
+
+        Returns ``(union_id, former_neighbors)`` where *former_neighbors* is
+        the set of supernodes that had a superedge to *a* or *b* (with
+        ``a``/``b`` replaced by the union id), so the caller can limit its
+        re-addition scan.
+        """
+        if a == b:
+            raise GraphFormatError("cannot merge a supernode with itself")
+        if a not in self._members or b not in self._members:
+            raise GraphFormatError(f"merge endpoints {a}, {b} must be live supernodes")
+        former = (self._adjacency[a] | self._adjacency[b]) - {a, b}
+        for x in tuple(self._adjacency[a]):
+            self.remove_superedge(a, x)
+        for x in tuple(self._adjacency[b]):
+            self.remove_superedge(b, x)
+        members_b = self._members.pop(b)
+        self._members[a].extend(members_b)
+        self.supernode_of[members_b] = a
+        del self._adjacency[b]
+        return a, former
+
+    # ------------------------------------------------------------------
+    # size model (Eq. 3 and the weighted variant of Sect. V-A)
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> float:
+        """Summary size in bits.
+
+        Unweighted (Eq. 3): ``2 |P| log2|S| + |V| log2|S|``.
+        Weighted (Sect. V-A): ``|P| (2 log2|S| + log2 w_max) + |V| log2|S|``.
+        """
+        s = self.num_supernodes
+        if s == 0:
+            return 0.0
+        log_s = log2_capped(s)
+        membership_bits = self.num_nodes * log_s
+        if self._weights is None:
+            return 2.0 * self._num_superedges * log_s + membership_bits
+        w_max = max(self._weights.values(), default=1.0)
+        weight_bits = log2_capped(max(int(np.ceil(w_max)), 1)) if w_max > 1 else 0.0
+        return self._num_superedges * (2.0 * log_s + weight_bits) + membership_bits
+
+    def compression_ratio(self) -> float:
+        """``Size(G̅) / Size(G)`` — the x-axis of Figs. 7 and 12."""
+        denom = self.graph.size_in_bits()
+        return self.size_in_bits() / denom if denom > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # reconstruction (Alg. 4 and helpers)
+    # ------------------------------------------------------------------
+    def reconstructed_neighbors(self, node: int) -> np.ndarray:
+        """Neighbors of *node* in the reconstructed graph ``Ĝ`` (Alg. 4).
+
+        The union of the members of every supernode adjacent to ``S_node``
+        (including ``S_node`` itself when it has a self-loop), minus *node*.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise GraphFormatError(f"node {node} out of range")
+        home = int(self.supernode_of[node])
+        pieces = [self._members[a] for a in self._adjacency[home]]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        flat = np.concatenate([np.asarray(p, dtype=np.int64) for p in pieces])
+        flat = flat[flat != node]
+        return np.unique(flat)
+
+    def reconstructed_has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of ``Ĝ`` — O(1) via the superedge set."""
+        if u == v:
+            return False
+        return self.has_superedge(int(self.supernode_of[u]), int(self.supernode_of[v]))
+
+    def reconstructed_degree(self, node: int) -> int:
+        """Degree of *node* in ``Ĝ`` without materializing the neighbor set."""
+        home = int(self.supernode_of[node])
+        total = 0
+        for a in self._adjacency[home]:
+            total += len(self._members[a])
+            if a == home:
+                total -= 1  # exclude the node itself under a self-loop
+        return total
+
+    def reconstructed_edge_count(self) -> int:
+        """``|Ê|``: sum of block sizes over superedges (exact, O(|P|))."""
+        total = 0
+        for a, b in self.superedges():
+            if a == b:
+                size = len(self._members[a])
+                total += size * (size - 1) // 2
+            else:
+                total += len(self._members[a]) * len(self._members[b])
+        return total
+
+    def reconstruct(self) -> Graph:
+        """Materialize ``Ĝ`` as a :class:`Graph` (small graphs / tests only)."""
+        edges: List[Tuple[int, int]] = []
+        for a, b in self.superedges():
+            mem_a = self._members[a]
+            if a == b:
+                edges.extend((mem_a[i], mem_a[j]) for i in range(len(mem_a)) for j in range(i + 1, len(mem_a)))
+            else:
+                edges.extend((u, v) for u in mem_a for v in self._members[b])
+        return Graph.from_edges(self.num_nodes, np.asarray(edges, dtype=np.int64).reshape(-1, 2), validate=False)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`GraphFormatError` if internal bookkeeping is broken.
+
+        Used by tests and hypothesis properties; O(|V| + |P|).
+        """
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        for supernode, members in self._members.items():
+            if not members:
+                raise GraphFormatError(f"supernode {supernode} is empty")
+            for u in members:
+                if seen[u]:
+                    raise GraphFormatError(f"node {u} appears in two supernodes")
+                seen[u] = True
+                if self.supernode_of[u] != supernode:
+                    raise GraphFormatError(f"supernode_of[{u}] inconsistent")
+        if not seen.all():
+            raise GraphFormatError("partition does not cover all nodes")
+        count = 0
+        for a, neighbors in self._adjacency.items():
+            if a not in self._members:
+                raise GraphFormatError(f"adjacency for dead supernode {a}")
+            for b in neighbors:
+                if a not in self._adjacency.get(b, ()):
+                    raise GraphFormatError(f"superedge {{{a}, {b}}} not symmetric")
+                if a <= b:
+                    count += 1
+        if count != self._num_superedges:
+            raise GraphFormatError(f"superedge count {self._num_superedges} != recount {count}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SummaryGraph(|V|={self.num_nodes}, |S|={self.num_supernodes}, "
+            f"|P|={self._num_superedges}, weighted={self.is_weighted})"
+        )

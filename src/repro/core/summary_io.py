@@ -1,0 +1,96 @@
+"""Save and load summary graphs.
+
+A summary graph is what actually gets shipped to a machine's memory in the
+distributed application, so it needs a serialization format.  The format
+is a plain text file:
+
+.. code-block:: text
+
+    # repro summary graph v1
+    G <num_nodes> <weighted:0|1>
+    S <supernode_id> <member> <member> ...
+    P <a> <b> [weight]
+
+One ``S`` line per supernode, one ``P`` line per superedge (self-loops as
+``a == b``).  Node order inside an ``S`` line is irrelevant.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.summary import SummaryGraph
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+_HEADER = "# repro summary graph v1"
+
+
+def save_summary(summary: SummaryGraph, path: "str | os.PathLike[str]") -> None:
+    """Write *summary* to *path* in the v1 text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER + "\n")
+        handle.write(f"G {summary.num_nodes} {1 if summary.is_weighted else 0}\n")
+        for supernode in sorted(summary.supernodes()):
+            members = " ".join(str(u) for u in sorted(summary.member_list(supernode)))
+            handle.write(f"S {supernode} {members}\n")
+        for a, b in sorted(summary.superedges()):
+            if summary.is_weighted:
+                handle.write(f"P {a} {b} {summary.superedge_weight(a, b)!r}\n")
+            else:
+                handle.write(f"P {a} {b}\n")
+
+
+def load_summary(path: "str | os.PathLike[str]", graph: Graph) -> SummaryGraph:
+    """Read a summary of *graph* from *path*.
+
+    The input graph must be supplied separately (the summary stores only
+    the partition and superedges, as in Eq. 3's size accounting).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    if not lines or lines[0] != _HEADER:
+        raise GraphFormatError(f"{path}: not a repro summary file")
+    if len(lines) < 2 or not lines[1].startswith("G "):
+        raise GraphFormatError(f"{path}: missing G header line")
+    _, num_nodes_str, weighted_str = lines[1].split()
+    num_nodes = int(num_nodes_str)
+    weighted = weighted_str == "1"
+    if num_nodes != graph.num_nodes:
+        raise GraphFormatError(
+            f"{path}: summary is for {num_nodes} nodes, graph has {graph.num_nodes}"
+        )
+
+    assignment = np.full(num_nodes, -1, dtype=np.int64)
+    superedges = []
+    for lineno, line in enumerate(lines[2:], start=3):
+        if not line.strip():
+            continue
+        parts = line.split()
+        if parts[0] == "S":
+            supernode = int(parts[1])
+            for member in parts[2:]:
+                assignment[int(member)] = supernode
+        elif parts[0] == "P":
+            weight = float(parts[3]) if len(parts) > 3 else None
+            superedges.append((int(parts[1]), int(parts[2]), weight))
+        else:
+            raise GraphFormatError(f"{path}:{lineno}: unknown record {parts[0]!r}")
+    if np.any(assignment < 0):
+        raise GraphFormatError(f"{path}: partition does not cover all nodes")
+
+    summary = SummaryGraph.__new__(SummaryGraph)
+    summary.graph = graph
+    summary.supernode_of = assignment
+    summary._members = {}
+    for u, supernode in enumerate(assignment.tolist()):
+        summary._members.setdefault(supernode, []).append(u)
+    summary._adjacency = {supernode: set() for supernode in summary._members}
+    summary._num_superedges = 0
+    summary._weights = {} if weighted else None
+    for a, b, weight in superedges:
+        summary.add_superedge(a, b, weight=weight)
+    summary.check_invariants()
+    return summary

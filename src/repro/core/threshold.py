@@ -1,0 +1,88 @@
+"""Merge-acceptance thresholds: adaptive (PeGaSus) and fixed (SSumM).
+
+The threshold ``θ`` balances exploitation (merge now) against exploration
+(wait for better candidate groups in a later iteration).  PeGaSus starts at
+``θ = 0.5`` and, after each iteration, resets ``θ`` to the
+``⌊β·|L|⌋``-th largest of the relative reductions *rejected* during the
+iteration (Sect. III-E) — since rejected values are below the old ``θ``,
+the threshold decreases monotonically toward exploitation.  SSumM instead
+follows the fixed schedule ``θ(t) = 1/(1+t)`` with ``θ = 0`` at the final
+iteration (Sect. III-G).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+import numpy as np
+
+
+class ThresholdPolicy(Protocol):
+    """Interface shared by the two schedules."""
+
+    value: float
+
+    def record(self, rejected_value: float) -> None:
+        """Log the best relative reduction of a failed merge attempt."""
+
+    def advance(self, next_iteration: int) -> float:
+        """Move to iteration *next_iteration* (1-based); returns new θ."""
+
+
+class AdaptiveThreshold:
+    """PeGaSus's adaptive schedule (Alg. 1 lines 8–9).
+
+    Parameters
+    ----------
+    beta:
+        Quantile parameter in ``[0, 1]``; larger β drops θ faster (more
+        exploitation).  ``β ≈ 0`` selects the largest rejected entry
+        (Fig. 11's caption).
+    initial:
+        Starting threshold, 0.5 in the paper.
+    """
+
+    def __init__(self, beta: float = 0.1, initial: float = 0.5):
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self.beta = float(beta)
+        self.value = float(initial)
+        self._rejected: List[float] = []
+
+    def record(self, rejected_value: float) -> None:
+        self._rejected.append(float(rejected_value))
+
+    @property
+    def rejected_count(self) -> int:
+        """Size of the list ``L`` accumulated this iteration."""
+        return len(self._rejected)
+
+    def advance(self, next_iteration: int) -> float:
+        if self._rejected:
+            arr = np.asarray(self._rejected, dtype=np.float64)
+            # k-th largest with k = max(1, floor(beta * |L|)); the paper's
+            # "β ≈ 0" case picks the single largest entry.
+            k = max(int(np.floor(self.beta * arr.size)), 1)
+            self.value = float(np.partition(arr, arr.size - k)[arr.size - k])
+        self._rejected = []
+        return self.value
+
+
+class FixedSchedule:
+    """SSumM's fixed schedule: ``θ(t) = 1/(1+t)`` for ``t < t_max``, else 0."""
+
+    def __init__(self, t_max: int):
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = int(t_max)
+        self.value = self._value_for(1)
+
+    def _value_for(self, t: int) -> float:
+        return 1.0 / (1.0 + t) if t < self.t_max else 0.0
+
+    def record(self, rejected_value: float) -> None:  # noqa: ARG002 - protocol
+        """No bookkeeping: the schedule ignores runtime statistics."""
+
+    def advance(self, next_iteration: int) -> float:
+        self.value = self._value_for(next_iteration)
+        return self.value

@@ -1,0 +1,23 @@
+"""Communication-free distributed multi-query answering (Sect. IV, Alg. 3).
+
+The pipeline simulates ``m`` machines, each holding either a personalized
+summary graph (PeGaSus' application) or a budgeted subgraph (the
+partitioning alternative).  Queries are routed to the machine owning the
+query node and answered there with no inter-machine communication — the
+cluster asserts that the communication counter stays at zero.
+"""
+
+from repro.distributed.cluster import DistributedCluster, Machine
+from repro.distributed.subgraph import budgeted_subgraph
+from repro.distributed.pipeline import (
+    build_summary_cluster,
+    build_subgraph_cluster,
+)
+
+__all__ = [
+    "DistributedCluster",
+    "Machine",
+    "budgeted_subgraph",
+    "build_summary_cluster",
+    "build_subgraph_cluster",
+]

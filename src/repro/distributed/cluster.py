@@ -1,0 +1,113 @@
+"""A simulated cluster for communication-free multi-query answering.
+
+Each :class:`Machine` holds one query source (a personalized summary graph
+or a budgeted subgraph) in its simulated main memory; the
+:class:`DistributedCluster` routes a query on node ``q`` to the machine
+whose node-set partition contains ``q`` (Alg. 3, lines 5–7) and answers it
+locally.  A communication counter exists purely to *prove* the
+communication-free property: nothing in this module ever increments it,
+and :meth:`DistributedCluster.assert_communication_free` is checked in
+tests and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.summary import SummaryGraph
+from repro.errors import PartitionError, QueryError
+from repro.graph.graph import Graph
+from repro.queries.hop import hop_distances
+from repro.queries.operator import QuerySource, ReconstructedOperator
+from repro.queries.php import php_scores
+from repro.queries.rwr import rwr_scores
+
+
+@dataclass
+class Machine:
+    """One simulated machine: an id, its node partition, and its data.
+
+    Attributes
+    ----------
+    machine_id:
+        Index in ``0..m-1``.
+    part_nodes:
+        The nodes ``V_i`` whose queries route here.
+    source:
+        The locally held query source (summary graph or subgraph).
+    memory_bits:
+        Size of *source* in bits (checked against the budget upstream).
+    """
+
+    machine_id: int
+    part_nodes: np.ndarray
+    source: QuerySource
+    memory_bits: float
+    _operator: "ReconstructedOperator | None" = field(default=None, repr=False)
+
+    def operator(self) -> ReconstructedOperator:
+        """Lazily built reconstruction operator, shared across queries."""
+        if self._operator is None:
+            self._operator = ReconstructedOperator(self.source)
+        return self._operator
+
+    def answer(self, node: int, query_type: str) -> np.ndarray:
+        """Answer one query locally (no communication)."""
+        if query_type == "rwr":
+            return rwr_scores(self.source, node, operator=self.operator())
+        if query_type == "hop":
+            return hop_distances(self.source, node).astype(np.float64)
+        if query_type == "php":
+            return php_scores(self.source, node, operator=self.operator())
+        raise QueryError(f"unknown query type {query_type!r}")
+
+
+class DistributedCluster:
+    """``m`` machines plus the node→machine routing table (Alg. 3)."""
+
+    def __init__(self, graph: Graph, machines: List[Machine]):
+        if not machines:
+            raise PartitionError("a cluster needs at least one machine")
+        self.graph = graph
+        self.machines = machines
+        self._route = np.full(graph.num_nodes, -1, dtype=np.int64)
+        for machine in machines:
+            if np.any(self._route[machine.part_nodes] >= 0):
+                raise PartitionError("machine parts overlap")
+            self._route[machine.part_nodes] = machine.machine_id
+        if np.any(self._route < 0):
+            raise PartitionError("machine parts do not cover all nodes")
+        self.communication_count = 0
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machines ``m``."""
+        return len(self.machines)
+
+    def machine_for(self, node: int) -> Machine:
+        """The machine whose part contains *node* (Alg. 3, line 6)."""
+        if not 0 <= node < self.graph.num_nodes:
+            raise QueryError(f"node {node} out of range")
+        return self.machines[int(self._route[node])]
+
+    def answer(self, node: int, query_type: str) -> np.ndarray:
+        """Route and answer one query; never touches another machine."""
+        return self.machine_for(node).answer(node, query_type)
+
+    def answer_many(self, nodes, query_type: str) -> Dict[int, np.ndarray]:
+        """Answer a batch of queries (the multi-query workload of Sect. IV)."""
+        return {int(q): self.answer(int(q), query_type) for q in nodes}
+
+    def memory_per_machine(self) -> List[float]:
+        """Bits held by each machine (must respect the per-machine budget)."""
+        return [machine.memory_bits for machine in self.machines]
+
+    def assert_communication_free(self) -> None:
+        """Raise if any inter-machine communication was recorded."""
+        if self.communication_count != 0:
+            raise QueryError(
+                f"expected communication-free answering, saw {self.communication_count} messages"
+            )

@@ -1,0 +1,113 @@
+"""Alg. 3 end to end: partition → per-part artifacts → routed answering.
+
+Two cluster builders mirror the two sides of Fig. 12:
+
+* :func:`build_summary_cluster` — PeGaSus' application: one summary graph
+  per machine, personalized to the machine's node part ``V_i``, each within
+  the per-machine memory budget ``k``;
+* :func:`build_subgraph_cluster` — the graph-partitioning alternative: one
+  budgeted subgraph per machine (edges closest to ``V_i``).
+
+Both return a :class:`~repro.distributed.cluster.DistributedCluster` whose
+queries are answered without communication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.pegasus import PegasusConfig, summarize
+from repro.core.weights import PersonalizedWeights
+from repro.distributed.cluster import DistributedCluster, Machine
+from repro.distributed.subgraph import budgeted_subgraph
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.partitioning.louvain import louvain_partition
+from repro.partitioning.quality import validate_partition
+
+Partitioner = Callable[[Graph, int], np.ndarray]
+
+
+def _parts_from_assignment(graph: Graph, assignment: np.ndarray, num_machines: int) -> List[np.ndarray]:
+    assignment = validate_partition(graph, assignment, num_parts=num_machines)
+    parts = [np.flatnonzero(assignment == i) for i in range(num_machines)]
+    if any(p.size == 0 for p in parts):
+        raise PartitionError("every machine needs a non-empty node part")
+    return parts
+
+
+def build_summary_cluster(
+    graph: Graph,
+    num_machines: int,
+    budget_bits: float,
+    *,
+    partitioner: "Partitioner | None" = None,
+    assignment: "np.ndarray | None" = None,
+    config: "PegasusConfig | None" = None,
+) -> DistributedCluster:
+    """Alg. 3 preprocessing with personalized summary graphs.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    num_machines:
+        Number of machines ``m`` (the paper uses 8).
+    budget_bits:
+        Per-machine memory ``k`` in bits.
+    partitioner:
+        ``(graph, m) -> assignment``; defaults to the Louvain-based
+        balanced partitioner, as in Alg. 3.
+    assignment:
+        Precomputed node partition (overrides *partitioner*).
+    config:
+        PeGaSus hyper-parameters for the per-part summaries.
+    """
+    if assignment is None:
+        partitioner = partitioner or (lambda g, m: louvain_partition(g, m, seed=0))
+        assignment = partitioner(graph, num_machines)
+    parts = _parts_from_assignment(graph, assignment, num_machines)
+    config = config or PegasusConfig()
+    machines = []
+    for machine_id, part in enumerate(parts):
+        weights = PersonalizedWeights(graph, part, alpha=config.alpha)
+        result = summarize(graph, budget_bits=budget_bits, config=config, weights=weights)
+        machines.append(
+            Machine(
+                machine_id=machine_id,
+                part_nodes=part,
+                source=result.summary,
+                memory_bits=result.summary.size_in_bits(),
+            )
+        )
+    return DistributedCluster(graph, machines)
+
+
+def build_subgraph_cluster(
+    graph: Graph,
+    num_machines: int,
+    budget_bits: float,
+    *,
+    partitioner: "Partitioner | None" = None,
+    assignment: "np.ndarray | None" = None,
+    seed: "int | None" = 0,
+) -> DistributedCluster:
+    """The Sect. IV alternative: budgeted subgraphs from a partitioner."""
+    if assignment is None:
+        partitioner = partitioner or (lambda g, m: louvain_partition(g, m, seed=0))
+        assignment = partitioner(graph, num_machines)
+    parts = _parts_from_assignment(graph, assignment, num_machines)
+    machines = []
+    for machine_id, part in enumerate(parts):
+        subgraph = budgeted_subgraph(graph, part, budget_bits, seed=seed)
+        machines.append(
+            Machine(
+                machine_id=machine_id,
+                part_nodes=part,
+                source=subgraph,
+                memory_bits=subgraph.size_in_bits(),
+            )
+        )
+    return DistributedCluster(graph, machines)

@@ -1,0 +1,59 @@
+"""The "potential alternative" of Sect. IV: budgeted subgraphs per machine.
+
+Instead of a personalized summary, machine ``i`` can hold an uncompressed
+subgraph of size ``k`` composed of the edges *closest* to its node part
+``V_i`` (closeness = hop distance of an edge's nearer endpoint to ``V_i``).
+The subgraph keeps the global node numbering so query answers align with
+the full graph; its size follows the input-graph encoding of Eq. 4,
+``2 |E_i| log2 |V|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import ensure_rng, log2_capped
+from repro.errors import BudgetError
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+
+
+def budgeted_subgraph(
+    graph: Graph,
+    part_nodes: np.ndarray,
+    budget_bits: float,
+    *,
+    seed: "int | np.random.Generator | None" = 0,
+) -> Graph:
+    """The edges closest to *part_nodes*, as many as fit in *budget_bits*.
+
+    Edges are ranked by ``min(D(u, V_i), D(v, V_i))`` then by
+    ``max(...)``, with random tie-breaking, and taken greedily until the
+    Eq. 4 size ``2 |E_i| log2|V|`` would exceed the budget.
+    """
+    if budget_bits <= 0:
+        raise BudgetError(f"budget_bits must be positive, got {budget_bits}")
+    part_nodes = np.asarray(part_nodes, dtype=np.int64)
+    if part_nodes.size == 0:
+        return Graph.empty(graph.num_nodes)
+    bits_per_edge = 2.0 * log2_capped(max(graph.num_nodes, 2))
+    max_edges = int(budget_bits // bits_per_edge)
+    if max_edges <= 0:
+        return Graph.empty(graph.num_nodes)
+
+    edges = graph.edge_array()
+    if edges.shape[0] <= max_edges:
+        return graph  # whole graph fits
+
+    rng = ensure_rng(seed)
+    distance = bfs_distances(graph, part_nodes)
+    unreachable = distance < 0
+    if unreachable.any():
+        distance = distance.copy()
+        distance[unreachable] = int(distance.max()) + 1
+    near = np.minimum(distance[edges[:, 0]], distance[edges[:, 1]])
+    far = np.maximum(distance[edges[:, 0]], distance[edges[:, 1]])
+    jitter = rng.random(edges.shape[0])
+    order = np.lexsort((jitter, far, near))
+    chosen = edges[order[:max_edges]]
+    return Graph.from_edges(graph.num_nodes, chosen, validate=False)

@@ -1,0 +1,28 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API boundary
+instead of enumerating failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or graph file could not be parsed or validated."""
+
+
+class BudgetError(ReproError):
+    """A size budget is invalid (non-positive, or impossible to satisfy)."""
+
+
+class PartitionError(ReproError):
+    """A node partition is malformed (missing nodes, empty parts, ...)."""
+
+
+class QueryError(ReproError):
+    """A graph query was issued with invalid arguments (e.g. unknown node)."""

@@ -1,0 +1,25 @@
+"""Evaluation: the paper's accuracy measures and experiment harness."""
+
+from repro.eval.metrics import (
+    rankdata,
+    relative_personalized_error,
+    smape,
+    spearman_correlation,
+)
+from repro.eval.harness import (
+    QueryAccuracy,
+    evaluate_query_accuracy,
+    sample_query_nodes,
+    time_call,
+)
+
+__all__ = [
+    "rankdata",
+    "relative_personalized_error",
+    "smape",
+    "spearman_correlation",
+    "QueryAccuracy",
+    "evaluate_query_accuracy",
+    "sample_query_nodes",
+    "time_call",
+]

@@ -1,0 +1,98 @@
+"""Accuracy measures from Sect. V-A of the paper.
+
+* :func:`smape` — Symmetric Mean Absolute Percentage Error (lower is
+  better).  The paper's formula sums ``|x_u − x̂_u| / (|x_u| + |x̂_u|)``
+  over nodes with the ``0/0 := 0`` convention; we report the **mean** over
+  nodes so the score is bounded by 1 as in the paper's figures.
+* :func:`spearman_correlation` — Spearman rank correlation (higher is
+  better): Pearson correlation of average-tie ranks, the ranking-centric
+  measure the paper prefers for graph applications.
+* :func:`relative_personalized_error` — the Fig. 5 measure: personalized
+  error of a summary relative to a non-personalized reference summary of
+  similar size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import personalized_error
+from repro.core.summary import SummaryGraph
+from repro.core.weights import PersonalizedWeights
+
+
+def smape(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Symmetric mean absolute percentage error, in ``[0, 1]``."""
+    x = np.asarray(exact, dtype=np.float64)
+    y = np.asarray(approximate, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        return 0.0
+    denominator = np.abs(x) + np.abs(y)
+    numerator = np.abs(x - y)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        terms = np.where(denominator > 0.0, numerator / denominator, 0.0)
+    return float(terms.mean())
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank.
+
+    Matches :func:`scipy.stats.rankdata` with ``method="average"``; written
+    out so the core library has no scipy dependency.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    # Average the ranks within each tie group.
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+    start = 0
+    for end in list(boundaries) + [values.size]:
+        if end - start > 1:
+            ranks[order[start:end]] = ranks[order[start:end]].mean()
+        start = end
+    return ranks
+
+
+def spearman_correlation(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Spearman rank correlation coefficient in ``[-1, 1]``.
+
+    Returns 0.0 when either ranking is constant (undefined correlation), a
+    convention that penalizes degenerate all-equal approximations.
+    """
+    x = np.asarray(exact, dtype=np.float64)
+    y = np.asarray(approximate, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        return 0.0
+    rx = rankdata(x)
+    ry = rankdata(y)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    covariance = float(((rx - rx.mean()) * (ry - ry.mean())).mean())
+    return covariance / (sx * sy)
+
+
+def relative_personalized_error(
+    summary: SummaryGraph,
+    reference: SummaryGraph,
+    weights: PersonalizedWeights,
+) -> float:
+    """``RE^(T)(summary) / RE^(T)(reference)`` — the Fig. 5 y-axis.
+
+    Values below 1 mean *summary* preserves the neighborhood of the targets
+    better than the (typically non-personalized) *reference* of similar
+    size.  Returns ``inf`` when the reference has zero error but the
+    summary does not, and 1 when both are exact.
+    """
+    numerator = personalized_error(summary, weights)
+    denominator = personalized_error(reference, weights)
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator

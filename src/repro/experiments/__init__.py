@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver builds its workload from the synthetic dataset stand-ins,
+runs the methods under comparison, and returns plain result rows; the
+``benchmarks/`` suite prints them in the paper's format and asserts the
+qualitative shape.  Scales are controlled by
+:class:`repro.experiments.common.ExperimentScale` (env var ``REPRO_SCALE``)
+so the same code runs as a quick smoke or a fuller sweep.
+"""
+
+from repro.experiments.common import ExperimentScale, build_summary_for_method, METHODS
+
+__all__ = ["ExperimentScale", "build_summary_for_method", "METHODS"]

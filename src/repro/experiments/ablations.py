@@ -1,0 +1,104 @@
+"""Ablations the paper calls out in Sect. III.
+
+* **Merge criterion** (Sect. III-B, online appendix): the relative cost
+  reduction (Eq. 11) vs the absolute reduction (Eq. 10).  The paper argues
+  the absolute criterion myopically merges distant, dissimilar nodes in
+  personalized settings; queries from the relative variant's summaries
+  should be at least as accurate.
+* **Threshold schedule** (Sect. III-G): PeGaSus' adaptive θ vs SSumM's
+  fixed ``1/(1+t)`` schedule, with everything else equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
+from repro.eval import evaluate_query_accuracy, sample_query_nodes
+from repro.experiments.common import ExperimentScale
+from repro.graph import load_dataset
+
+
+@dataclass
+class AblationRow:
+    """One (dataset, variant) comparison cell."""
+
+    dataset: str
+    variant: str
+    ratio: float
+    smape_rwr: float
+    spearman_rwr: float
+    personalized_error: float
+
+
+def _evaluate(graph, queries, summary, weights) -> tuple:
+    accuracy = evaluate_query_accuracy(graph, summary, queries, query_types=("rwr",))
+    return (
+        accuracy["rwr"].smape,
+        accuracy["rwr"].spearman,
+        personalized_error(summary, weights),
+    )
+
+
+def run_cost_criterion(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida"),
+    ratio: float = 0.5,
+    alpha: float = 1.5,
+    scale: "ExperimentScale | None" = None,
+) -> List[AblationRow]:
+    """Relative (Eq. 11) vs absolute (Eq. 10) merge criterion."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[AblationRow] = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
+        weights = PersonalizedWeights(graph, queries, alpha=alpha)
+        for objective in ("relative", "absolute"):
+            config = PegasusConfig(
+                alpha=alpha, objective=objective, t_max=scale.t_max, seed=scale.seed
+            )
+            summary = summarize(
+                graph, compression_ratio=ratio, weights=weights, config=config
+            ).summary
+            smape, spearman, error = _evaluate(graph, queries, summary, weights)
+            rows.append(AblationRow(name, objective, ratio, smape, spearman, error))
+    return rows
+
+
+def run_threshold_schedule(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida"),
+    ratio: float = 0.5,
+    alpha: float = 1.25,
+    scale: "ExperimentScale | None" = None,
+) -> List[AblationRow]:
+    """Adaptive θ (PeGaSus) vs fixed 1/(1+t) schedule (SSumM)."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[AblationRow] = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
+        weights = PersonalizedWeights(graph, queries, alpha=alpha)
+        for threshold in ("adaptive", "fixed"):
+            config = PegasusConfig(
+                alpha=alpha, threshold=threshold, t_max=scale.t_max, seed=scale.seed
+            )
+            summary = summarize(
+                graph, compression_ratio=ratio, weights=weights, config=config
+            ).summary
+            smape, spearman, error = _evaluate(graph, queries, summary, weights)
+            rows.append(AblationRow(name, threshold, ratio, smape, spearman, error))
+    return rows
+
+
+def mean_by_variant(rows: Sequence[AblationRow], metric: str) -> dict:
+    """Average one metric per variant."""
+    result = {}
+    for variant in sorted({row.variant for row in rows}):
+        values = [getattr(row, metric) for row in rows if row.variant == variant]
+        result[variant] = float(np.mean(values))
+    return result

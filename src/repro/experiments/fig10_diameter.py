@@ -1,0 +1,99 @@
+"""Fig. 10 — the best-performing α vs the effective diameter.
+
+Protocol (Sect. V-E): Watts–Strogatz graphs of fixed size whose rewiring
+probability sweeps the 90-percentile effective diameter across an order of
+magnitude; targets/queries are 100 BFS-adjacent nodes from a random start
+(personalization to *distant* nodes is impossible on large-diameter
+graphs, so adjacent targets isolate the α effect).  The paper's finding:
+the best α *decreases* as the effective diameter grows, because large α
+understates the weight of the (many) far-away edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import PegasusConfig, summarize
+from repro.eval import evaluate_query_accuracy
+from repro.experiments.common import ExperimentScale
+from repro.graph import watts_strogatz
+from repro.graph.traversal import bfs_distances, effective_diameter
+
+REWIRE_PROBABILITIES = (0.0, 0.0001, 0.001, 0.01, 0.1)
+
+
+@dataclass
+class DiameterRow:
+    """One (p, α) cell behind Fig. 10."""
+
+    rewire_probability: float
+    effective_diameter: float
+    alpha: float
+    query_type: str
+    smape: float
+    spearman: float
+
+
+def _bfs_adjacent_targets(graph, count: int, rng: np.random.Generator) -> np.ndarray:
+    start = int(rng.integers(0, graph.num_nodes))
+    dist = bfs_distances(graph, start)
+    reachable = np.flatnonzero(dist >= 0)
+    order = reachable[np.argsort(dist[reachable], kind="stable")]
+    return order[: min(count, order.size)]
+
+
+def run(
+    *,
+    rewire_probabilities: Sequence[float] = REWIRE_PROBABILITIES,
+    alphas: Sequence[float] = (1.05, 1.25, 1.5, 1.75),
+    num_nodes: int = 400,
+    neighbors_each_side: int = 5,
+    num_targets: int = 40,
+    ratio: float = 0.3,
+    query_types: Sequence[str] = ("rwr", "hop"),
+    scale: "ExperimentScale | None" = None,
+) -> List[DiameterRow]:
+    """Sweep (rewiring probability × α); returns all accuracy cells."""
+    scale = scale or ExperimentScale.from_env()
+    rng = np.random.default_rng(scale.seed)
+    rows: List[DiameterRow] = []
+    for p in rewire_probabilities:
+        graph = watts_strogatz(num_nodes, neighbors_each_side, p, seed=scale.seed)
+        diameter = effective_diameter(graph, seed=scale.seed)
+        targets = _bfs_adjacent_targets(graph, num_targets, rng)
+        queries = targets[: scale.num_queries]
+        for alpha in alphas:
+            config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+            summary = summarize(
+                graph, targets=targets, compression_ratio=ratio, config=config
+            ).summary
+            accuracy = evaluate_query_accuracy(
+                graph, summary, queries, query_types=tuple(query_types)
+            )
+            for qt, result in accuracy.items():
+                rows.append(
+                    DiameterRow(
+                        rewire_probability=p,
+                        effective_diameter=diameter,
+                        alpha=alpha,
+                        query_type=qt,
+                        smape=result.smape,
+                        spearman=result.spearman,
+                    )
+                )
+    return rows
+
+
+def best_alpha_per_probability(rows: Sequence[DiameterRow], *, query_type: str) -> List[tuple]:
+    """(effective diameter, best α) pairs — the Fig. 10 scatter."""
+    pairs = []
+    for p in sorted({row.rewire_probability for row in rows}):
+        candidates = [r for r in rows if r.rewire_probability == p and r.query_type == query_type]
+        if not candidates:
+            continue
+        best = min(candidates, key=lambda r: r.smape)
+        pairs.append((best.effective_diameter, best.alpha))
+    return pairs

@@ -1,0 +1,92 @@
+"""Fig. 5 — effectiveness of personalization.
+
+Protocol (Sect. V-B): sample ``|T|`` target nodes uniformly at random,
+summarize at compression ratio 0.5 with degree of personalization ``α``,
+and measure the personalized error at each of three test nodes ``u ∈ T``
+(Eq. 1 with ``T = {u}``) relative to the same measure on the
+non-personalized summary (``T = V``).  Relative error < 1 means the
+summary is focused on the targets; it shrinks as ``|T|`` shrinks and ``α``
+grows.  SSumM serves as the non-personalized reference method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines import ssumm_summarize
+from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
+from repro.experiments.common import ExperimentScale
+from repro.graph import load_dataset
+
+#: |T| specifications of Fig. 5: one node, then fractions of |V|.
+TARGET_SPECS = (("1", None), ("0.01|V|", 0.01), ("0.1|V|", 0.1), ("0.3|V|", 0.3), ("0.5|V|", 0.5), ("|V|", 1.0))
+
+
+@dataclass
+class EffectivenessRow:
+    """One bar of Fig. 5."""
+
+    dataset: str
+    alpha: float
+    target_spec: str
+    relative_error: float
+    ssumm_relative_error: float
+
+
+def _target_count(spec_fraction: "float | None", num_nodes: int) -> int:
+    if spec_fraction is None:
+        return 1
+    return max(int(round(spec_fraction * num_nodes)), 1)
+
+
+def run(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp"),
+    alphas: Sequence[float] = (1.25, 1.5, 1.75),
+    target_specs=TARGET_SPECS,
+    ratio: float = 0.5,
+    num_test_nodes: int = 3,
+    scale: "ExperimentScale | None" = None,
+) -> List[EffectivenessRow]:
+    """Run the Fig. 5 sweep and return one row per (dataset, α, |T|)."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[EffectivenessRow] = []
+    rng = np.random.default_rng(scale.seed)
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        reference = summarize(
+            graph, compression_ratio=ratio, config=PegasusConfig(t_max=scale.t_max, seed=scale.seed)
+        ).summary
+        ssumm_reference = ssumm_summarize(
+            graph, compression_ratio=ratio, t_max=scale.t_max, seed=scale.seed
+        ).summary
+        for alpha in alphas:
+            for spec_name, spec_fraction in target_specs:
+                count = _target_count(spec_fraction, graph.num_nodes)
+                targets = rng.choice(graph.num_nodes, size=count, replace=False)
+                config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+                personalized = summarize(
+                    graph, targets=targets, compression_ratio=ratio, config=config
+                ).summary
+                test_nodes = targets[: min(num_test_nodes, targets.size)]
+                ratios, ssumm_ratios = [], []
+                for u in test_nodes:
+                    eval_weights = PersonalizedWeights(graph, [int(u)], alpha=alpha)
+                    denom = personalized_error(reference, eval_weights)
+                    if denom == 0.0:
+                        continue
+                    ratios.append(personalized_error(personalized, eval_weights) / denom)
+                    ssumm_ratios.append(personalized_error(ssumm_reference, eval_weights) / denom)
+                rows.append(
+                    EffectivenessRow(
+                        dataset=name,
+                        alpha=alpha,
+                        target_spec=spec_name,
+                        relative_error=float(np.mean(ratios)) if ratios else 1.0,
+                        ssumm_relative_error=float(np.mean(ssumm_ratios)) if ssumm_ratios else 1.0,
+                    )
+                )
+    return rows

@@ -1,0 +1,99 @@
+"""Fig. 7 (and the PHP companion from the online appendix) — query accuracy
+of PeGaSus against the non-personalized state of the art.
+
+Protocol (Sect. V-D): sample 100 query nodes uniformly at random, use them
+as the target set for PeGaSus, summarize with every method across the
+compression-ratio sweep, and report SMAPE and Spearman correlation of the
+approximate answers per query type.  Baselines that exceed their time
+budgets on larger datasets are reported as ``o.o.t`` exactly like the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.eval import evaluate_query_accuracy, sample_query_nodes
+from repro.experiments.common import ExperimentScale, MethodSkipped, METHODS, build_summary_for_method
+from repro.graph import load_dataset
+
+
+@dataclass
+class AccuracyRow:
+    """One point of one curve in Fig. 7."""
+
+    dataset: str
+    method: str
+    requested_ratio: float
+    achieved_ratio: float
+    query_type: str
+    smape: float
+    spearman: float
+    skipped: bool = False
+
+
+def run(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp"),
+    ratios: Sequence[float] = (0.3, 0.5, 0.7),
+    methods: Sequence[str] = METHODS,
+    query_types: Sequence[str] = ("rwr", "hop", "php"),
+    alpha: float = 1.25,
+    scale: "ExperimentScale | None" = None,
+) -> List[AccuracyRow]:
+    """Run the accuracy sweep; returns one row per
+    (dataset, method, ratio, query type), with ``skipped=True`` rows for
+    o.o.t baselines."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[AccuracyRow] = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
+        for ratio in ratios:
+            for method in methods:
+                try:
+                    summary, achieved, _elapsed = build_summary_for_method(
+                        method,
+                        graph,
+                        ratio,
+                        targets=queries,
+                        alpha=alpha,
+                        t_max=scale.t_max,
+                        seed=scale.seed,
+                    )
+                except MethodSkipped:
+                    rows.extend(
+                        AccuracyRow(name, method, ratio, float("nan"), qt, float("nan"), float("nan"), True)
+                        for qt in query_types
+                    )
+                    continue
+                accuracy = evaluate_query_accuracy(
+                    graph, summary, queries, query_types=tuple(query_types)
+                )
+                for query_type, result in accuracy.items():
+                    rows.append(
+                        AccuracyRow(
+                            dataset=name,
+                            method=method,
+                            requested_ratio=ratio,
+                            achieved_ratio=achieved,
+                            query_type=query_type,
+                            smape=result.smape,
+                            spearman=result.spearman,
+                        )
+                    )
+    return rows
+
+
+def mean_over(rows: Sequence[AccuracyRow], *, method: str, query_type: str, metric: str) -> float:
+    """Average a metric over all non-skipped rows of one method/query type."""
+    values = [
+        getattr(row, metric)
+        for row in rows
+        if row.method == method and row.query_type == query_type and not row.skipped
+    ]
+    if not values:
+        raise ReproError(f"no rows for method={method}, query_type={query_type}")
+    return sum(values) / len(values)

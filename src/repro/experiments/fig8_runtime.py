@@ -1,0 +1,78 @@
+"""Fig. 8 — summarization time and query time per method.
+
+Protocol (Sect. V-D): at compression ratio 0.5, time (a) summarization per
+dataset per method, and (b) BFS (HOP) and RWR query processing on the
+resulting summaries.  The paper's point is that PeGaSus summaries are
+*sparse* (selective superedge addition), so queries run fast, while the
+dense weighted summaries of SAAGs/S2L/k-Grass are slow to query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.eval import sample_query_nodes
+from repro.experiments.common import ExperimentScale, MethodSkipped, METHODS, build_summary_for_method
+from repro.graph import load_dataset
+from repro.queries import ReconstructedOperator, rwr_scores
+from repro.queries.hop import hop_distances_reference
+
+
+@dataclass
+class RuntimeRow:
+    """One (dataset, method) group of Fig. 8's three panels."""
+
+    dataset: str
+    method: str
+    summarize_seconds: float
+    bfs_query_seconds: float
+    rwr_query_seconds: float
+    superedges: int
+    skipped: bool = False
+
+
+def run(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp"),
+    methods: Sequence[str] = METHODS,
+    ratio: float = 0.5,
+    scale: "ExperimentScale | None" = None,
+) -> List[RuntimeRow]:
+    """Time summarization plus HOP/RWR query answering per method."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[RuntimeRow] = []
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
+        for method in methods:
+            try:
+                summary, _achieved, build_time = build_summary_for_method(
+                    method, graph, ratio, targets=queries, t_max=scale.t_max, seed=scale.seed
+                )
+            except MethodSkipped:
+                rows.append(RuntimeRow(name, method, float("nan"), float("nan"), float("nan"), 0, True))
+                continue
+            # Fig. 8(b) times the getNeighbors-driven BFS (Alg. 5): dense
+            # weighted summaries materialize huge neighborhoods and pay it.
+            started = time.perf_counter()
+            for q in queries:
+                hop_distances_reference(summary, int(q))
+            bfs_time = time.perf_counter() - started
+            operator = ReconstructedOperator(summary)
+            started = time.perf_counter()
+            for q in queries:
+                rwr_scores(summary, int(q), operator=operator)
+            rwr_time = time.perf_counter() - started
+            rows.append(
+                RuntimeRow(
+                    dataset=name,
+                    method=method,
+                    summarize_seconds=build_time,
+                    bfs_query_seconds=bfs_time,
+                    rwr_query_seconds=rwr_time,
+                    superedges=summary.num_superedges,
+                )
+            )
+    return rows

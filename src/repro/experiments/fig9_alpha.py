@@ -1,0 +1,84 @@
+"""Fig. 9 — effect of the degree of personalization α.
+
+Protocol (Sect. V-E): 100 uniformly-sampled query nodes double as the
+target set; for each α the graph is summarized at a fixed ratio and the
+three node-similarity queries are answered from the summary.  Accuracy
+peaks at a *moderate* α (1.25–1.5): too small ignores the targets, too
+large throws away global structure the queries still need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import PegasusConfig, summarize
+from repro.eval import evaluate_query_accuracy, sample_query_nodes
+from repro.experiments.common import ExperimentScale
+from repro.graph import load_dataset
+
+ALPHAS = (1.0, 1.05, 1.25, 1.5, 1.75, 2.0)
+
+
+@dataclass
+class AlphaRow:
+    """One bar of Fig. 9, already averaged over datasets."""
+
+    alpha: float
+    ratio: float
+    query_type: str
+    smape: float
+    spearman: float
+
+
+def run(
+    *,
+    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp"),
+    alphas: Sequence[float] = ALPHAS,
+    ratios: Sequence[float] = (0.3, 0.5),
+    query_types: Sequence[str] = ("rwr", "hop", "php"),
+    scale: "ExperimentScale | None" = None,
+) -> List[AlphaRow]:
+    """Sweep α; rows are averaged over the datasets as in Fig. 9."""
+    scale = scale or ExperimentScale.from_env()
+    rows: List[AlphaRow] = []
+    per_dataset = {}
+    for name in datasets:
+        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
+        per_dataset[name] = (graph, queries)
+    for ratio in ratios:
+        for alpha in alphas:
+            metrics = {qt: ([], []) for qt in query_types}
+            for name, (graph, queries) in per_dataset.items():
+                config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+                summary = summarize(
+                    graph, targets=queries, compression_ratio=ratio, config=config
+                ).summary
+                accuracy = evaluate_query_accuracy(
+                    graph, summary, queries, query_types=tuple(query_types)
+                )
+                for qt, result in accuracy.items():
+                    metrics[qt][0].append(result.smape)
+                    metrics[qt][1].append(result.spearman)
+            for qt, (smapes, spearmans) in metrics.items():
+                rows.append(
+                    AlphaRow(
+                        alpha=alpha,
+                        ratio=ratio,
+                        query_type=qt,
+                        smape=float(np.mean(smapes)),
+                        spearman=float(np.mean(spearmans)),
+                    )
+                )
+    return rows
+
+
+def best_alpha(rows: Sequence[AlphaRow], *, ratio: float, query_type: str, metric: str = "smape") -> float:
+    """The α with the best averaged accuracy at one ratio/query type."""
+    candidates = [r for r in rows if r.ratio == ratio and r.query_type == query_type]
+    if metric == "smape":
+        return min(candidates, key=lambda r: r.smape).alpha
+    return max(candidates, key=lambda r: r.spearman).alpha

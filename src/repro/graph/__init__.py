@@ -1,0 +1,44 @@
+"""Graph substrate: CSR graphs, I/O, traversals, generators, and datasets.
+
+This subpackage is the foundation every other layer builds on.  The central
+type is :class:`repro.graph.Graph`, an immutable undirected simple graph in
+compressed-sparse-row form.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.graph.traversal import (
+    bfs_distances,
+    connected_components,
+    effective_diameter,
+    largest_connected_component,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    connected_caveman,
+    erdos_renyi,
+    grid_2d,
+    planted_partition,
+    watts_strogatz,
+)
+from repro.graph.datasets import Dataset, dataset_names, load_dataset, table2_rows
+
+__all__ = [
+    "Graph",
+    "read_edgelist",
+    "write_edgelist",
+    "bfs_distances",
+    "connected_components",
+    "effective_diameter",
+    "largest_connected_component",
+    "barabasi_albert",
+    "connected_caveman",
+    "erdos_renyi",
+    "grid_2d",
+    "planted_partition",
+    "watts_strogatz",
+    "Dataset",
+    "dataset_names",
+    "load_dataset",
+    "table2_rows",
+]

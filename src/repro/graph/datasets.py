@@ -1,0 +1,176 @@
+"""Synthetic stand-ins for the paper's datasets (Table II).
+
+The paper evaluates on six real-world graphs plus one synthetic
+Barabási–Albert graph:
+
+===============  ==========  ============  =============
+Name             # Nodes     # Edges       Summary
+===============  ==========  ============  =============
+LastFM-Asia (LA) 7,624       27,806        Social
+Caida (CA)       26,475      53,381        Internet
+DBLP (DB)        317,080     1,049,866     Collaboration
+Amazon0601 (A6)  403,364     2,443,311     Co-purchase
+Skitter (SK)     1,694,616   11,094,209    Internet
+Wikipedia (WK)   3,174,745   103,310,688   Hyperlinks
+Synthetic (ST)   10,000,000  1,000,000,000 BA Model
+===============  ==========  ============  =============
+
+Those files are not available offline, so each dataset is replaced by a
+deterministic synthetic analogue from the same structural family (DESIGN.md
+Sect. 3).  Absolute sizes are scaled to laptop-friendly defaults; the
+``scale`` parameter grows or shrinks them while keeping average degree and
+family parameters fixed, so experiment *shapes* (who wins at which
+compression ratio, scaling slopes) carry over.
+
+Every stand-in is restricted to its largest connected component, exactly as
+the paper preprocesses its data (Sect. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro._util import ensure_rng
+from repro.errors import GraphFormatError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import largest_connected_component
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named graph with its provenance.
+
+    Attributes
+    ----------
+    name:
+        Short key, e.g. ``"lastfm_asia"``.
+    display_name:
+        The paper's label, e.g. ``"LastFM-Asia (LA)"``.
+    kind:
+        The family column of Table II (Social, Internet, ...).
+    graph:
+        The loaded (synthetic, LCC-restricted) graph.
+    """
+
+    name: str
+    display_name: str
+    kind: str
+    graph: Graph
+
+
+def _lastfm_asia(scale: float, rng: np.random.Generator) -> Graph:
+    """Social network: strong communities + hubs (SBM with BA overlay)."""
+    n = max(int(1200 * scale), 60)
+    base = generators.planted_partition(
+        n, max(n // 75, 4), avg_degree_in=6.0, avg_degree_out=0.6, seed=rng
+    )
+    hubs = generators.barabasi_albert(n, 1, seed=rng)
+    return _union(base, hubs)
+
+
+def _caida(scale: float, rng: np.random.Generator) -> Graph:
+    """Internet AS topology: tree-like with a dense core (BA, m=2)."""
+    n = max(int(1600 * scale), 60)
+    return generators.barabasi_albert(n, 2, seed=rng)
+
+
+def _dblp(scale: float, rng: np.random.Generator) -> Graph:
+    """Collaboration network: many small cliques loosely connected."""
+    n_target = max(int(1800 * scale), 80)
+    clique = 6
+    cliques = max(n_target // clique, 4)
+    base = generators.connected_caveman(cliques, clique)
+    extra = generators.erdos_renyi(base.num_nodes, base.num_nodes // 2, seed=rng)
+    return _union(base, extra)
+
+
+def _amazon0601(scale: float, rng: np.random.Generator) -> Graph:
+    """Co-purchase network: moderate-degree SBM with local clustering."""
+    n = max(int(2200 * scale), 80)
+    return generators.planted_partition(
+        n, max(n // 40, 6), avg_degree_in=8.0, avg_degree_out=1.5, seed=rng
+    )
+
+
+def _skitter(scale: float, rng: np.random.Generator) -> Graph:
+    """Traceroute internet topology: heavier-tailed BA (m=4)."""
+    n = max(int(2600 * scale), 80)
+    return generators.barabasi_albert(n, 4, seed=rng)
+
+
+def _wikipedia(scale: float, rng: np.random.Generator) -> Graph:
+    """Hyperlink network: dense, small effective diameter (BA, m=8)."""
+    n = max(int(3000 * scale), 100)
+    return generators.barabasi_albert(n, 8, seed=rng)
+
+
+def _synthetic_ba(scale: float, rng: np.random.Generator) -> Graph:
+    """The paper's Fig. 6 synthetic graph family (BA, avg degree ~100 scaled to ~10)."""
+    n = max(int(4000 * scale), 120)
+    return generators.barabasi_albert(n, 5, seed=rng)
+
+
+def _union(a: Graph, b: Graph) -> Graph:
+    """Union of two graphs on the same node set."""
+    if a.num_nodes != b.num_nodes:
+        raise GraphFormatError("graph union requires identical node sets")
+    edges = [e for e in (a.edge_array(), b.edge_array()) if e.size]
+    if not edges:
+        return Graph.empty(a.num_nodes)
+    return Graph.from_edges(a.num_nodes, np.vstack(edges), validate=False)
+
+
+_BUILDERS: Dict[str, Tuple[str, str, Callable[[float, np.random.Generator], Graph]]] = {
+    "lastfm_asia": ("LastFM-Asia (LA)", "Social", _lastfm_asia),
+    "caida": ("Caida (CA)", "Internet", _caida),
+    "dblp": ("DBLP (DB)", "Collaboration", _dblp),
+    "amazon0601": ("Amazon0601 (A6)", "Co-purchase", _amazon0601),
+    "skitter": ("Skitter (SK)", "Internet", _skitter),
+    "wikipedia": ("Wikipedia (WK)", "Hyperlinks", _wikipedia),
+    "synthetic_ba": ("Synthetic (ST)", "BA Model", _synthetic_ba),
+}
+
+
+def dataset_names(*, include_synthetic: bool = True) -> List[str]:
+    """Names accepted by :func:`load_dataset`, in Table II order."""
+    names = list(_BUILDERS)
+    if not include_synthetic:
+        names.remove("synthetic_ba")
+    return names
+
+
+def load_dataset(name: str, *, scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Build the synthetic stand-in for dataset *name*.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    scale:
+        Multiplies the default node count (default sizes are laptop-scale;
+        the paper's originals are listed in the module docstring).
+    seed:
+        Seed for the deterministic construction.
+    """
+    if name not in _BUILDERS:
+        raise GraphFormatError(f"unknown dataset {name!r}; choose from {sorted(_BUILDERS)}")
+    if scale <= 0:
+        raise GraphFormatError(f"scale must be positive, got {scale}")
+    display, kind, builder = _BUILDERS[name]
+    rng = ensure_rng(seed)
+    graph = builder(scale, rng)
+    graph, _ = largest_connected_component(graph)
+    return Dataset(name=name, display_name=display, kind=kind, graph=graph)
+
+
+def table2_rows(*, scale: float = 1.0, seed: int = 0) -> List[Tuple[str, int, int, str]]:
+    """Rows of Table II for the stand-in datasets: (name, #nodes, #edges, kind)."""
+    rows = []
+    for name in dataset_names():
+        ds = load_dataset(name, scale=scale, seed=seed)
+        rows.append((ds.display_name, ds.graph.num_nodes, ds.graph.num_edges, ds.kind))
+    return rows

@@ -1,0 +1,215 @@
+"""Random-graph generators used as dataset stand-ins and scalability drivers.
+
+The paper's evaluation needs three things from its graphs:
+
+* heavy-tailed degree distributions with community structure (the six
+  real-world datasets of Table II) — covered by :func:`barabasi_albert`,
+  :func:`planted_partition`, and :func:`connected_caveman`;
+* a billion-edge Barabási–Albert graph for the scalability study (Fig. 6)
+  — :func:`barabasi_albert` at whatever scale the machine affords;
+* Watts–Strogatz graphs whose rewiring probability controls the effective
+  diameter (Fig. 10) — :func:`watts_strogatz`.
+
+All generators are deterministic given a seed and return
+:class:`repro.graph.Graph` objects (simple, undirected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import ensure_rng
+from repro.graph.graph import Graph
+
+
+def erdos_renyi(num_nodes: int, num_edges: int, *, seed: "int | np.random.Generator | None" = None) -> Graph:
+    """A G(n, m)-style random graph with ~*num_edges* distinct edges.
+
+    Edges are sampled uniformly with rejection of duplicates/self-loops, so
+    the realized edge count equals ``num_edges`` whenever that many distinct
+    pairs exist.
+    """
+    rng = ensure_rng(seed)
+    if num_nodes < 2 or num_edges <= 0:
+        return Graph.empty(max(num_nodes, 0))
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    num_edges = min(num_edges, max_edges)
+    chosen: set = set()
+    # Oversample in rounds; expected #rounds is tiny for sparse graphs.
+    while len(chosen) < num_edges:
+        need = num_edges - len(chosen)
+        u = rng.integers(0, num_nodes, size=2 * need + 8)
+        v = rng.integers(0, num_nodes, size=2 * need + 8)
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        for a, b in zip(lo.tolist(), hi.tolist()):
+            if a != b:
+                chosen.add((a, b))
+                if len(chosen) == num_edges:
+                    break
+    return Graph.from_edges(num_nodes, np.asarray(sorted(chosen), dtype=np.int64), validate=False)
+
+
+def barabasi_albert(num_nodes: int, edges_per_node: int, *, seed: "int | np.random.Generator | None" = None) -> Graph:
+    """Barabási–Albert preferential attachment (the Fig. 6 synthetic model).
+
+    Each arriving node attaches to ``edges_per_node`` distinct existing
+    nodes chosen proportionally to degree, via the standard repeated-nodes
+    urn.  The result is connected with a power-law degree tail.
+    """
+    rng = ensure_rng(seed)
+    m = edges_per_node
+    if num_nodes <= 0:
+        return Graph.empty(0)
+    if m < 1 or num_nodes <= m:
+        return erdos_renyi(num_nodes, num_nodes * (num_nodes - 1) // 2, seed=rng)
+    sources = []
+    targets = []
+    # Urn of node ids, one entry per degree unit; seeded with a star on m+1
+    # nodes so early attachment probabilities are well defined.
+    urn = []
+    for v in range(m):
+        sources.append(m)
+        targets.append(v)
+        urn.extend((m, v))
+    for new in range(m + 1, num_nodes):
+        chosen: set = set()
+        while len(chosen) < m:
+            pick = urn[int(rng.integers(0, len(urn)))]
+            chosen.add(pick)
+        for old in chosen:
+            sources.append(new)
+            targets.append(old)
+            urn.extend((new, old))
+    edges = np.column_stack([np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)])
+    return Graph.from_edges(num_nodes, edges, validate=False)
+
+
+def watts_strogatz(
+    num_nodes: int,
+    neighbors_each_side: int,
+    rewire_probability: float,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph (used for the Fig. 10 diameter sweep).
+
+    Starts from a ring lattice where every node connects to
+    ``neighbors_each_side`` nodes on each side (so ``n * k`` edges total with
+    ``k = neighbors_each_side``) and rewires each edge's far endpoint with
+    probability *rewire_probability*.  ``p = 0`` keeps the lattice (large
+    diameter); ``p = 0.1`` already collapses it to a small world.
+    """
+    rng = ensure_rng(seed)
+    n, k = num_nodes, neighbors_each_side
+    if n <= 0:
+        return Graph.empty(0)
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError(f"rewire_probability must be in [0, 1], got {rewire_probability}")
+    if 2 * k >= n:
+        raise ValueError("neighbors_each_side too large for the ring size")
+    existing: set = set()
+    for offset in range(1, k + 1):
+        for u in range(n):
+            v = (u + offset) % n
+            existing.add((min(u, v), max(u, v)))
+    edges = sorted(existing)
+    rewired: set = set(edges)
+    for (u, v) in edges:
+        if rng.random() >= rewire_probability:
+            continue
+        rewired.discard((u, v))
+        # Try a handful of times to find a free endpoint, else keep the edge.
+        for _ in range(8):
+            w = int(rng.integers(0, n))
+            cand = (min(u, w), max(u, w))
+            if w != u and cand not in rewired:
+                rewired.add(cand)
+                break
+        else:
+            rewired.add((u, v))
+    return Graph.from_edges(n, np.asarray(sorted(rewired), dtype=np.int64), validate=False)
+
+
+def planted_partition(
+    num_nodes: int,
+    num_communities: int,
+    *,
+    avg_degree_in: float,
+    avg_degree_out: float,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """A planted-partition (SBM) graph: dense communities, sparse cross links.
+
+    Community sizes are equal up to rounding; the expected within- and
+    cross-community degrees are ``avg_degree_in`` / ``avg_degree_out``.
+    This is the stand-in family for social and collaboration networks,
+    whose community structure is what personalized summarization exploits.
+    """
+    rng = ensure_rng(seed)
+    if num_nodes <= 0:
+        return Graph.empty(0)
+    if num_communities < 1:
+        raise ValueError("num_communities must be >= 1")
+    membership = np.sort(rng.permutation(np.arange(num_nodes) % num_communities))
+    # membership is sorted community labels; nodes 0..n-1 get labels in order.
+    edges = []
+    community_nodes = [np.flatnonzero(membership == c) for c in range(num_communities)]
+    for nodes in community_nodes:
+        size = nodes.size
+        if size >= 2:
+            want = int(round(avg_degree_in * size / 2.0))
+            sub = erdos_renyi(size, want, seed=rng)
+            local = sub.edge_array()
+            if local.size:
+                edges.append(nodes[local])
+    want_cross = int(round(avg_degree_out * num_nodes / 2.0))
+    if want_cross > 0 and num_communities > 1:
+        u = rng.integers(0, num_nodes, size=want_cross * 2)
+        v = rng.integers(0, num_nodes, size=want_cross * 2)
+        mask = membership[u] != membership[v]
+        cross = np.column_stack([u[mask], v[mask]])[:want_cross]
+        if cross.size:
+            edges.append(cross)
+    if not edges:
+        return Graph.empty(num_nodes)
+    return Graph.from_edges(num_nodes, np.vstack(edges), validate=False)
+
+
+def grid_2d(rows: int, cols: int, *, diagonals: bool = False) -> Graph:
+    """A rows × cols grid graph — the road-network stand-in.
+
+    Node ``(r, c)`` has id ``r * cols + c``.  With ``diagonals=True`` the
+    eight-neighborhood is used instead of the four-neighborhood.
+    """
+    if rows <= 0 or cols <= 0:
+        return Graph.empty(0)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    edges = []
+    edges.append(np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()]))
+    edges.append(np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()]))
+    if diagonals:
+        edges.append(np.column_stack([ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()]))
+        edges.append(np.column_stack([ids[:-1, 1:].ravel(), ids[1:, :-1].ravel()]))
+    return Graph.from_edges(rows * cols, np.vstack(edges), validate=False)
+
+
+def connected_caveman(num_cliques: int, clique_size: int) -> Graph:
+    """Connected caveman graph: a ring of cliques sharing one rewired edge.
+
+    A classic high-clustering, high-diameter family; summarizers compress
+    each clique to nearly a single supernode with a self-loop, which makes
+    this the sharpest correctness probe for the cost model.
+    """
+    if num_cliques <= 0 or clique_size < 2:
+        return Graph.empty(max(num_cliques * max(clique_size, 0), 0))
+    edges = []
+    n = num_cliques * clique_size
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        # Connect to the next clique by relinking one within-clique edge.
+        nxt = ((c + 1) % num_cliques) * clique_size
+        edges.append((base, nxt + 1 if clique_size > 1 else nxt))
+    return Graph.from_edges(n, np.asarray(edges, dtype=np.int64), validate=False)

@@ -1,0 +1,221 @@
+"""The core graph type: an immutable undirected simple graph in CSR form.
+
+The paper (Sect. II-A) assumes an undirected graph without self-loops whose
+nodes are ``{0, 1, ..., |V|-1}``.  :class:`Graph` enforces exactly that:
+
+* edges are stored once per direction in a compressed-sparse-row structure
+  (``indptr``/``indices``), with each adjacency row sorted so membership
+  tests are binary searches;
+* self-loops are dropped and duplicate edges collapsed at construction;
+* the object is immutable — algorithms that "modify" graphs (summarizers,
+  partitioners) build their own overlay structures instead.
+
+The input-graph size in bits (Eq. 4 of the paper) is exposed as
+:meth:`Graph.size_in_bits`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro._util import log2_capped
+from repro.errors import GraphFormatError
+
+
+class Graph:
+    """An immutable undirected simple graph on nodes ``0..num_nodes-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``|V|``.  Isolated nodes are allowed.
+    indptr, indices:
+        CSR adjacency: the neighbors of node ``u`` are
+        ``indices[indptr[u]:indptr[u+1]]``, sorted ascending.  Each
+        undirected edge appears in both endpoint rows.
+
+    Most callers should use :meth:`Graph.from_edges` instead of the raw
+    constructor; the constructor validates but does not repair its input.
+    """
+
+    __slots__ = ("_num_nodes", "_indptr", "_indices")
+
+    def __init__(self, num_nodes: int, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if num_nodes < 0:
+            raise GraphFormatError(f"num_nodes must be >= 0, got {num_nodes}")
+        if indptr.shape != (num_nodes + 1,):
+            raise GraphFormatError(
+                f"indptr must have length num_nodes+1={num_nodes + 1}, got {indptr.shape}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise GraphFormatError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_nodes):
+            raise GraphFormatError("indices contain out-of-range node ids")
+        self._num_nodes = int(num_nodes)
+        self._indptr = indptr
+        self._indices = indices
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: "Iterable[Tuple[int, int]] | np.ndarray",
+        *,
+        validate: bool = True,
+    ) -> "Graph":
+        """Build a graph from an iterable (or ``(m, 2)`` array) of edges.
+
+        Self-loops are discarded and duplicate/reversed edges collapsed, so
+        any edge soup yields a simple undirected graph.
+        """
+        arr = np.asarray(edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphFormatError(f"edges must be of shape (m, 2), got {arr.shape}")
+        if validate and arr.size and (arr.min() < 0 or arr.max() >= num_nodes):
+            raise GraphFormatError("edge endpoints out of range for num_nodes")
+        u = np.minimum(arr[:, 0], arr[:, 1])
+        v = np.maximum(arr[:, 0], arr[:, 1])
+        keep = u != v  # drop self-loops
+        u, v = u[keep], v[keep]
+        if u.size:
+            # Deduplicate via a packed key; num_nodes <= 2**31 keeps this exact.
+            key = u * np.int64(num_nodes) + v
+            _, unique_idx = np.unique(key, return_index=True)
+            u, v = u[unique_idx], v[unique_idx]
+        return cls._from_canonical_edges(num_nodes, u, v)
+
+    @classmethod
+    def _from_canonical_edges(cls, num_nodes: int, u: np.ndarray, v: np.ndarray) -> "Graph":
+        """Build CSR from deduplicated edges with ``u < v``."""
+        heads = np.concatenate([u, v])
+        tails = np.concatenate([v, u])
+        order = np.lexsort((tails, heads))
+        heads, tails = heads[order], tails[order]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, heads + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(num_nodes, indptr, tails)
+
+    @classmethod
+    def empty(cls, num_nodes: int = 0) -> "Graph":
+        """An edgeless graph on *num_nodes* nodes."""
+        return cls(num_nodes, np.zeros(num_nodes + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._indices.shape[0] // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array (read-only view)."""
+        return self._indices
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted array of neighbors of node *u* (read-only view)."""
+        if not 0 <= u < self._num_nodes:
+            raise GraphFormatError(f"node {u} out of range [0, {self._num_nodes})")
+        return self._indices[self._indptr[u] : self._indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        """Degree of node *u*."""
+        if not 0 <= u < self._num_nodes:
+            raise GraphFormatError(f"node {u} out of range [0, {self._num_nodes})")
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees."""
+        return np.diff(self._indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists (binary search)."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.shape[0] and row[pos] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._num_nodes):
+            row = self.neighbors(u)
+            for v in row[np.searchsorted(row, u, side="right") :]:
+                yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(|E|, 2)`` array with ``u < v``."""
+        heads = np.repeat(np.arange(self._num_nodes, dtype=np.int64), self.degrees())
+        mask = heads < self._indices
+        return np.column_stack([heads[mask], self._indices[mask]])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: "Iterable[int] | np.ndarray") -> Tuple["Graph", np.ndarray]:
+        """Subgraph induced by *nodes*, with nodes relabeled to ``0..n'-1``.
+
+        Returns ``(subgraph, originals)`` where ``originals[new_id]`` is the
+        id the node had in ``self``.  Node order is preserved (sorted by
+        original id).
+        """
+        keep = np.unique(np.asarray(list(nodes) if not isinstance(nodes, np.ndarray) else nodes, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self._num_nodes):
+            raise GraphFormatError("induced_subgraph: node ids out of range")
+        new_id = np.full(self._num_nodes, -1, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size, dtype=np.int64)
+        edges = self.edge_array()
+        if edges.size:
+            mask = (new_id[edges[:, 0]] >= 0) & (new_id[edges[:, 1]] >= 0)
+            edges = new_id[edges[mask]]
+        return Graph.from_edges(keep.size, edges, validate=False), keep
+
+    # ------------------------------------------------------------------
+    # size model (Eq. 4)
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> float:
+        """Input-graph size ``2 |E| log2 |V|`` in bits (Eq. 4 of the paper)."""
+        if self._num_nodes == 0:
+            return 0.0
+        return 2.0 * self.num_edges * log2_capped(self._num_nodes)
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(num_nodes={self._num_nodes}, num_edges={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # Graphs are immutable, allow set membership.
+        return hash((self._num_nodes, self._indices.tobytes()))

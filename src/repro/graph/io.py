@@ -1,0 +1,73 @@
+"""Plain-text edge-list I/O.
+
+The datasets in the paper (Table II) ship as whitespace-separated edge
+lists; this module reads and writes that format.  Nodes may carry arbitrary
+non-negative integer labels — :func:`read_edgelist` compacts them to
+``0..n-1`` and returns the relabeling so query results can be mapped back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def read_edgelist(
+    path: "str | os.PathLike[str]",
+    *,
+    delimiter: "str | None" = None,
+    relabel: bool = True,
+) -> Tuple[Graph, np.ndarray]:
+    """Read an undirected edge list from *path*.
+
+    Lines starting with ``#``, ``%`` or ``//`` are ignored, as are blank
+    lines.  Each remaining line must contain at least two integer fields;
+    extra fields (e.g. weights or timestamps) are ignored, since the paper's
+    formulation is unweighted.
+
+    Returns ``(graph, labels)`` where ``labels[i]`` is the original label of
+    node ``i``.  With ``relabel=False`` the labels must already be a dense
+    ``0..n-1`` range.
+    """
+    sources: List[int] = []
+    targets: List[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = stripped.split(delimiter)
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected two fields, got {stripped!r}")
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: non-integer node id in {stripped!r}") from exc
+    if not sources:
+        return Graph.empty(0), np.empty(0, dtype=np.int64)
+    raw = np.column_stack([np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)])
+    if raw.min() < 0:
+        raise GraphFormatError(f"{path}: negative node ids are not supported")
+    if relabel:
+        labels, compact = np.unique(raw, return_inverse=True)
+        edges = compact.reshape(raw.shape)
+        return Graph.from_edges(labels.size, edges, validate=False), labels
+    num_nodes = int(raw.max()) + 1
+    return Graph.from_edges(num_nodes, raw), np.arange(num_nodes, dtype=np.int64)
+
+
+def write_edgelist(graph: Graph, path: "str | os.PathLike[str]", *, header: bool = True) -> None:
+    """Write *graph* as a whitespace-separated edge list (one edge per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# undirected simple graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        for u, v in graph.edge_array():
+            handle.write(f"{u}\t{v}\n")

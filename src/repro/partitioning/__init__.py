@@ -1,0 +1,24 @@
+"""Graph partitioning substrates for the distributed application (Sect. IV).
+
+Alg. 3 partitions the node set with the Louvain method; the Fig. 12
+comparison distributes plain subgraphs produced by balanced partitioners
+(BLP and the SHP family).  All partitioners return a dense label array
+``assignment[u] ∈ 0..m-1``.
+"""
+
+from repro.partitioning.quality import balance, edge_cut, fanout, modularity, validate_partition
+from repro.partitioning.louvain import louvain_communities, louvain_partition
+from repro.partitioning.blp import blp_partition
+from repro.partitioning.shp import shp_partition
+
+__all__ = [
+    "balance",
+    "edge_cut",
+    "fanout",
+    "modularity",
+    "validate_partition",
+    "louvain_communities",
+    "louvain_partition",
+    "blp_partition",
+    "shp_partition",
+]

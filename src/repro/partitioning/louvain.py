@@ -1,0 +1,185 @@
+"""The Louvain method (Blondel et al., 2008) — Alg. 3's partitioner.
+
+Standard two-phase modularity optimization: a local-moving pass shifts
+nodes to the neighboring community with the best modularity gain, then the
+community graph is aggregated and the process repeats until modularity
+stops improving.  :func:`louvain_partition` post-processes the communities
+into exactly ``m`` balanced parts (merge smallest / split largest), which
+is what the distributed pipeline needs for ``m`` machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro._util import ensure_rng
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+from repro.partitioning.quality import validate_partition
+
+
+def _local_moving(
+    adjacency: List[Dict[int, float]],
+    strengths: np.ndarray,
+    total_weight: float,
+    rng: np.random.Generator,
+    max_passes: int = 10,
+) -> np.ndarray:
+    """One Louvain phase: greedy modularity moves until stable."""
+    n = len(adjacency)
+    community = np.arange(n, dtype=np.int64)
+    community_strength = strengths.copy()
+    two_m = 2.0 * total_weight
+    if two_m <= 0:
+        return community
+    improved = True
+    passes = 0
+    while improved and passes < max_passes:
+        improved = False
+        passes += 1
+        for u in rng.permutation(n):
+            current = community[u]
+            k_u = strengths[u]
+            # Weights from u to each adjacent community.
+            weights_to: Dict[int, float] = {}
+            for v, w in adjacency[u].items():
+                if v == u:
+                    continue
+                c = int(community[v])
+                weights_to[c] = weights_to.get(c, 0.0) + w
+            community_strength[current] -= k_u
+            best_community = current
+            best_gain = weights_to.get(current, 0.0) - community_strength[current] * k_u / two_m
+            for c, w_to in weights_to.items():
+                if c == current:
+                    continue
+                gain = w_to - community_strength[c] * k_u / two_m
+                if gain > best_gain:
+                    best_gain = gain
+                    best_community = c
+            community_strength[best_community] += k_u
+            if best_community != current:
+                community[u] = best_community
+                improved = True
+    return community
+
+
+def _aggregate(
+    adjacency: List[Dict[int, float]], community: np.ndarray
+) -> Tuple[List[Dict[int, float]], np.ndarray]:
+    """Collapse communities into single nodes with summed edge weights."""
+    labels, compact = np.unique(community, return_inverse=True)
+    k = labels.size
+    new_adjacency: List[Dict[int, float]] = [{} for _ in range(k)]
+    for u, row in enumerate(adjacency):
+        cu = int(compact[u])
+        target = new_adjacency[cu]
+        for v, w in row.items():
+            cv = int(compact[v])
+            target[cv] = target.get(cv, 0.0) + w
+    return new_adjacency, compact
+
+
+def louvain_communities(graph: Graph, *, seed: "int | np.random.Generator | None" = 0) -> np.ndarray:
+    """Community labels from the Louvain method (arbitrary community count)."""
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    adjacency: List[Dict[int, float]] = [{} for _ in range(n)]
+    for u, v in graph.edge_array():
+        adjacency[int(u)][int(v)] = adjacency[int(u)].get(int(v), 0.0) + 1.0
+        adjacency[int(v)][int(u)] = adjacency[int(v)].get(int(u), 0.0) + 1.0
+    total_weight = float(graph.num_edges)
+    membership = np.arange(n, dtype=np.int64)  # original node -> current level node
+    while True:
+        strengths = np.asarray([sum(row.values()) for row in adjacency], dtype=np.float64)
+        community = _local_moving(adjacency, strengths, total_weight, rng)
+        labels, compact = np.unique(community, return_inverse=True)
+        if labels.size == len(adjacency):  # no merge happened: converged
+            break
+        membership = compact[membership]
+        adjacency, _ = _aggregate_with_selfloops(adjacency, community)
+        if len(adjacency) <= 1:
+            break
+    # Compact final labels.
+    _, final = np.unique(membership, return_inverse=True)
+    return final.astype(np.int64)
+
+
+def _aggregate_with_selfloops(
+    adjacency: List[Dict[int, float]], community: np.ndarray
+) -> Tuple[List[Dict[int, float]], np.ndarray]:
+    """Aggregate keeping self-loop weights (within-community edges)."""
+    return _aggregate(adjacency, community)
+
+
+def _rebalance_to_parts(graph: Graph, labels: np.ndarray, num_parts: int, rng: np.random.Generator) -> np.ndarray:
+    """Merge/split community labels into exactly *num_parts* parts."""
+    n = graph.num_nodes
+    groups: List[List[int]] = []
+    for label in np.unique(labels):
+        groups.append(np.flatnonzero(labels == label).tolist())
+    # Split oversized groups (BFS halves keep them connected-ish) until we
+    # have at least num_parts groups and no group dwarfs the ideal size.
+    ideal = max(n // num_parts, 1)
+    changed = True
+    while changed:
+        changed = False
+        groups.sort(key=len)
+        largest = groups[-1]
+        if len(groups) < num_parts or len(largest) > 2 * ideal:
+            if len(largest) < 2:
+                break
+            half = _bfs_split(graph, largest)
+            groups.pop()
+            groups.extend(half)
+            changed = True
+        if len(groups) >= num_parts and len(groups[-1]) <= 2 * ideal:
+            break
+    # Merge smallest groups until exactly num_parts remain.
+    while len(groups) > num_parts:
+        groups.sort(key=len)
+        smallest = groups.pop(0)
+        groups[0].extend(smallest)
+    while len(groups) < num_parts:  # degenerate tiny graphs
+        groups.sort(key=len)
+        largest = groups.pop()
+        if len(largest) < 2:
+            groups.append(largest)
+            groups.append([])
+            continue
+        groups.extend(_bfs_split(graph, largest))
+    assignment = np.zeros(n, dtype=np.int64)
+    for part, nodes in enumerate(groups):
+        assignment[np.asarray(nodes, dtype=np.int64)] = part if nodes else part
+    return assignment
+
+
+def _bfs_split(graph: Graph, nodes: List[int]) -> List[List[int]]:
+    """Split a node group into two halves by BFS order from its first node."""
+    subgraph, originals = graph.induced_subgraph(nodes)
+    dist = bfs_distances(subgraph, 0)
+    order = np.argsort(np.where(dist < 0, np.iinfo(np.int64).max, dist), kind="stable")
+    half = subgraph.num_nodes // 2
+    first = originals[order[:half]].tolist()
+    second = originals[order[half:]].tolist()
+    return [first, second]
+
+
+def louvain_partition(
+    graph: Graph, num_parts: int, *, seed: "int | np.random.Generator | None" = 0
+) -> np.ndarray:
+    """Exactly *num_parts* balanced parts from Louvain communities.
+
+    This is the preprocessing step of Alg. 3 (line 1).
+    """
+    if num_parts < 1:
+        raise PartitionError(f"num_parts must be >= 1, got {num_parts}")
+    rng = ensure_rng(seed)
+    labels = louvain_communities(graph, seed=rng)
+    assignment = _rebalance_to_parts(graph, labels, num_parts, rng)
+    return validate_partition(graph, assignment, num_parts=num_parts)

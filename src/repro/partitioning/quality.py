@@ -1,0 +1,83 @@
+"""Partition quality measures: cut, fanout, balance, modularity.
+
+* **edge cut** — fraction of edges crossing parts (classic partitioning
+  objective);
+* **fanout** — average number of distinct parts among a node's closed
+  neighborhood, the objective of the Social Hash Partitioner (queries on a
+  node touch every machine holding one of its neighbors);
+* **balance** — largest part size over the ideal ``|V|/m``;
+* **modularity** — Newman modularity, the objective of Louvain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+
+
+def validate_partition(graph: Graph, assignment: np.ndarray, *, num_parts: "int | None" = None) -> np.ndarray:
+    """Check that *assignment* is a dense label array for *graph*.
+
+    Returns the array as ``int64``.  Raises :class:`PartitionError` on
+    wrong shape, negative labels, or (if *num_parts* is given) labels
+    outside ``0..num_parts-1``.
+    """
+    arr = np.asarray(assignment, dtype=np.int64)
+    if arr.shape != (graph.num_nodes,):
+        raise PartitionError(f"assignment must have shape ({graph.num_nodes},), got {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise PartitionError("assignment contains negative labels")
+    if num_parts is not None and arr.size and arr.max() >= num_parts:
+        raise PartitionError(f"labels exceed num_parts={num_parts}")
+    return arr
+
+
+def edge_cut(graph: Graph, assignment: np.ndarray) -> float:
+    """Fraction of edges with endpoints in different parts, in ``[0, 1]``."""
+    assignment = validate_partition(graph, assignment)
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return 0.0
+    crossing = assignment[edges[:, 0]] != assignment[edges[:, 1]]
+    return float(crossing.mean())
+
+
+def fanout(graph: Graph, assignment: np.ndarray) -> float:
+    """Average number of distinct parts in each closed neighborhood (≥ 1)."""
+    assignment = validate_partition(graph, assignment)
+    if graph.num_nodes == 0:
+        return 0.0
+    total = 0
+    for u in range(graph.num_nodes):
+        parts = set(assignment[graph.neighbors(u)].tolist())
+        parts.add(int(assignment[u]))
+        total += len(parts)
+    return total / graph.num_nodes
+
+
+def balance(graph: Graph, assignment: np.ndarray, num_parts: "int | None" = None) -> float:
+    """Largest part size divided by the ideal part size ``|V|/m`` (≥ 1)."""
+    assignment = validate_partition(graph, assignment)
+    if graph.num_nodes == 0:
+        return 1.0
+    if num_parts is None:
+        num_parts = int(assignment.max()) + 1
+    sizes = np.bincount(assignment, minlength=num_parts)
+    ideal = graph.num_nodes / num_parts
+    return float(sizes.max() / ideal) if ideal > 0 else 1.0
+
+
+def modularity(graph: Graph, assignment: np.ndarray) -> float:
+    """Newman modularity ``Q`` of the partition, in ``[-0.5, 1]``."""
+    assignment = validate_partition(graph, assignment)
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    edges = graph.edge_array()
+    internal = float((assignment[edges[:, 0]] == assignment[edges[:, 1]]).sum())
+    degrees = graph.degrees().astype(np.float64)
+    strength = np.zeros(int(assignment.max()) + 1, dtype=np.float64)
+    np.add.at(strength, assignment, degrees)
+    return internal / m - float(np.sum((strength / (2.0 * m)) ** 2))

@@ -1,0 +1,41 @@
+"""Approximate query answering on graphs and summary graphs (Appendix A).
+
+Every query here runs identically on an input :class:`~repro.graph.Graph`
+(exact answers / ground truth) and on a
+:class:`~repro.core.summary.SummaryGraph` (approximate answers from the
+compressed representation, per Alg. 4's ``getNeighbors`` primitive):
+
+* :func:`approximate_neighbors` — the neighborhood query (Alg. 4);
+* :func:`hop_distances` — HOP, BFS shortest-path lengths (Alg. 5);
+* :func:`rwr_scores` — random walk with restart (Alg. 6);
+* :func:`php_scores` — penalized hitting probability.
+
+Weighted baseline summaries are handled through their density decoding
+("queries were processed considering superedge weights", Sect. V-A).
+"""
+
+from repro.queries.neighbors import approximate_neighbors
+from repro.queries.operator import ReconstructedOperator
+from repro.queries.hop import hop_distances
+from repro.queries.rwr import rwr_scores
+from repro.queries.php import php_scores
+from repro.queries.centrality import (
+    average_clustering,
+    clustering_coefficient,
+    degree_vector,
+    eigenvector_centrality,
+    pagerank,
+)
+
+__all__ = [
+    "approximate_neighbors",
+    "ReconstructedOperator",
+    "hop_distances",
+    "rwr_scores",
+    "php_scores",
+    "average_clustering",
+    "clustering_coefficient",
+    "degree_vector",
+    "eigenvector_centrality",
+    "pagerank",
+]

@@ -1,0 +1,30 @@
+"""The neighborhood query (Alg. 4: ``getNeighbors``).
+
+This is the primitive Appendix A builds every other query on: BFS, DFS,
+Dijkstra, PageRank, RWR, ... all touch the graph only through "give me the
+neighbors of node u", which a summary graph answers without reconstructing
+``Ĝ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.summary import SummaryGraph
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.queries.operator import QuerySource
+
+
+def approximate_neighbors(source: QuerySource, node: int) -> np.ndarray:
+    """Neighbors of *node* in *source* (exact on graphs, Alg. 4 on summaries).
+
+    Returns a sorted array of node ids.  For weighted summaries, any
+    superedge with positive weight counts as present (the density decoding
+    only matters for value-weighted queries like RWR/PHP).
+    """
+    if isinstance(source, Graph):
+        return np.asarray(source.neighbors(node))
+    if isinstance(source, SummaryGraph):
+        return source.reconstructed_neighbors(node)
+    raise QueryError(f"unsupported query source: {type(source).__name__}")

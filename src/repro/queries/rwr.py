@@ -1,0 +1,107 @@
+"""Random walk with restart (Alg. 6 of the paper).
+
+The RWR score of a node w.r.t. a query node ``q`` is the stationary
+probability of a walker that, at each step, follows a uniform random edge
+with probability ``p`` and teleports back to ``q`` otherwise.  The paper
+uses restart probability 0.05 (``p = 0.95``).
+
+Following Alg. 6, one iteration damps the spread by ``p`` and assigns the
+missing probability mass to the query node — which also neutralizes
+dangling (degree-0) nodes without special-casing them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.queries.operator import QuerySource, ReconstructedOperator
+
+DEFAULT_RESTART = 0.05
+
+
+def rwr_scores(
+    source: QuerySource,
+    query: int,
+    *,
+    restart: float = DEFAULT_RESTART,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+    use_weights: bool = True,
+    operator: "ReconstructedOperator | None" = None,
+) -> np.ndarray:
+    """RWR score vector w.r.t. *query* (sums to 1).
+
+    Parameters
+    ----------
+    source:
+        Graph (exact) or summary graph (approximate).
+    query:
+        The restart node ``q``.
+    restart:
+        Restart probability (paper: 0.05).
+    tolerance, max_iterations:
+        L1 convergence control for the power iteration.
+    use_weights:
+        Decode weighted summaries through block densities (Sect. V-A).
+    operator:
+        Optional prebuilt operator, reused across many queries on the same
+        source (the multi-query setting of Sect. IV).
+    """
+    if not 0.0 < restart < 1.0:
+        raise QueryError(f"restart must be in (0, 1), got {restart}")
+    op = operator if operator is not None else ReconstructedOperator(source, use_weights=use_weights)
+    n = op.num_nodes
+    if not 0 <= query < n:
+        raise QueryError(f"query node {query} out of range")
+    degrees = op.degrees()
+    safe_degrees = np.where(degrees > 0.0, degrees, 1.0)
+    walk = 1.0 - restart
+
+    scores = np.full(n, 1.0 / max(n, 1), dtype=np.float64)
+    for _ in range(max_iterations):
+        spread = op.matvec(np.where(degrees > 0.0, scores / safe_degrees, 0.0))
+        new_scores = walk * spread
+        new_scores[query] += 1.0 - new_scores.sum()
+        if np.abs(new_scores - scores).sum() < tolerance:
+            scores = new_scores
+            break
+        scores = new_scores
+    return scores
+
+
+def rwr_scores_reference(
+    source: QuerySource,
+    query: int,
+    *,
+    restart: float = DEFAULT_RESTART,
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Literal Alg. 6: neighborhood queries in a Python loop.
+
+    Exponentially slower than :func:`rwr_scores`; exists to validate the
+    vectorized supernode-space operator in tests.
+    """
+    from repro.queries.neighbors import approximate_neighbors
+
+    if isinstance(source, (int, float)):
+        raise QueryError("source must be a graph or summary graph")
+    num_nodes = source.num_nodes
+    neighbor_cache = [approximate_neighbors(source, u) for u in range(num_nodes)]
+    walk = 1.0 - restart
+    scores = np.full(num_nodes, 1.0 / max(num_nodes, 1), dtype=np.float64)
+    for _ in range(max_iterations):
+        new_scores = np.zeros(num_nodes, dtype=np.float64)
+        for u in range(num_nodes):
+            neighbors = neighbor_cache[u]
+            if neighbors.size == 0:
+                continue
+            new_scores[neighbors] += scores[u] / neighbors.size
+        new_scores *= walk
+        new_scores[query] += 1.0 - new_scores.sum()
+        if np.abs(new_scores - scores).sum() < tolerance:
+            scores = new_scores
+            break
+        scores = new_scores
+    return scores

@@ -1,0 +1,113 @@
+"""Unit tests for shingle-based candidate generation (Sect. III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SummaryGraph, candidate_groups, node_shingles
+from repro.graph import Graph
+
+
+class TestNodeShingles:
+    def test_closed_neighborhood_minimum(self, path4):
+        sh = node_shingles(path4, rng=0)
+        # Recompute directly from the permutation implied by determinism:
+        # re-run with same seed and verify against a manual computation.
+        rng = np.random.default_rng(0)
+        f = rng.permutation(4) + 1
+        for u in range(4):
+            closed = [u] + path4.neighbors(u).tolist()
+            assert sh[u] == min(f[v] for v in closed)
+
+    def test_twins_share_shingle(self, twins_graph):
+        """Nodes with identical closed-ish neighborhoods often share shingles;
+        with identical neighbor sets {2,3} the shingle differs only through
+        f(u) itself, so check the guaranteed case: min over neighbors."""
+        sh = node_shingles(twins_graph, rng=3)
+        rng = np.random.default_rng(3)
+        f = rng.permutation(5) + 1
+        if min(f[2], f[3]) < min(f[0], f[1]):
+            assert sh[0] == sh[1]
+
+    def test_isolated_node(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        sh = node_shingles(g, rng=0)
+        assert sh.shape == (3,)
+        assert sh[2] >= 1
+
+    def test_empty_graph(self):
+        assert node_shingles(Graph.empty(0), rng=0).size == 0
+
+    def test_range(self, ba_small):
+        sh = node_shingles(ba_small, rng=1)
+        assert sh.min() >= 1
+        assert sh.max() <= ba_small.num_nodes
+
+
+class TestCandidateGroups:
+    def test_groups_partition_subset_of_supernodes(self, ba_small):
+        summary = SummaryGraph(ba_small)
+        groups = candidate_groups(summary, rng=0)
+        seen = set()
+        for group in groups:
+            assert group.size >= 2
+            for a in group.tolist():
+                assert a not in seen
+                seen.add(a)
+        assert seen <= set(summary.supernodes())
+
+    def test_group_size_cap(self, ba_small):
+        summary = SummaryGraph(ba_small)
+        groups = candidate_groups(summary, rng=0, max_group_size=8)
+        assert all(g.size <= 8 for g in groups)
+
+    def test_no_singleton_groups(self, ba_small):
+        summary = SummaryGraph(ba_small)
+        groups = candidate_groups(summary, rng=0)
+        assert all(g.size >= 2 for g in groups)
+
+    def test_different_seeds_differ(self, ba_small):
+        summary = SummaryGraph(ba_small)
+        a = [tuple(sorted(g.tolist())) for g in candidate_groups(summary, rng=0)]
+        b = [tuple(sorted(g.tolist())) for g in candidate_groups(summary, rng=99)]
+        assert sorted(a) != sorted(b)
+
+    def test_clique_members_grouped_together(self, caveman):
+        """All nodes of a clique share the clique's minimum hash, so each
+        clique lands in one candidate group."""
+        summary = SummaryGraph(caveman)
+        groups = candidate_groups(summary, rng=5)
+        group_of = {}
+        for idx, group in enumerate(groups):
+            for a in group.tolist():
+                group_of[a] = idx
+        clique_sizes = 5
+        grouped_cliques = 0
+        for c in range(6):
+            members = list(range(c * clique_sizes, (c + 1) * clique_sizes))
+            ids = [group_of.get(m) for m in members if group_of.get(m) is not None]
+            if ids and max(ids.count(i) for i in set(ids)) >= 4:
+                grouped_cliques += 1
+        # Bridge endpoints may hop to the adjacent clique's group, but most
+        # of every clique should stay together.
+        assert grouped_cliques >= 4
+
+    def test_tiny_summary(self, triangle):
+        summary = SummaryGraph(triangle)
+        summary.merge_supernodes(0, 1)
+        summary.merge_supernodes(0, 2)
+        assert candidate_groups(summary, rng=0) == []
+
+    def test_invalid_cap(self, triangle):
+        with pytest.raises(ValueError):
+            candidate_groups(SummaryGraph(triangle), rng=0, max_group_size=1)
+
+    def test_oversized_groups_randomly_chopped(self):
+        """A clique's supernodes all share every shingle; the random chop
+        must still enforce the cap."""
+        clique = Graph.from_edges(30, [(i, j) for i in range(30) for j in range(i + 1, 30)])
+        summary = SummaryGraph(clique)
+        groups = candidate_groups(summary, rng=0, max_group_size=10, recursive_splits=3)
+        assert all(g.size <= 10 for g in groups)
+        assert sum(g.size for g in groups) == 30

@@ -1,0 +1,80 @@
+"""Tests for summary-graph serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PegasusConfig, SummaryGraph, summarize
+from repro.core.summary_io import load_summary, save_summary
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+
+
+def test_roundtrip_identity(two_cliques, tmp_path):
+    summary = SummaryGraph(two_cliques)
+    path = tmp_path / "summary.txt"
+    save_summary(summary, path)
+    loaded = load_summary(path, two_cliques)
+    assert sorted(loaded.supernodes()) == sorted(summary.supernodes())
+    assert sorted(loaded.superedges()) == sorted(summary.superedges())
+
+
+def test_roundtrip_after_summarization(sbm_medium, tmp_path):
+    result = summarize(sbm_medium, targets=[0], compression_ratio=0.5, config=PegasusConfig(seed=1))
+    path = tmp_path / "summary.txt"
+    save_summary(result.summary, path)
+    loaded = load_summary(path, sbm_medium)
+    assert np.array_equal(loaded.supernode_of, result.summary.supernode_of)
+    assert sorted(loaded.superedges()) == sorted(result.summary.superedges())
+    assert loaded.size_in_bits() == pytest.approx(result.summary.size_in_bits())
+
+
+def test_roundtrip_weighted(two_cliques, tmp_path):
+    assignment = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+    summary = SummaryGraph.from_partition(
+        two_cliques, assignment, weighted=True, superedge_rule="all_blocks"
+    )
+    path = tmp_path / "summary.txt"
+    save_summary(summary, path)
+    loaded = load_summary(path, two_cliques)
+    assert loaded.is_weighted
+    assert loaded.superedge_weight(0, 4) == summary.superedge_weight(0, 4)
+
+
+def test_queries_identical_after_roundtrip(sbm_medium, tmp_path):
+    from repro.queries import rwr_scores
+
+    result = summarize(sbm_medium, targets=[3], compression_ratio=0.4, config=PegasusConfig(seed=2))
+    path = tmp_path / "summary.txt"
+    save_summary(result.summary, path)
+    loaded = load_summary(path, sbm_medium)
+    assert np.allclose(rwr_scores(result.summary, 3), rwr_scores(loaded, 3))
+
+
+def test_wrong_header_rejected(tmp_path, triangle):
+    path = tmp_path / "bad.txt"
+    path.write_text("not a summary\n")
+    with pytest.raises(GraphFormatError):
+        load_summary(path, triangle)
+
+
+def test_node_count_mismatch_rejected(tmp_path, triangle, path4):
+    path = tmp_path / "summary.txt"
+    save_summary(SummaryGraph(triangle), path)
+    with pytest.raises(GraphFormatError):
+        load_summary(path, path4)
+
+
+def test_partial_partition_rejected(tmp_path, triangle):
+    path = tmp_path / "bad.txt"
+    path.write_text("# repro summary graph v1\nG 3 0\nS 0 0 1\n")
+    with pytest.raises(GraphFormatError):
+        load_summary(path, triangle)
+
+
+def test_unknown_record_rejected(tmp_path, triangle):
+    path = tmp_path / "bad.txt"
+    path.write_text("# repro summary graph v1\nG 3 0\nS 0 0 1 2\nX 1 2\n")
+    with pytest.raises(GraphFormatError):
+        load_summary(path, triangle)

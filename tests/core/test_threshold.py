@@ -1,0 +1,86 @@
+"""Unit tests for the threshold schedules (Sect. III-E and III-G)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptiveThreshold, FixedSchedule
+
+
+class TestAdaptive:
+    def test_initial_value(self):
+        assert AdaptiveThreshold().value == 0.5
+
+    def test_advance_without_rejections_keeps_value(self):
+        t = AdaptiveThreshold(beta=0.1, initial=0.4)
+        assert t.advance(2) == 0.4
+
+    def test_beta_quantile_selection(self):
+        t = AdaptiveThreshold(beta=0.5, initial=0.5)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            t.record(v)
+        # floor(0.5 * 4) = 2nd largest = 0.3
+        assert t.advance(2) == pytest.approx(0.3)
+
+    def test_beta_zero_picks_largest(self):
+        """Fig. 11's caption: the largest entry is chosen when beta ~ 0."""
+        t = AdaptiveThreshold(beta=0.0, initial=0.5)
+        for v in (0.05, 0.3, 0.17):
+            t.record(v)
+        assert t.advance(2) == pytest.approx(0.3)
+
+    def test_list_cleared_between_iterations(self):
+        t = AdaptiveThreshold(beta=0.5)
+        t.record(0.2)
+        t.advance(2)
+        assert t.rejected_count == 0
+        assert t.advance(3) == pytest.approx(0.2)  # unchanged, L was empty
+
+    def test_threshold_decreases_over_iterations(self):
+        """Rejected values sit below θ, so θ is non-increasing."""
+        t = AdaptiveThreshold(beta=0.1, initial=0.5)
+        previous = t.value
+        for it in range(2, 8):
+            for k in range(10):
+                t.record(previous - 0.01 * (k + 1))
+            t.advance(it)
+            assert t.value <= previous
+            previous = t.value
+
+    def test_larger_beta_drops_faster(self):
+        slow = AdaptiveThreshold(beta=0.1)
+        fast = AdaptiveThreshold(beta=0.9)
+        values = [0.45, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01, 0.3, 0.25, 0.15]
+        for v in values:
+            slow.record(v)
+            fast.record(v)
+        assert fast.advance(2) < slow.advance(2)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(beta=1.5)
+
+
+class TestFixedSchedule:
+    def test_matches_ssumm_formula(self):
+        t = FixedSchedule(t_max=5)
+        assert t.value == pytest.approx(0.5)  # 1/(1+1)
+        assert t.advance(2) == pytest.approx(1.0 / 3.0)
+        assert t.advance(4) == pytest.approx(1.0 / 5.0)
+
+    def test_final_iteration_zero(self):
+        t = FixedSchedule(t_max=5)
+        assert t.advance(5) == 0.0
+        assert t.advance(6) == 0.0
+
+    def test_record_is_ignored(self):
+        t = FixedSchedule(t_max=3)
+        t.record(0.9)
+        assert t.advance(2) == pytest.approx(1.0 / 3.0)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            FixedSchedule(t_max=0)
+
+    def test_t_max_one_starts_at_zero(self):
+        assert FixedSchedule(t_max=1).value == 0.0

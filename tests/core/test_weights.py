@@ -1,0 +1,122 @@
+"""Unit tests for the personalized weight model (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PersonalizedWeights
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+
+
+class TestBasics:
+    def test_distances_from_target(self, path4):
+        w = PersonalizedWeights(path4, [0], alpha=2.0)
+        assert w.distances.tolist() == [0, 1, 2, 3]
+
+    def test_node_weights_decay_geometrically(self, path4):
+        w = PersonalizedWeights(path4, [0], alpha=2.0)
+        assert np.allclose(w.node_weight, [1.0, 0.5, 0.25, 0.125])
+
+    def test_multi_target_minimum_distance(self, path4):
+        w = PersonalizedWeights(path4, [0, 3], alpha=2.0)
+        assert w.distances.tolist() == [0, 1, 1, 0]
+
+    def test_pair_weight_factorizes(self, ba_small):
+        w = PersonalizedWeights(ba_small, [0], alpha=1.5)
+        u, v = 5, 17
+        expected = w.node_weight[u] * w.node_weight[v] / w.normalizer
+        assert w.pair_weight(u, v) == pytest.approx(expected)
+        assert w.pair_weight(u, v) == pytest.approx(w.pair_weight(v, u))
+
+    def test_pair_weight_matches_definition(self, ba_small):
+        """W_uv = alpha^{-(D(u,T)+D(v,T))} / Z, straight from Eq. 2."""
+        alpha = 1.25
+        w = PersonalizedWeights(ba_small, [3, 9], alpha=alpha)
+        u, v = 20, 77
+        direct = alpha ** -(int(w.distances[u]) + int(w.distances[v])) / w.normalizer
+        assert w.pair_weight(u, v) == pytest.approx(direct)
+
+
+class TestNormalization:
+    def test_mean_pair_weight_is_one(self, ba_small):
+        """Footnote 2: Z makes the average ordered-pair weight equal 1."""
+        for alpha in (1.0, 1.25, 2.0):
+            w = PersonalizedWeights(ba_small, [0], alpha=alpha)
+            assert w.mean_pair_weight() == pytest.approx(1.0)
+
+    def test_mean_pair_weight_exhaustive(self, path4):
+        w = PersonalizedWeights(path4, [1], alpha=1.75)
+        n = path4.num_nodes
+        total = sum(w.pair_weight(u, v) for u in range(n) for v in range(n) if u != v)
+        assert total / (n * (n - 1)) == pytest.approx(1.0)
+
+    def test_alpha_one_gives_uniform(self, ba_small):
+        w = PersonalizedWeights(ba_small, [0], alpha=1.0)
+        assert np.allclose(w.node_weight, 1.0)
+        assert w.normalizer == pytest.approx(1.0)
+        assert w.is_uniform
+
+    def test_full_target_set_gives_uniform(self, ba_small):
+        """T = V means D(u, T) = 0 everywhere — the non-personalized case."""
+        w = PersonalizedWeights(ba_small, range(ba_small.num_nodes), alpha=2.0)
+        assert np.allclose(w.node_weight, 1.0)
+        assert w.is_uniform
+
+    def test_uniform_constructor_matches_full_targets(self, ba_small):
+        explicit = PersonalizedWeights(ba_small, range(ba_small.num_nodes), alpha=2.0)
+        uniform = PersonalizedWeights.uniform(ba_small)
+        assert np.allclose(explicit.node_weight, uniform.node_weight)
+        assert explicit.normalizer == pytest.approx(uniform.normalizer)
+
+
+class TestPersonalization:
+    def test_weights_larger_near_target(self, ba_small):
+        w = PersonalizedWeights(ba_small, [0], alpha=1.5)
+        far = int(np.argmax(w.distances))
+        assert w.pair_weight(0, int(ba_small.neighbors(0)[0])) > w.pair_weight(far, far - 1)
+
+    def test_larger_alpha_sharpens_focus(self, ba_small):
+        mild = PersonalizedWeights(ba_small, [0], alpha=1.25)
+        sharp = PersonalizedWeights(ba_small, [0], alpha=2.0)
+        far = int(np.argmax(mild.distances))
+        near = int(ba_small.neighbors(0)[0])
+        ratio_mild = mild.pair_weight(0, near) / mild.pair_weight(far, far)
+        ratio_sharp = sharp.pair_weight(0, near) / sharp.pair_weight(far, far)
+        assert ratio_sharp > ratio_mild
+
+
+class TestEdgeCases:
+    def test_empty_targets_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            PersonalizedWeights(triangle, [], alpha=1.5)
+
+    def test_target_out_of_range_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            PersonalizedWeights(triangle, [10], alpha=1.5)
+
+    def test_alpha_below_one_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            PersonalizedWeights(triangle, [0], alpha=0.5)
+
+    def test_unreachable_nodes_get_fallback_distance(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        w = PersonalizedWeights(g, [0], alpha=2.0)
+        assert w.distances[2] == 2  # max finite (1) + 1
+        assert w.node_weight[2] > 0
+
+    def test_unreachable_override(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        w = PersonalizedWeights(g, [0], alpha=2.0, unreachable=10)
+        assert w.distances[2] == 10
+
+    def test_weights_are_readonly(self, triangle):
+        w = PersonalizedWeights(triangle, [0], alpha=1.5)
+        with pytest.raises(ValueError):
+            w.node_weight[0] = 5.0
+
+    def test_single_node_graph(self):
+        g = Graph.empty(1)
+        w = PersonalizedWeights(g, [0], alpha=1.5)
+        assert w.normalizer == 1.0

@@ -1,0 +1,151 @@
+"""Tests for SMAPE, Spearman, and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PegasusConfig, PersonalizedWeights, SummaryGraph, summarize
+from repro.eval import (
+    QueryAccuracy,
+    evaluate_query_accuracy,
+    rankdata,
+    relative_personalized_error,
+    sample_query_nodes,
+    smape,
+    spearman_correlation,
+    time_call,
+)
+
+
+class TestSmape:
+    def test_identical_vectors_zero(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        assert smape(x, x) == 0.0
+
+    def test_disjoint_support_one(self):
+        assert smape(np.asarray([1.0, 0.0]), np.asarray([0.0, 1.0])) == 1.0
+
+    def test_zero_zero_convention(self):
+        assert smape(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_bounded(self, rng):
+        x, y = rng.random(100), rng.random(100)
+        assert 0.0 <= smape(x, y) <= 1.0
+
+    def test_symmetry(self, rng):
+        x, y = rng.random(50), rng.random(50)
+        assert smape(x, y) == pytest.approx(smape(y, x))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            smape(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        assert smape(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert rankdata(np.asarray([10.0, 30.0, 20.0])).tolist() == [1.0, 3.0, 2.0]
+
+    def test_ties_average(self):
+        assert rankdata(np.asarray([1.0, 1.0, 2.0])).tolist() == [1.5, 1.5, 3.0]
+
+    def test_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        x = rng.integers(0, 10, size=200).astype(float)
+        assert np.allclose(rankdata(x), scipy_stats.rankdata(x))
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, 2 * x + 5) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_vector_zero(self):
+        assert spearman_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        x, y = rng.random(300), rng.random(300)
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-10)
+
+    def test_tiny_input(self):
+        assert spearman_correlation(np.asarray([1.0]), np.asarray([2.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_correlation(np.zeros(3), np.zeros(4))
+
+
+class TestRelativeError:
+    def test_identity_vs_identity_is_one(self, sbm_medium):
+        weights = PersonalizedWeights(sbm_medium, [0], alpha=1.5)
+        identity = SummaryGraph(sbm_medium)
+        assert relative_personalized_error(identity, identity, weights) == 1.0
+
+    def test_worse_summary_above_one(self, sbm_medium):
+        weights = PersonalizedWeights(sbm_medium, [0], alpha=1.5)
+        identity = SummaryGraph(sbm_medium)
+        damaged = SummaryGraph(sbm_medium)
+        for a, b in list(damaged.superedges())[:20]:
+            damaged.remove_superedge(a, b)
+        assert relative_personalized_error(identity, damaged, weights) < 1.0
+        assert relative_personalized_error(damaged, identity, weights) == float("inf")
+
+
+class TestHarness:
+    def test_sample_query_nodes_deterministic(self, sbm_medium):
+        a = sample_query_nodes(sbm_medium, 10, seed=4)
+        b = sample_query_nodes(sbm_medium, 10, seed=4)
+        assert np.array_equal(a, b)
+        assert np.unique(a).size == 10
+
+    def test_sample_capped_at_n(self, triangle):
+        assert sample_query_nodes(triangle, 100, seed=0).size == 3
+
+    def test_evaluate_accuracy_identity_summary_perfect(self, sbm_medium):
+        summary = SummaryGraph(sbm_medium)
+        queries = sample_query_nodes(sbm_medium, 5, seed=0)
+        results = evaluate_query_accuracy(sbm_medium, summary, queries)
+        for accuracy in results.values():
+            assert isinstance(accuracy, QueryAccuracy)
+            assert accuracy.smape == pytest.approx(0.0, abs=1e-9)
+            assert accuracy.spearman == pytest.approx(1.0, abs=1e-9)
+            assert accuracy.num_queries == 5
+
+    def test_evaluate_accuracy_real_summary_in_range(self, sbm_medium):
+        result = summarize(
+            sbm_medium, targets=[0], compression_ratio=0.5, config=PegasusConfig(seed=1)
+        )
+        queries = sample_query_nodes(sbm_medium, 5, seed=0)
+        accuracy = evaluate_query_accuracy(sbm_medium, result.summary, queries, query_types=("rwr",))
+        assert 0.0 < accuracy["rwr"].smape < 1.0
+
+    def test_answer_on_override(self, sbm_medium):
+        queries = sample_query_nodes(sbm_medium, 3, seed=0)
+        calls = []
+
+        def fake(node, query_type):
+            calls.append((node, query_type))
+            return np.zeros(sbm_medium.num_nodes)
+
+        evaluate_query_accuracy(sbm_medium, None, queries, query_types=("hop",), answer_on=fake)
+        assert len(calls) == 3
+
+    def test_unknown_query_type_rejected(self, sbm_medium):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            evaluate_query_accuracy(sbm_medium, SummaryGraph(sbm_medium), [0], query_types=("blah",))
+
+    def test_time_call(self):
+        value, elapsed = time_call(lambda: 42)
+        assert value == 42
+        assert elapsed >= 0.0

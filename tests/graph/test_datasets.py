@@ -1,0 +1,66 @@
+"""Unit tests for the Table II dataset stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import connected_components, dataset_names, load_dataset, table2_rows
+
+
+def test_all_names_load():
+    for name in dataset_names():
+        ds = load_dataset(name, scale=0.2, seed=0)
+        assert ds.graph.num_nodes > 0
+        assert ds.graph.num_edges > 0
+
+
+def test_datasets_are_connected():
+    for name in dataset_names():
+        ds = load_dataset(name, scale=0.2, seed=0)
+        _, count = connected_components(ds.graph)
+        assert count == 1, f"{name} stand-in must be its LCC"
+
+
+def test_deterministic():
+    a = load_dataset("caida", scale=0.3, seed=11)
+    b = load_dataset("caida", scale=0.3, seed=11)
+    assert a.graph == b.graph
+
+
+def test_scale_grows_graph():
+    small = load_dataset("skitter", scale=0.2, seed=0)
+    large = load_dataset("skitter", scale=0.6, seed=0)
+    assert large.graph.num_nodes > small.graph.num_nodes
+    assert large.graph.num_edges > small.graph.num_edges
+
+
+def test_table2_rows_order_and_shape():
+    rows = table2_rows(scale=0.2, seed=0)
+    assert len(rows) == 7
+    assert rows[0][0].startswith("LastFM")
+    assert rows[-1][3] == "BA Model"
+    for _, nodes, edges, _ in rows:
+        assert nodes > 0 and edges > 0
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(GraphFormatError):
+        load_dataset("not_a_dataset")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(GraphFormatError):
+        load_dataset("caida", scale=0.0)
+
+
+def test_exclude_synthetic():
+    names = dataset_names(include_synthetic=False)
+    assert "synthetic_ba" not in names
+    assert len(names) == 6
+
+
+def test_display_metadata():
+    ds = load_dataset("wikipedia", scale=0.2, seed=0)
+    assert ds.display_name == "Wikipedia (WK)"
+    assert ds.kind == "Hyperlinks"

@@ -1,0 +1,137 @@
+"""Unit tests for random-graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    connected_caveman,
+    connected_components,
+    erdos_renyi,
+    grid_2d,
+    planted_partition,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 100, seed=0)
+        assert g.num_edges == 100
+
+    def test_capped_at_complete_graph(self):
+        g = erdos_renyi(5, 1000, seed=0)
+        assert g.num_edges == 10
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 60, seed=5) == erdos_renyi(30, 60, seed=5)
+
+    def test_degenerate_inputs(self):
+        assert erdos_renyi(1, 10, seed=0).num_edges == 0
+        assert erdos_renyi(0, 10, seed=0).num_nodes == 0
+
+
+class TestBarabasiAlbert:
+    def test_connected(self):
+        g = barabasi_albert(200, 2, seed=1)
+        _, count = connected_components(g)
+        assert count == 1
+
+    def test_edge_count(self):
+        n, m = 100, 3
+        g = barabasi_albert(n, m, seed=1)
+        # m initial star edges + m per arriving node.
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_degree_skew(self):
+        g = barabasi_albert(500, 2, seed=1)
+        degrees = np.sort(g.degrees())[::-1]
+        # Hubs: the max degree should far exceed the median.
+        assert degrees[0] > 5 * np.median(degrees)
+
+    def test_deterministic(self):
+        assert barabasi_albert(100, 2, seed=9) == barabasi_albert(100, 2, seed=9)
+
+    def test_small_n_falls_back(self):
+        g = barabasi_albert(3, 5, seed=0)
+        assert g.num_nodes == 3
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_lattice(self):
+        g = watts_strogatz(20, 2, 0.0, seed=0)
+        assert g.num_edges == 40
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_edge_count_preserved_under_rewiring(self):
+        g = watts_strogatz(100, 5, 0.1, seed=0)
+        # Rewiring keeps the count unless a collision forces a keep.
+        assert g.num_edges == 500
+
+    def test_rewiring_shrinks_diameter(self):
+        from repro.graph import effective_diameter
+
+        lattice = watts_strogatz(300, 3, 0.0, seed=0)
+        small_world = watts_strogatz(300, 3, 0.1, seed=0)
+        assert effective_diameter(small_world, seed=1) < effective_diameter(lattice, seed=1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 2, 1.5, seed=0)
+
+    def test_ring_too_dense(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(5, 3, 0.0, seed=0)
+
+
+class TestPlantedPartition:
+    def test_community_structure(self):
+        g = planted_partition(200, 4, avg_degree_in=10.0, avg_degree_out=0.5, seed=0)
+        # Nodes are labeled contiguously by community (50 each); most edges internal.
+        edges = g.edge_array()
+        same = (edges[:, 0] // 50) == (edges[:, 1] // 50)
+        assert same.mean() > 0.8
+
+    def test_expected_degree_scale(self):
+        g = planted_partition(300, 3, avg_degree_in=6.0, avg_degree_out=1.0, seed=1)
+        mean_degree = 2 * g.num_edges / g.num_nodes
+        assert 4.0 < mean_degree < 8.5
+
+    def test_single_community(self):
+        g = planted_partition(50, 1, avg_degree_in=4.0, avg_degree_out=0.0, seed=0)
+        assert g.num_edges > 0
+
+    def test_invalid_communities(self):
+        with pytest.raises(ValueError):
+            planted_partition(10, 0, avg_degree_in=1.0, avg_degree_out=0.0)
+
+
+class TestGrid:
+    def test_four_neighborhood_counts(self):
+        g = grid_2d(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_diagonals(self):
+        g = grid_2d(3, 3, diagonals=True)
+        assert g.has_edge(0, 4)  # (0,0)-(1,1)
+
+    def test_degenerate(self):
+        assert grid_2d(0, 5).num_nodes == 0
+
+
+class TestCaveman:
+    def test_structure(self):
+        g = connected_caveman(4, 5)
+        assert g.num_nodes == 20
+        _, count = connected_components(g)
+        assert count == 1
+
+    def test_cliques_present(self):
+        g = connected_caveman(3, 4)
+        # All within-clique edges of clique 1 exist.
+        for i in range(4, 8):
+            for j in range(i + 1, 8):
+                assert g.has_edge(i, j)

@@ -1,0 +1,139 @@
+"""Unit tests for the CSR Graph type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+
+    def test_self_loops_dropped(self):
+        g = Graph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 0)
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.neighbors(3).size == 0
+
+    def test_zero_node_graph(self):
+        g = Graph.empty(0)
+        assert g.num_nodes == 0
+        assert g.size_in_bits() == 0.0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(2, [(0, 2)])
+
+    def test_negative_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(2, [(-1, 0)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(3, np.asarray([[0, 1, 2]]))
+
+    def test_raw_constructor_validates_indptr(self):
+        with pytest.raises(GraphFormatError):
+            Graph(2, np.asarray([0, 1]), np.asarray([1]))
+
+    def test_raw_constructor_validates_indices_range(self):
+        with pytest.raises(GraphFormatError):
+            Graph(2, np.asarray([0, 1, 2]), np.asarray([5, 0]))
+
+    def test_from_empty_edge_iterable(self):
+        g = Graph.from_edges(4, [])
+        assert g.num_edges == 0
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, two_cliques):
+        for u in range(two_cliques.num_nodes):
+            row = two_cliques.neighbors(u)
+            assert np.all(np.diff(row) > 0)
+
+    def test_degree_matches_neighbors(self, ba_small):
+        for u in range(ba_small.num_nodes):
+            assert ba_small.degree(u) == ba_small.neighbors(u).size
+
+    def test_degrees_array(self, triangle):
+        assert np.array_equal(triangle.degrees(), [2, 2, 2])
+
+    def test_degree_sum_is_twice_edges(self, ba_small):
+        assert int(ba_small.degrees().sum()) == 2 * ba_small.num_edges
+
+    def test_has_edge_symmetric(self, path4):
+        assert path4.has_edge(0, 1) and path4.has_edge(1, 0)
+        assert not path4.has_edge(0, 3)
+
+    def test_neighbors_out_of_range(self, triangle):
+        with pytest.raises(GraphFormatError):
+            triangle.neighbors(7)
+
+    def test_edges_iterator_matches_edge_array(self, ba_small):
+        from_iter = sorted(ba_small.edges())
+        from_array = sorted(map(tuple, ba_small.edge_array().tolist()))
+        assert from_iter == from_array
+
+    def test_edge_array_canonical_order(self, two_cliques):
+        arr = two_cliques.edge_array()
+        assert np.all(arr[:, 0] < arr[:, 1])
+        assert arr.shape[0] == two_cliques.num_edges
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_clique(self, two_cliques):
+        sub, originals = two_cliques.induced_subgraph([0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 6  # K4
+        assert np.array_equal(originals, [0, 1, 2, 3])
+
+    def test_induced_subgraph_drops_cross_edges(self, two_cliques):
+        sub, _ = two_cliques.induced_subgraph([2, 3, 4, 5])
+        # Only edges 2-3, 4-5 and the bridge 3-4 survive.
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_empty_selection(self, triangle):
+        sub, originals = triangle.induced_subgraph([])
+        assert sub.num_nodes == 0
+        assert originals.size == 0
+
+    def test_induced_subgraph_out_of_range(self, triangle):
+        with pytest.raises(GraphFormatError):
+            triangle.induced_subgraph([0, 9])
+
+
+class TestSizeModel:
+    def test_size_in_bits_eq4(self, two_cliques):
+        expected = 2.0 * two_cliques.num_edges * np.log2(two_cliques.num_nodes)
+        assert two_cliques.size_in_bits() == pytest.approx(expected)
+
+    def test_single_node_graph_size(self):
+        assert Graph.empty(1).size_in_bits() == 0.0
+
+
+class TestEqualityAndHash:
+    def test_equal_graphs(self, triangle):
+        other = Graph.from_edges(3, [(2, 0), (0, 1), (1, 2)])
+        assert triangle == other
+        assert hash(triangle) == hash(other)
+
+    def test_unequal_graphs(self, triangle, path4):
+        assert triangle != path4
+
+    def test_eq_other_type(self, triangle):
+        assert triangle != "graph"

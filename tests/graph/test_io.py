@@ -1,0 +1,93 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, read_edgelist, write_edgelist
+
+
+def test_roundtrip(tmp_path, ba_small):
+    path = tmp_path / "graph.txt"
+    write_edgelist(ba_small, path)
+    loaded, labels = read_edgelist(path)
+    assert loaded == ba_small
+    assert np.array_equal(labels, np.arange(ba_small.num_nodes))
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# comment\n\n% other comment\n// also\n0 1\n1 2\n")
+    g, labels = read_edgelist(path)
+    assert g.num_edges == 2
+    assert labels.tolist() == [0, 1, 2]
+
+
+def test_relabeling_sparse_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("10 20\n20 30\n")
+    g, labels = read_edgelist(path)
+    assert g.num_nodes == 3
+    assert labels.tolist() == [10, 20, 30]
+    assert g.has_edge(0, 1)
+
+
+def test_extra_fields_ignored(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 3.5 extra\n1 2 0.1\n")
+    g, _ = read_edgelist(path)
+    assert g.num_edges == 2
+
+
+def test_no_relabel_requires_dense_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n")
+    g, labels = read_edgelist(path, relabel=False)
+    assert g.num_nodes == 3
+    assert labels.tolist() == [0, 1, 2]
+
+
+def test_bad_line_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_non_integer_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_negative_id_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("-1 2\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# only a comment\n")
+    g, labels = read_edgelist(path)
+    assert g.num_nodes == 0
+    assert labels.size == 0
+
+
+def test_custom_delimiter(tmp_path):
+    path = tmp_path / "g.csv"
+    path.write_text("0,1\n1,2\n")
+    g, _ = read_edgelist(path, delimiter=",")
+    assert g.num_edges == 2
+
+
+def test_write_without_header(tmp_path, triangle):
+    path = tmp_path / "g.txt"
+    write_edgelist(triangle, path, header=False)
+    content = path.read_text()
+    assert not content.startswith("#")
+    assert len(content.strip().splitlines()) == 3

@@ -1,0 +1,109 @@
+"""Unit tests for BFS, components, and effective diameter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    connected_components,
+    effective_diameter,
+    grid_2d,
+    largest_connected_component,
+)
+
+
+class TestBfs:
+    def test_single_source_path(self, path4):
+        assert bfs_distances(path4, 0).tolist() == [0, 1, 2, 3]
+
+    def test_multi_source_takes_minimum(self, path4):
+        assert bfs_distances(path4, [0, 3]).tolist() == [0, 1, 1, 0]
+
+    def test_unreachable_marked_minus_one(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist.tolist() == [0, 1, -1, -1]
+
+    def test_max_depth_truncates(self, path4):
+        dist = bfs_distances(path4, 0, max_depth=1)
+        assert dist.tolist() == [0, 1, -1, -1]
+
+    def test_int_source_accepted(self, triangle):
+        assert bfs_distances(triangle, 1).tolist() == [1, 0, 1]
+
+    def test_empty_sources_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            bfs_distances(triangle, [])
+
+    def test_out_of_range_source_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            bfs_distances(triangle, [5])
+
+    def test_grid_distances_are_manhattan(self):
+        g = grid_2d(5, 5)
+        dist = bfs_distances(g, 0)  # corner (0, 0)
+        for r in range(5):
+            for c in range(5):
+                assert dist[r * 5 + c] == r + c
+
+    def test_matches_networkx(self, ba_small):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph(list(ba_small.edges()))
+        expected = networkx.single_source_shortest_path_length(nx_graph, 0)
+        dist = bfs_distances(ba_small, 0)
+        for node, d in expected.items():
+            assert dist[node] == d
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, ba_small):
+        labels, count = connected_components(ba_small)
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        labels, count = connected_components(g)
+        assert count == 3  # {0,1}, {2,3}, {4}
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_largest_component_extraction(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        lcc, originals = largest_connected_component(g)
+        assert lcc.num_nodes == 3
+        assert originals.tolist() == [0, 1, 2]
+
+    def test_lcc_of_empty_graph(self):
+        g = Graph.empty(0)
+        lcc, originals = largest_connected_component(g)
+        assert lcc.num_nodes == 0
+        assert originals.size == 0
+
+
+class TestEffectiveDiameter:
+    def test_clique_diameter_near_one(self):
+        g = Graph.from_edges(10, [(i, j) for i in range(10) for j in range(i + 1, 10)])
+        assert effective_diameter(g, seed=0) <= 1.0
+
+    def test_path_diameter_grows(self):
+        short = grid_2d(1, 10)
+        long = grid_2d(1, 100)
+        assert effective_diameter(long, seed=0) > effective_diameter(short, seed=0)
+
+    def test_invalid_quantile(self, triangle):
+        with pytest.raises(ValueError):
+            effective_diameter(triangle, quantile=0.0)
+
+    def test_tiny_graph(self):
+        assert effective_diameter(Graph.empty(1)) == 0.0
+
+    def test_deterministic_with_seed(self, ba_small):
+        a = effective_diameter(ba_small, seed=3)
+        b = effective_diameter(ba_small, seed=3)
+        assert a == b

@@ -1,0 +1,145 @@
+"""Tests for partition quality measures and the three partitioner families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import planted_partition
+from repro.partitioning import (
+    balance,
+    blp_partition,
+    edge_cut,
+    fanout,
+    louvain_communities,
+    louvain_partition,
+    modularity,
+    shp_partition,
+    validate_partition,
+)
+
+PARTITIONERS = {
+    "louvain": lambda g, m: louvain_partition(g, m, seed=0),
+    "blp": lambda g, m: blp_partition(g, m, seed=0),
+    "shp1": lambda g, m: shp_partition(g, m, variant="shp1", seed=0),
+    "shp2": lambda g, m: shp_partition(g, m, variant="shp2", seed=0),
+    "shpkl": lambda g, m: shp_partition(g, m, variant="shpkl", seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return planted_partition(240, 8, avg_degree_in=10.0, avg_degree_out=0.8, seed=5)
+
+
+class TestQualityMeasures:
+    def test_validate_shape(self, triangle):
+        with pytest.raises(PartitionError):
+            validate_partition(triangle, np.zeros(5))
+
+    def test_validate_negative(self, triangle):
+        with pytest.raises(PartitionError):
+            validate_partition(triangle, np.asarray([0, -1, 0]))
+
+    def test_validate_num_parts(self, triangle):
+        with pytest.raises(PartitionError):
+            validate_partition(triangle, np.asarray([0, 1, 5]), num_parts=2)
+
+    def test_edge_cut_extremes(self, two_cliques):
+        together = np.zeros(8, dtype=np.int64)
+        assert edge_cut(two_cliques, together) == 0.0
+        split = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        assert edge_cut(two_cliques, split) == pytest.approx(1.0 / 13.0)
+
+    def test_fanout_lower_bound(self, two_cliques):
+        split = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        f = fanout(two_cliques, split)
+        assert 1.0 <= f <= 2.0
+
+    def test_balance_perfect(self, two_cliques):
+        split = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        assert balance(two_cliques, split, 2) == pytest.approx(1.0)
+
+    def test_modularity_of_community_split(self, two_cliques):
+        split = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        assert modularity(two_cliques, split) > 0.3
+        random_split = np.asarray([0, 1, 0, 1, 0, 1, 0, 1])
+        assert modularity(two_cliques, split) > modularity(two_cliques, random_split)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_valid_partition(self, name, community_graph):
+        assignment = PARTITIONERS[name](community_graph, 8)
+        validate_partition(community_graph, assignment, num_parts=8)
+        assert np.unique(assignment).size == 8
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_beats_random_cut(self, name, community_graph):
+        assignment = PARTITIONERS[name](community_graph, 8)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 8, community_graph.num_nodes)
+        assert edge_cut(community_graph, assignment) < edge_cut(community_graph, random_assignment)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_reasonably_balanced(self, name, community_graph):
+        assignment = PARTITIONERS[name](community_graph, 8)
+        assert balance(community_graph, assignment, 8) <= 1.35
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_deterministic(self, name, community_graph):
+        a = PARTITIONERS[name](community_graph, 4)
+        b = PARTITIONERS[name](community_graph, 4)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_single_part(self, name, community_graph):
+        assignment = PARTITIONERS[name](community_graph, 1)
+        assert np.all(assignment == 0)
+
+
+class TestLouvain:
+    def test_recovers_planted_communities(self, community_graph):
+        labels = louvain_communities(community_graph, seed=0)
+        # Planted communities are contiguous blocks of 30 nodes; most pairs
+        # within a block should share a label.
+        agreements = 0
+        total = 0
+        for c in range(8):
+            block = labels[c * 30 : (c + 1) * 30]
+            values, counts = np.unique(block, return_counts=True)
+            agreements += counts.max()
+            total += block.size
+        assert agreements / total > 0.8
+
+    def test_modularity_positive(self, community_graph):
+        labels = louvain_communities(community_graph, seed=0)
+        assert modularity(community_graph, labels) > 0.4
+
+    def test_partition_rebalance_exact_m(self, community_graph):
+        for m in (3, 5, 13):
+            assignment = louvain_partition(community_graph, m, seed=0)
+            assert np.unique(assignment).size == m
+
+    def test_invalid_m(self, community_graph):
+        with pytest.raises(PartitionError):
+            louvain_partition(community_graph, 0)
+
+
+class TestShpVariants:
+    def test_invalid_variant(self, community_graph):
+        with pytest.raises(PartitionError):
+            shp_partition(community_graph, 4, variant="shp9")
+
+    def test_exchange_variants_keep_exact_balance(self, community_graph):
+        for variant in ("shp2", "shpkl"):
+            assignment = shp_partition(community_graph, 8, variant=variant, seed=0)
+            sizes = np.bincount(assignment, minlength=8)
+            assert sizes.max() - sizes.min() <= 1
+
+    def test_refinement_improves_over_random_fanout(self, community_graph):
+        assignment = shp_partition(community_graph, 8, variant="shp2", seed=0)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 8, community_graph.num_nodes)
+        assert fanout(community_graph, assignment) < fanout(community_graph, random_assignment)

@@ -1,0 +1,121 @@
+"""Tests for the Appendix-A global queries (degrees, clustering, PageRank,
+eigenvector centrality) on graphs and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SummaryGraph
+from repro.errors import QueryError
+from repro.graph import Graph, grid_2d
+from repro.queries import (
+    average_clustering,
+    clustering_coefficient,
+    degree_vector,
+    eigenvector_centrality,
+    pagerank,
+)
+
+
+class TestDegreeVector:
+    def test_graph_degrees_exact(self, ba_small):
+        assert np.array_equal(degree_vector(ba_small), ba_small.degrees())
+
+    def test_identity_summary_matches(self, ba_small):
+        assert np.array_equal(degree_vector(SummaryGraph(ba_small)), ba_small.degrees())
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle):
+        assert clustering_coefficient(triangle, 0) == 1.0
+
+    def test_path_has_zero_clustering(self, path4):
+        for u in range(4):
+            assert clustering_coefficient(path4, u) == 0.0
+
+    def test_matches_networkx(self, ba_small):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph(list(ba_small.edges()))
+        expected = networkx.clustering(nx_graph)
+        for u in (0, 3, 40):
+            assert clustering_coefficient(ba_small, u) == pytest.approx(expected[u])
+
+    def test_summary_clustering_uses_reconstruction(self, two_cliques):
+        summary = SummaryGraph(two_cliques)
+        for b in (1, 2, 3):
+            summary.merge_supernodes(0, b)
+        summary.add_superedge(0, 0)  # the clique survives as a self-loop
+        assert clustering_coefficient(summary, 0) == pytest.approx(1.0)
+
+    def test_average_clustering_sampled(self, ba_small):
+        full = average_clustering(ba_small)
+        sampled = average_clustering(ba_small, sample=60, seed=1)
+        assert abs(full - sampled) < 0.25
+
+    def test_average_clustering_grid_zero(self):
+        assert average_clustering(grid_2d(4, 4)) == 0.0
+
+
+class TestPagerank:
+    def test_sums_to_one(self, ba_small):
+        assert pagerank(ba_small).sum() == pytest.approx(1.0)
+
+    def test_hub_ranks_highest(self, star6):
+        ranks = pagerank(star6)
+        assert np.argmax(ranks) == 0
+
+    def test_matches_networkx(self, ba_small):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph(list(ba_small.edges()))
+        expected = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        ours = pagerank(ba_small)
+        for u in range(ba_small.num_nodes):
+            assert ours[u] == pytest.approx(expected[u], abs=1e-6)
+
+    def test_identity_summary_matches_graph(self, ba_small):
+        assert np.allclose(pagerank(ba_small), pagerank(SummaryGraph(ba_small)), atol=1e-9)
+
+    def test_dangling_nodes(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        ranks = pagerank(g)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert ranks[2] > 0.0  # dangling redistribution
+
+    def test_invalid_damping(self, triangle):
+        with pytest.raises(QueryError):
+            pagerank(triangle, damping=1.0)
+
+
+class TestEigenvectorCentrality:
+    def test_hub_dominates_star(self, star6):
+        centrality = eigenvector_centrality(star6)
+        assert np.argmax(centrality) == 0
+
+    def test_normalized(self, ba_small):
+        centrality = eigenvector_centrality(ba_small)
+        assert np.linalg.norm(centrality) == pytest.approx(1.0)
+
+    def test_matches_networkx(self, ba_small):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph(list(ba_small.edges()))
+        expected = networkx.eigenvector_centrality_numpy(nx_graph)
+        ours = eigenvector_centrality(ba_small, max_iterations=2000, tolerance=1e-12)
+        expected_vec = np.asarray([expected[u] for u in range(ba_small.num_nodes)])
+        expected_vec = np.abs(expected_vec) / np.linalg.norm(expected_vec)
+        assert np.allclose(ours, expected_vec, atol=1e-4)
+
+    def test_edgeless_graph(self):
+        assert np.all(eigenvector_centrality(Graph.empty(3)) == 0.0)
+
+    def test_summary_centrality_close_to_exact(self, sbm_medium):
+        from repro.core import PegasusConfig, summarize
+
+        result = summarize(sbm_medium, compression_ratio=0.7, config=PegasusConfig(seed=1))
+        exact = eigenvector_centrality(sbm_medium)
+        approx = eigenvector_centrality(result.summary)
+        # Coarse check: top-decile overlap.
+        k = sbm_medium.num_nodes // 10
+        top_exact = set(np.argsort(exact)[-k:].tolist())
+        top_approx = set(np.argsort(approx)[-k:].tolist())
+        assert len(top_exact & top_approx) >= k // 4

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import load_dataset, write_edgelist
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--scale", "0.2"]) == 0
+    output = capsys.readouterr().out
+    assert "LastFM-Asia" in output
+    assert "Synthetic" in output
+
+
+def test_summarize_dataset(capsys):
+    code = main(
+        ["summarize", "--dataset", "caida", "--scale", "0.2", "--ratio", "0.5", "--targets", "0,1"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "budget met      True" in output
+
+
+def test_summarize_ssumm(capsys):
+    assert main(["summarize", "--dataset", "caida", "--scale", "0.2", "--method", "ssumm"]) == 0
+    assert "summary" in capsys.readouterr().out
+
+
+def test_summarize_from_file_with_output(tmp_path, capsys):
+    graph = load_dataset("lastfm_asia", scale=0.2, seed=0).graph
+    edge_path = tmp_path / "graph.txt"
+    write_edgelist(graph, edge_path)
+    out_path = tmp_path / "summary.txt"
+    code = main(
+        ["summarize", "--input", str(edge_path), "--ratio", "0.6", "--output", str(out_path)]
+    )
+    assert code == 0
+    assert out_path.exists()
+    assert "saved" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("query_type", ["rwr", "hop", "php"])
+def test_query_types(query_type, capsys):
+    code = main(
+        ["query", "--dataset", "caida", "--scale", "0.2", "--type", query_type, "--node", "3"]
+    )
+    assert code == 0
+    assert query_type.upper() in capsys.readouterr().out
+
+
+def test_query_with_summary_comparison(capsys):
+    code = main(
+        [
+            "query",
+            "--dataset",
+            "caida",
+            "--scale",
+            "0.2",
+            "--node",
+            "0",
+            "--compare-summary",
+            "--ratio",
+            "0.6",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "SMAPE" in output and "Spearman" in output
+
+
+def test_query_node_out_of_range():
+    assert main(["query", "--dataset", "caida", "--scale", "0.2", "--node", "999999"]) == 2
+
+
+def test_experiment_command_smoke(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert main(["experiment", "ablation-threshold"]) == 0
+    assert "variant" in capsys.readouterr().out

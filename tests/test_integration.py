@@ -1,0 +1,144 @@
+"""End-to-end integration tests: the paper's pipelines in miniature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import kgrass_summarize, random_merge_summarize, ssumm_summarize
+from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
+from repro.distributed import build_subgraph_cluster, build_summary_cluster
+from repro.eval import (
+    evaluate_query_accuracy,
+    relative_personalized_error,
+    sample_query_nodes,
+    smape,
+)
+from repro.graph import load_dataset, planted_partition
+from repro.partitioning import louvain_partition
+from repro.queries import rwr_scores
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    return load_dataset("lastfm_asia", scale=0.4, seed=1).graph
+
+
+class TestFig5Pipeline:
+    """Personalization effectiveness (Fig. 5 in miniature)."""
+
+    def test_smaller_targets_lower_relative_error(self, social_graph):
+        graph = social_graph
+        query = [7]
+        eval_weights = PersonalizedWeights(graph, query, alpha=1.5)
+        reference = summarize(graph, compression_ratio=0.4, config=PegasusConfig(seed=3)).summary
+
+        focused = summarize(
+            graph, targets=query, compression_ratio=0.4, config=PegasusConfig(seed=3, alpha=1.5)
+        ).summary
+        broad_targets = sample_query_nodes(graph, graph.num_nodes // 2, seed=0)
+        broad = summarize(
+            graph,
+            targets=broad_targets,
+            compression_ratio=0.4,
+            config=PegasusConfig(seed=3, alpha=1.5),
+        ).summary
+
+        rel_focused = relative_personalized_error(focused, reference, eval_weights)
+        rel_broad = relative_personalized_error(broad, reference, eval_weights)
+        assert rel_focused < 1.0
+        assert rel_focused < rel_broad
+
+
+class TestFig7Pipeline:
+    """Query accuracy against baselines (Fig. 7 in miniature)."""
+
+    def test_pegasus_beats_random_baseline_at_matched_bits(self, social_graph):
+        """Fairness as in Fig. 7: accuracy is compared at the *achieved
+        bit size* (a weighted random-merge summary at half the supernodes
+        is barely compressed at all)."""
+        graph = social_graph
+        queries = sample_query_nodes(graph, 8, seed=2)
+        random_summary = random_merge_summarize(graph, supernode_fraction=0.25, seed=1)
+        budget = random_summary.size_in_bits()
+        pegasus = summarize(
+            graph, targets=queries, budget_bits=budget, config=PegasusConfig(seed=1)
+        ).summary
+        assert pegasus.size_in_bits() <= budget
+        acc_pegasus = evaluate_query_accuracy(graph, pegasus, queries, query_types=("rwr",))
+        acc_random = evaluate_query_accuracy(graph, random_summary, queries, query_types=("rwr",))
+        assert acc_pegasus["rwr"].spearman > acc_random["rwr"].spearman
+
+    def test_pegasus_beats_ssumm_for_target_queries(self):
+        """Small |T| relative to |V| and a noticeable α, as in Sect. V-D
+        (100 targets on graphs of 7.6k+ nodes)."""
+        graph = planted_partition(600, 12, avg_degree_in=8.0, avg_degree_out=0.6, seed=4)
+        queries = sample_query_nodes(graph, 3, seed=2)
+        pegasus = summarize(
+            graph,
+            targets=queries,
+            compression_ratio=0.35,
+            config=PegasusConfig(seed=1, alpha=2.0),
+        ).summary
+        ssumm = ssumm_summarize(graph, compression_ratio=0.35, seed=1).summary
+        acc_pegasus = evaluate_query_accuracy(graph, pegasus, queries, query_types=("rwr",))
+        acc_ssumm = evaluate_query_accuracy(graph, ssumm, queries, query_types=("rwr",))
+        assert acc_pegasus["rwr"].smape < acc_ssumm["rwr"].smape
+
+    def test_weighted_baseline_queries_run(self, social_graph):
+        graph = social_graph
+        queries = sample_query_nodes(graph, 4, seed=2)
+        summary = kgrass_summarize(graph, supernode_fraction=0.5, seed=1)
+        accuracy = evaluate_query_accuracy(graph, summary, queries, query_types=("rwr", "hop"))
+        assert 0.0 <= accuracy["rwr"].smape <= 1.0
+
+
+class TestFig12Pipeline:
+    """Distributed multi-query answering (Fig. 12 in miniature)."""
+
+    def test_personalized_cluster_beats_nonpersonalized(self):
+        """The Fig. 12 PeGaSus-vs-SSumM gap, on the internet-topology
+        stand-in where part-focused personalization matters most."""
+        graph = load_dataset("caida", scale=1.0, seed=1).graph
+        m = 8
+        budget = 0.3 * graph.size_in_bits()
+        assignment = louvain_partition(graph, m, seed=0)
+        queries = sample_query_nodes(graph, 20, seed=3)
+
+        personalized = build_summary_cluster(
+            graph, m, budget, assignment=assignment, config=PegasusConfig(seed=1)
+        )
+        # Non-personalized: one SSumM summary everywhere.
+        ssumm = ssumm_summarize(graph, budget_bits=budget, seed=1).summary
+
+        errors_personalized, errors_plain = [], []
+        for q in queries:
+            exact = rwr_scores(graph, int(q))
+            errors_personalized.append(smape(exact, personalized.answer(int(q), "rwr")))
+            errors_plain.append(smape(exact, rwr_scores(ssumm, int(q))))
+        personalized.assert_communication_free()
+        assert np.mean(errors_personalized) < np.mean(errors_plain)
+
+    def test_both_cluster_kinds_respect_budget(self, social_graph):
+        graph = social_graph
+        budget = 0.3 * graph.size_in_bits()
+        for builder in (build_summary_cluster, build_subgraph_cluster):
+            cluster = builder(graph, 4, budget)
+            for bits in cluster.memory_per_machine():
+                assert bits <= budget + 1e-6
+
+
+class TestNonPersonalizedEquivalence:
+    """Sect. III-G: W ≡ 1 reduces Eq. 1 to plain reconstruction error."""
+
+    def test_uniform_error_equals_flip_count(self, social_graph):
+        graph = social_graph
+        result = summarize(graph, compression_ratio=0.5, config=PegasusConfig(seed=1))
+        summary = result.summary
+        uniform = PersonalizedWeights.uniform(graph)
+        reconstructed = summary.reconstruct()
+        flips = 0
+        true_edges = {tuple(e) for e in graph.edge_array().tolist()}
+        recon_edges = {tuple(e) for e in reconstructed.edge_array().tolist()}
+        flips = len(true_edges ^ recon_edges)
+        assert personalized_error(summary, uniform) == pytest.approx(2.0 * flips)

@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These check the invariants the paper's formalism promises for *every*
+input, not just the fixtures: partition validity, size formulas, error
+decompositions, weight normalization, and query sanity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CostModel,
+    PersonalizedWeights,
+    SummaryGraph,
+    personalized_error,
+)
+from repro.eval import rankdata, smape, spearman_correlation
+from repro.graph import Graph, bfs_distances, connected_components
+from repro.queries import hop_distances, php_scores, rwr_scores
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 24):
+    """Random simple graphs with 2..max_nodes nodes."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    max_edges = n * (n - 1) // 2
+    edge_count = draw(st.integers(min_value=0, max_value=min(max_edges, 3 * n)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    chosen = set()
+    while len(chosen) < edge_count:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            chosen.add((min(u, v), max(u, v)))
+    return Graph.from_edges(n, np.asarray(sorted(chosen), dtype=np.int64).reshape(-1, 2), validate=False)
+
+
+@st.composite
+def graph_with_targets(draw):
+    graph = draw(graphs())
+    count = draw(st.integers(min_value=1, max_value=graph.num_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    targets = rng.choice(graph.num_nodes, size=count, replace=False)
+    alpha = draw(st.sampled_from([1.0, 1.05, 1.25, 1.5, 2.0]))
+    return graph, targets, alpha
+
+
+class TestGraphProperties:
+    @SETTINGS
+    @given(graphs())
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert int(graph.degrees().sum()) == 2 * graph.num_edges
+
+    @SETTINGS
+    @given(graphs())
+    def test_neighbors_symmetric(self, graph):
+        for u in range(graph.num_nodes):
+            for v in graph.neighbors(u).tolist():
+                assert graph.has_edge(v, u)
+
+    @SETTINGS
+    @given(graphs())
+    def test_bfs_triangle_inequality_step(self, graph):
+        """Adjacent nodes' BFS levels differ by at most one."""
+        dist = bfs_distances(graph, 0)
+        for u, v in graph.edges():
+            if dist[u] >= 0 and dist[v] >= 0:
+                assert abs(dist[u] - dist[v]) <= 1
+
+    @SETTINGS
+    @given(graphs())
+    def test_components_label_edges_consistently(self, graph):
+        labels, _ = connected_components(graph)
+        for u, v in graph.edges():
+            assert labels[u] == labels[v]
+
+
+class TestWeightProperties:
+    @SETTINGS
+    @given(graph_with_targets())
+    def test_mean_pair_weight_is_one(self, gwt):
+        graph, targets, alpha = gwt
+        weights = PersonalizedWeights(graph, targets, alpha=alpha)
+        assert weights.mean_pair_weight() == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(graph_with_targets())
+    def test_targets_have_maximal_node_weight(self, gwt):
+        graph, targets, alpha = gwt
+        weights = PersonalizedWeights(graph, targets, alpha=alpha)
+        target_weight = weights.node_weight[targets].min()
+        assert target_weight == pytest.approx(weights.node_weight.max())
+
+    @SETTINGS
+    @given(graph_with_targets())
+    def test_weights_monotone_in_distance(self, gwt):
+        graph, targets, alpha = gwt
+        weights = PersonalizedWeights(graph, targets, alpha=alpha)
+        order = np.argsort(weights.distances)
+        sorted_weights = weights.node_weight[order]
+        assert np.all(np.diff(sorted_weights) <= 1e-12)
+
+
+class TestSummaryProperties:
+    @SETTINGS
+    @given(graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_merges_keep_invariants(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        summary = SummaryGraph(graph)
+        for _ in range(graph.num_nodes // 2):
+            alive = summary.supernodes()
+            if len(alive) < 2:
+                break
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            summary.merge_supernodes(alive[i], alive[j])
+        summary.check_invariants()
+
+    @SETTINGS
+    @given(graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_size_formula_eq3(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        summary = SummaryGraph(graph)
+        for _ in range(graph.num_nodes // 3):
+            alive = summary.supernodes()
+            if len(alive) < 2:
+                break
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            summary.merge_supernodes(alive[i], alive[j])
+        s = summary.num_supernodes
+        expected = (2 * summary.num_superedges + graph.num_nodes) * np.log2(s) if s > 1 else 0.0
+        assert summary.size_in_bits() == pytest.approx(expected)
+
+    @SETTINGS
+    @given(graphs())
+    def test_identity_reconstruction_exact(self, graph):
+        summary = SummaryGraph(graph)
+        assert summary.reconstruct() == graph
+        assert summary.reconstructed_edge_count() == graph.num_edges
+
+
+class TestCostProperties:
+    @SETTINGS
+    @given(graph_with_targets(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_error_matches_reconstruction(self, gwt, seed):
+        """personalized_error equals the Eq. 1 sum over the materialized Ĝ."""
+        graph, targets, alpha = gwt
+        weights = PersonalizedWeights(graph, targets, alpha=alpha)
+        rng = np.random.default_rng(seed)
+        summary = SummaryGraph(graph)
+        model = CostModel(summary, weights)
+        for _ in range(graph.num_nodes // 3):
+            alive = summary.supernodes()
+            if len(alive) < 2:
+                break
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            model.apply_merge(model.evaluate_merge(alive[i], alive[j]))
+        reconstructed = summary.reconstruct()
+        brute = 0.0
+        for u in range(graph.num_nodes):
+            for v in range(graph.num_nodes):
+                if u == v:
+                    continue
+                diff = abs(
+                    (1.0 if graph.has_edge(u, v) else 0.0)
+                    - (1.0 if reconstructed.has_edge(u, v) else 0.0)
+                )
+                brute += weights.pair_weight(u, v) * diff
+        assert personalized_error(summary, weights) == pytest.approx(brute, abs=1e-7)
+
+    @SETTINGS
+    @given(graph_with_targets())
+    def test_merge_delta_is_consistent(self, gwt):
+        """plan.delta equals the frozen-|S| block-cost difference."""
+        graph, targets, alpha = gwt
+        if graph.num_nodes < 3:
+            return
+        weights = PersonalizedWeights(graph, targets, alpha=alpha)
+        summary = SummaryGraph(graph)
+        model = CostModel(summary, weights)
+        log_s = np.log2(summary.num_supernodes)
+        superedges_before = summary.num_superedges
+        error_before = personalized_error(summary, weights)
+        plan = model.evaluate_merge(0, 1)
+        model.apply_merge(plan)
+        cost_change = (
+            2 * (superedges_before - summary.num_superedges) * log_s
+            + np.log2(graph.num_nodes) * (error_before - personalized_error(summary, weights))
+        )
+        assert plan.delta == pytest.approx(cost_change, abs=1e-7)
+
+
+class TestQueryProperties:
+    @SETTINGS
+    @given(graphs())
+    def test_rwr_is_distribution(self, graph):
+        scores = rwr_scores(graph, 0)
+        assert scores.sum() == pytest.approx(1.0)
+        assert scores.min() >= -1e-12
+
+    @SETTINGS
+    @given(graphs())
+    def test_php_bounded(self, graph):
+        scores = php_scores(graph, 0)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+        assert scores[0] == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_summary_hop_equals_reconstruction_bfs(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        summary = SummaryGraph(graph)
+        model = CostModel(summary, PersonalizedWeights.uniform(graph))
+        for _ in range(graph.num_nodes // 3):
+            alive = summary.supernodes()
+            if len(alive) < 2:
+                break
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            model.apply_merge(model.evaluate_merge(alive[i], alive[j]))
+        recon = summary.reconstruct()
+        q = int(rng.integers(0, graph.num_nodes))
+        assert np.array_equal(
+            hop_distances(summary, q, unreachable="raw"), bfs_distances(recon, q)
+        )
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50))
+    def test_rankdata_is_permutation_preserving(self, values):
+        arr = np.asarray(values)
+        ranks = rankdata(arr)
+        assert ranks.sum() == pytest.approx(arr.size * (arr.size + 1) / 2)
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_smape_bounds(self, values, seed):
+        x = np.asarray(values)
+        rng = np.random.default_rng(seed)
+        y = rng.random(x.size) * 100
+        assert 0.0 <= smape(x, y) <= 1.0
+
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=50))
+    def test_spearman_self_correlation(self, values):
+        arr = np.asarray(values)
+        result = spearman_correlation(arr, arr)
+        if np.unique(arr).size > 1:
+            assert result == pytest.approx(1.0)
+        else:
+            assert result == 0.0
