@@ -5,16 +5,96 @@ corresponding :mod:`repro.experiments` driver inside the pytest-benchmark
 fixture (one round — these are experiments, not microbenchmarks), prints
 the rows in the paper's format, and writes them to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+Every bench module is also runnable standalone
+(``python benchmarks/bench_<name>.py``) through :func:`bench_main`, which
+adds a ``--smoke`` flag (tiny graphs; exercised by
+``tests/test_benchmarks_smoke.py`` so the scripts cannot silently rot) and,
+where the bench exposes one, the ``--backend`` / ``--cost-cache`` axis of
+the summarization engine.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro._util import format_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Environment overrides for ``--smoke`` runs: small preset, tiny graphs.
+SMOKE_ENV = {"REPRO_SCALE": "small", "REPRO_DATASET_SCALE": "0.08", "REPRO_QUERIES": "2"}
+
+
+def bench_main(
+    argv: "Sequence[str] | None",
+    run_table: Callable[[argparse.Namespace], object],
+    *,
+    description: str = "Run this benchmark standalone.",
+    parser_hook: "Callable[[argparse.ArgumentParser], None] | None" = None,
+) -> int:
+    """Shared ``main()`` plumbing for running a bench module as a script.
+
+    Parses ``--smoke`` / ``--scale`` (plus whatever *parser_hook* adds,
+    e.g. ``--backend``), applies the matching ``REPRO_*`` environment
+    overrides for the duration of the run, and calls *run_table* with the
+    parsed namespace.  Bench ``main()``s print tables only; the pass/fail
+    assertions live in the pytest wrappers.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny-graph smoke run (used by tests/test_benchmarks_smoke.py)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default", "full"),
+        default=None,
+        help="REPRO_SCALE preset for this run",
+    )
+    if parser_hook is not None:
+        parser_hook(parser)
+    args = parser.parse_args(argv)
+    if args.smoke and args.scale:
+        parser.error("--smoke and --scale are mutually exclusive (smoke pins its own tiny scale)")
+
+    overrides = {}
+    if args.scale:
+        overrides["REPRO_SCALE"] = args.scale
+    if args.smoke:
+        overrides.update(SMOKE_ENV)
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        run_table(args)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return 0
+
+
+def engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the summarization-engine axis (``--backend`` / ``--cost-cache``)."""
+    from repro.core import BACKENDS, COST_CACHES
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="dict",
+        help="summary-graph storage backend (identical summaries either way)",
+    )
+    parser.add_argument(
+        "--cost-cache",
+        choices=COST_CACHES,
+        default="incremental",
+        help="cost-model strategy; 'rebuild' is the pre-cache reference engine",
+    )
 
 
 def emit_table(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

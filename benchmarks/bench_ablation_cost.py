@@ -9,15 +9,14 @@ eagerly in personalized settings.
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import ablations
 from repro.experiments.ablations import mean_by_variant
 
 
-def test_ablation_cost_criterion(benchmark):
-    rows = benchmark.pedantic(ablations.run_cost_criterion, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "ablation_cost",
         "Ablation: merge criterion (Eq. 11 relative vs Eq. 10 absolute)",
         ["Dataset", "Criterion", "Ratio", "SMAPE (RWR)", "Spearman (RWR)", "Personalized error"],
@@ -26,6 +25,11 @@ def test_ablation_cost_criterion(benchmark):
             for r in rows
         ],
     )
+
+
+def test_ablation_cost_criterion(benchmark):
+    rows = benchmark.pedantic(ablations.run_cost_criterion, rounds=1, iterations=1)
+    _emit(rows)
     errors = mean_by_variant(rows, "personalized_error")
     smapes = mean_by_variant(rows, "smape_rwr")
     # The relative criterion must not lose on both metrics at once.
@@ -33,3 +37,16 @@ def test_ablation_cost_criterion(benchmark):
         errors["relative"] <= errors["absolute"] * 1.05
         or smapes["relative"] <= smapes["absolute"] * 1.05
     )
+
+
+def _run_table(args) -> None:
+    kwargs = {"datasets": ("lastfm_asia",)} if args.smoke else {}
+    _emit(ablations.run_cost_criterion(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Merge-criterion ablation bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

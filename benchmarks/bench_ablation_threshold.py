@@ -8,15 +8,14 @@ beating SSumM even in non-personalized settings (Sect. V-B).
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import ablations
 from repro.experiments.ablations import mean_by_variant
 
 
-def test_ablation_threshold_schedule(benchmark):
-    rows = benchmark.pedantic(ablations.run_threshold_schedule, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "ablation_threshold",
         "Ablation: adaptive theta (PeGaSus) vs fixed 1/(1+t) (SSumM)",
         ["Dataset", "Schedule", "Ratio", "SMAPE (RWR)", "Spearman (RWR)", "Personalized error"],
@@ -25,9 +24,27 @@ def test_ablation_threshold_schedule(benchmark):
             for r in rows
         ],
     )
+
+
+def test_ablation_threshold_schedule(benchmark):
+    rows = benchmark.pedantic(ablations.run_threshold_schedule, rounds=1, iterations=1)
+    _emit(rows)
     errors = mean_by_variant(rows, "personalized_error")
     smapes = mean_by_variant(rows, "smape_rwr")
     assert (
         errors["adaptive"] <= errors["fixed"] * 1.1
         or smapes["adaptive"] <= smapes["fixed"] * 1.1
     )
+
+
+def _run_table(args) -> None:
+    kwargs = {"datasets": ("lastfm_asia",)} if args.smoke else {}
+    _emit(ablations.run_threshold_schedule(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Threshold-schedule ablation bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,14 +9,13 @@ the many distant edges on high-diameter graphs).
 from __future__ import annotations
 
 import numpy as np
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig10_diameter
 
 
-def test_fig10_best_alpha_vs_diameter(benchmark):
-    rows = benchmark.pedantic(fig10_diameter.run, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig10_diameter",
         "Fig. 10: accuracy per (rewiring p, alpha); best alpha shrinks with diameter",
         ["p", "Eff. diameter", "alpha", "Query", "SMAPE", "Spearman"],
@@ -25,6 +24,11 @@ def test_fig10_best_alpha_vs_diameter(benchmark):
             for r in rows
         ],
     )
+
+
+def test_fig10_best_alpha_vs_diameter(benchmark):
+    rows = benchmark.pedantic(fig10_diameter.run, rounds=1, iterations=1)
+    _emit(rows)
     pairs = fig10_diameter.best_alpha_per_probability(rows, query_type="rwr")
     print("  (diameter, best alpha):", [(round(d, 1), a) for d, a in pairs])
     diameters = np.asarray([d for d, _ in pairs])
@@ -37,3 +41,25 @@ def test_fig10_best_alpha_vs_diameter(benchmark):
 
     trend = spearman_correlation(diameters, best_alphas.astype(float))
     assert trend <= 0.35, f"best alpha should not increase with diameter (trend={trend:.2f})"
+
+
+def _run_table(args) -> None:
+    kwargs = {}
+    if args.smoke:
+        kwargs.update(
+            rewire_probabilities=(0.0, 0.1),
+            alphas=(1.25, 1.75),
+            num_nodes=120,
+            neighbors_each_side=3,
+            num_targets=10,
+            query_types=("rwr",),
+        )
+    _emit(fig10_diameter.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 10 diameter bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,19 +6,23 @@ moderate β around 0.1 and is not catastrophically sensitive elsewhere.
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig11_beta
 
 
-def test_fig11_beta_effect(benchmark):
-    rows = benchmark.pedantic(fig11_beta.run, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig11_beta",
         "Fig. 11: accuracy vs beta (averaged over datasets)",
         ["beta", "Ratio", "Query", "SMAPE", "Spearman"],
         [(r.beta, r.ratio, r.query_type, fmt(r.smape), fmt(r.spearman)) for r in rows],
     )
+
+
+def test_fig11_beta_effect(benchmark):
+    rows = benchmark.pedantic(fig11_beta.run, rounds=1, iterations=1)
+    _emit(rows)
 
     def smape_at(beta, ratio, qt):
         (row,) = [r for r in rows if r.beta == beta and r.ratio == ratio and r.query_type == qt]
@@ -29,3 +33,20 @@ def test_fig11_beta_effect(benchmark):
         # beta = 0.1 within 10% (absolute) of the best setting, as in the
         # paper's "not sensitive unless extreme" finding.
         assert smape_at(0.1, ratio, "rwr") <= min(values) + 0.1
+
+
+def _run_table(args) -> None:
+    kwargs = {}
+    if args.smoke:
+        kwargs.update(
+            datasets=("lastfm_asia",), betas=(0.1, 0.9), ratios=(0.5,), query_types=("rwr",)
+        )
+    _emit(fig11_beta.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 11 beta-effect bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

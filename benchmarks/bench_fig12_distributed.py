@@ -12,15 +12,14 @@ stronger here; see EXPERIMENTS.md for the analysis.)
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig12_distributed
 from repro.experiments.fig12_distributed import mean_metric
 
 
-def test_fig12_distributed(benchmark):
-    rows = benchmark.pedantic(fig12_distributed.run, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig12_distributed",
         "Fig. 12: distributed multi-query accuracy (m machines, budget = ratio * Size(G))",
         ["Dataset", "Method", "Ratio", "Query", "SMAPE", "Spearman"],
@@ -29,6 +28,11 @@ def test_fig12_distributed(benchmark):
             for r in rows
         ],
     )
+
+
+def test_fig12_distributed(benchmark):
+    rows = benchmark.pedantic(fig12_distributed.run, rounds=1, iterations=1)
+    _emit(rows)
     # Personalization wins within the summary family, for both query types
     # and both metrics.
     for query_type in ("rwr", "hop"):
@@ -38,3 +42,25 @@ def test_fig12_distributed(benchmark):
     pegasus_sc = mean_metric(rows, method="pegasus", query_type="rwr", metric="spearman")
     ssumm_sc = mean_metric(rows, method="ssumm", query_type="rwr", metric="spearman")
     assert pegasus_sc >= ssumm_sc - 1e-9
+
+
+def _run_table(args) -> None:
+    kwargs = {}
+    if args.smoke:
+        kwargs.update(
+            datasets=("lastfm_asia",),
+            ratios=(0.5,),
+            methods=("pegasus", "ssumm", "louvain"),
+            query_types=("rwr",),
+            dataset_scale_multiplier=1.0,
+            num_machines=2,
+        )
+    _emit(fig12_distributed.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 12 distributed bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.baselines import ssumm_summarize
 from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
@@ -37,14 +37,30 @@ def _headline():
     }
 
 
-def test_fig2_headline_effectiveness(benchmark):
-    relative = benchmark.pedantic(_headline, rounds=1, iterations=1)
-    emit_table(
+def _emit(relative):
+    return emit_table(
         "fig2_headline",
         "Fig. 2(a): relative personalized error at compression ratio 0.5",
         ["Method", "Relative personalized error"],
         [(name, fmt(value)) for name, value in relative.items()],
     )
+
+
+def test_fig2_headline_effectiveness(benchmark):
+    relative = benchmark.pedantic(_headline, rounds=1, iterations=1)
+    _emit(relative)
     # The headline ordering: personalized < non-personalized <= SSumM-ish.
     assert relative["PeGaSus (personalized)"] < 1.0
     assert relative["PeGaSus (personalized)"] < relative["SSumM"]
+
+
+def _run_table(args) -> None:
+    _emit(_headline())
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 2 headline bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,16 +8,13 @@ grows, and the SSumM reference stays near or above 1.
 from __future__ import annotations
 
 import numpy as np
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig5_effectiveness
 
 
-def test_fig5_effectiveness(benchmark):
-    rows = benchmark.pedantic(
-        lambda: fig5_effectiveness.run(alphas=(1.25, 1.75)), rounds=1, iterations=1
-    )
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig5_effectiveness",
         "Fig. 5: relative personalized error (PeGaSus vs non-personalized reference)",
         ["Dataset", "alpha", "|T|", "RelErr(PeGaSus)", "RelErr(SSumM ref)"],
@@ -26,6 +23,13 @@ def test_fig5_effectiveness(benchmark):
             for r in rows
         ],
     )
+
+
+def test_fig5_effectiveness(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5_effectiveness.run(alphas=(1.25, 1.75)), rounds=1, iterations=1
+    )
+    _emit(rows)
 
     def mean_rel(alpha, spec):
         return float(
@@ -38,3 +42,22 @@ def test_fig5_effectiveness(benchmark):
     assert mean_rel(1.75, "1") < mean_rel(1.75, "|V|") + 0.05
     # Stronger alpha sharpens the effect for the most focused setting.
     assert mean_rel(1.75, "1") <= mean_rel(1.25, "1") + 0.1
+
+
+def _run_table(args) -> None:
+    kwargs = {"alphas": (1.25, 1.75)}
+    if args.smoke:
+        kwargs.update(
+            datasets=("lastfm_asia",),
+            alphas=(1.75,),
+            target_specs=(("1", None), ("|V|", 1.0)),
+        )
+    _emit(fig5_effectiveness.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 5 effectiveness bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

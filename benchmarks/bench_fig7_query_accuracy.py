@@ -10,15 +10,14 @@ datasets, as in the paper's figures.
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig7_accuracy
 from repro.experiments.fig7_accuracy import mean_over
 
 
-def test_fig7_query_accuracy(benchmark):
-    rows = benchmark.pedantic(fig7_accuracy.run, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig7_query_accuracy",
         "Fig. 7: SMAPE (lower better) and Spearman (higher better) per method",
         ["Dataset", "Method", "Ratio req.", "Ratio ach.", "Query", "SMAPE", "Spearman"],
@@ -35,6 +34,11 @@ def test_fig7_query_accuracy(benchmark):
             for r in rows
         ],
     )
+
+
+def test_fig7_query_accuracy(benchmark):
+    rows = benchmark.pedantic(fig7_accuracy.run, rounds=1, iterations=1)
+    _emit(rows)
     # (1) PeGaSus beats the non-personalized state of the art (SSumM, the
     # same encoding without personalization) on every query type and both
     # metrics — the paper's central Fig. 7 comparison.
@@ -64,3 +68,23 @@ def test_fig7_query_accuracy(benchmark):
     # Note: the weighted baselines' graded density decoding gives them
     # competitive SMAPE on *value* queries at this reduced scale; see
     # EXPERIMENTS.md for the analysis of this deviation.
+
+
+def _run_table(args) -> None:
+    kwargs = {}
+    if args.smoke:
+        kwargs.update(
+            datasets=("lastfm_asia",),
+            ratios=(0.5,),
+            methods=("pegasus", "ssumm"),
+            query_types=("rwr",),
+        )
+    _emit(fig7_accuracy.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 7 query-accuracy bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,19 +7,23 @@ and accuracy peaks at a moderate α rather than the extremes.
 
 from __future__ import annotations
 
-from _util import emit_table, fmt
+from _util import bench_main, emit_table, fmt
 
 from repro.experiments import fig9_alpha
 
 
-def test_fig9_alpha_effect(benchmark):
-    rows = benchmark.pedantic(fig9_alpha.run, rounds=1, iterations=1)
-    emit_table(
+def _emit(rows):
+    return emit_table(
         "fig9_alpha",
         "Fig. 9: accuracy vs alpha (averaged over datasets)",
         ["alpha", "Ratio", "Query", "SMAPE", "Spearman"],
         [(r.alpha, r.ratio, r.query_type, fmt(r.smape), fmt(r.spearman)) for r in rows],
     )
+
+
+def test_fig9_alpha_effect(benchmark):
+    rows = benchmark.pedantic(fig9_alpha.run, rounds=1, iterations=1)
+    _emit(rows)
 
     def smape_at(alpha, ratio, qt):
         (row,) = [r for r in rows if r.alpha == alpha and r.ratio == ratio and r.query_type == qt]
@@ -34,3 +38,20 @@ def test_fig9_alpha_effect(benchmark):
         best = fig9_alpha.best_alpha(rows, ratio=ratio, query_type="rwr")
         print(f"  best alpha at ratio {ratio}: {best}")
         assert best > 1.0  # some personalization always helps
+
+
+def _run_table(args) -> None:
+    kwargs = {}
+    if args.smoke:
+        kwargs.update(
+            datasets=("lastfm_asia",), alphas=(1.0, 1.5), ratios=(0.5,), query_types=("rwr",)
+        )
+    _emit(fig9_alpha.run(**kwargs))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Fig. 9 alpha-effect bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

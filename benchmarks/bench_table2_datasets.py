@@ -7,10 +7,19 @@ and the family labels match the paper.
 
 from __future__ import annotations
 
-from _util import emit_table
+from _util import bench_main, emit_table
 
 from repro.experiments.common import ExperimentScale
 from repro.graph import table2_rows
+
+
+def _emit(rows):
+    return emit_table(
+        "table2_datasets",
+        "Table II: synthetic stand-ins (name, #nodes, #edges, family)",
+        ["Name", "# Nodes", "# Edges", "Summary"],
+        rows,
+    )
 
 
 def test_table2_datasets(benchmark):
@@ -18,14 +27,22 @@ def test_table2_datasets(benchmark):
     rows = benchmark.pedantic(
         lambda: table2_rows(scale=scale.dataset_scale, seed=scale.seed), rounds=1, iterations=1
     )
-    emit_table(
-        "table2_datasets",
-        "Table II: synthetic stand-ins (name, #nodes, #edges, family)",
-        ["Name", "# Nodes", "# Edges", "Summary"],
-        rows,
-    )
+    _emit(rows)
     assert len(rows) == 7
     # Same size ordering as the paper: LastFM smallest, synthetic-BA largest.
     edges = [r[2] for r in rows]
     assert edges[0] < edges[-1]
     assert all(n > 0 and e > 0 for _, n, e, _ in rows)
+
+
+def _run_table(args) -> None:
+    scale = ExperimentScale.from_env()
+    _emit(table2_rows(scale=scale.dataset_scale, seed=scale.seed))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    return bench_main(argv, _run_table, description="Table II dataset bench.")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

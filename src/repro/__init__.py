@@ -19,6 +19,7 @@ Quickstart
 
 from repro.core import (
     CostModel,
+    FlatSummaryGraph,
     Pegasus,
     PegasusConfig,
     PegasusResult,
@@ -35,6 +36,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CostModel",
+    "FlatSummaryGraph",
     "Pegasus",
     "PegasusConfig",
     "PegasusResult",

@@ -24,12 +24,16 @@ def ssumm_summarize(
     max_group_size: int = 500,
     recursive_splits: int = 10,
     seed: "int | None" = None,
+    backend: str = "dict",
+    cost_cache: str = "incremental",
 ) -> PegasusResult:
     """Summarize *graph* with SSumM under a bit budget.
 
     Parameters mirror :func:`repro.core.pegasus.summarize`; the target set,
     personalization degree, and threshold policy are fixed to SSumM's
-    choices (``T = V``, ``α = 1``, ``θ(t) = 1/(1+t)``).
+    choices (``T = V``, ``α = 1``, ``θ(t) = 1/(1+t)``).  *backend* and
+    *cost_cache* select the shared engine's storage backend and cost-model
+    strategy, exactly as for PeGaSus.
     """
     config = PegasusConfig(
         alpha=1.0,
@@ -38,6 +42,8 @@ def ssumm_summarize(
         recursive_splits=recursive_splits,
         threshold="fixed",
         seed=seed,
+        backend=backend,
+        cost_cache=cost_cache,
     )
     return summarize(
         graph,

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro._util import format_table
 from repro.baselines import ssumm_summarize
-from repro.core import PegasusConfig, summarize
+from repro.core import BACKENDS, COST_CACHES, PegasusConfig, summarize
 from repro.core.summary_io import save_summary
 from repro.eval import smape, spearman_correlation
 from repro.graph import dataset_names, load_dataset, read_edgelist, table2_rows
@@ -64,10 +64,22 @@ def _cmd_summarize(args) -> int:
     targets = [int(t) for t in args.targets.split(",")] if args.targets else None
     if args.method == "ssumm":
         result = ssumm_summarize(
-            graph, compression_ratio=args.ratio, t_max=args.t_max, seed=args.seed
+            graph,
+            compression_ratio=args.ratio,
+            t_max=args.t_max,
+            seed=args.seed,
+            backend=args.backend,
+            cost_cache=args.cost_cache,
         )
     else:
-        config = PegasusConfig(alpha=args.alpha, beta=args.beta, t_max=args.t_max, seed=args.seed)
+        config = PegasusConfig(
+            alpha=args.alpha,
+            beta=args.beta,
+            t_max=args.t_max,
+            seed=args.seed,
+            backend=args.backend,
+            cost_cache=args.cost_cache,
+        )
         result = summarize(graph, targets=targets, compression_ratio=args.ratio, config=config)
     summary = result.summary
     print(f"graph           {name}: |V|={graph.num_nodes}, |E|={graph.num_edges}")
@@ -101,7 +113,7 @@ def _cmd_query(args) -> int:
     rows: List[Sequence[object]] = [(int(u), f"{exact[u]:.6f}") for u in top]
     headers = ["Node", f"{args.type.upper()} (exact)"]
     if args.compare_summary:
-        config = PegasusConfig(alpha=args.alpha, seed=args.seed)
+        config = PegasusConfig(alpha=args.alpha, seed=args.seed, backend=args.backend)
         result = summarize(graph, targets=[node], compression_ratio=args.ratio, config=config)
         approx = answer(result.summary)
         rows = [(int(u), f"{exact[u]:.6f}", f"{approx[u]:.6f}") for u in top]
@@ -171,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_cmd.add_argument("--alpha", type=float, default=1.25)
     summarize_cmd.add_argument("--beta", type=float, default=0.1)
     summarize_cmd.add_argument("--t-max", type=int, default=20)
+    summarize_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="dict",
+        help="summary-graph storage backend (identical output either way)",
+    )
+    summarize_cmd.add_argument(
+        "--cost-cache",
+        choices=COST_CACHES,
+        default="incremental",
+        help="cost-model strategy; 'rebuild' is the pre-cache reference path",
+    )
     summarize_cmd.add_argument("--output", help="write the summary graph to this file")
     summarize_cmd.set_defaults(func=_cmd_summarize)
 
@@ -186,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_cmd.add_argument("--ratio", type=float, default=0.5)
     query_cmd.add_argument("--alpha", type=float, default=1.25)
+    query_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="dict",
+        help="summary-graph storage backend for --compare-summary",
+    )
     query_cmd.set_defaults(func=_cmd_query)
 
     experiment_cmd = sub.add_parser("experiment", help="run one paper experiment")

@@ -10,8 +10,8 @@ Public entry points:
 """
 
 from repro.core.weights import PersonalizedWeights
-from repro.core.summary import SummaryGraph
-from repro.core.costs import CostModel, personalized_error
+from repro.core.summary import BACKENDS, FlatSummaryGraph, SummaryGraph
+from repro.core.costs import COST_CACHES, CostModel, personalized_error
 from repro.core.corrections import CorrectionSet, compute_corrections, decode, lossless_size_in_bits
 from repro.core.shingle import candidate_groups, node_shingles
 from repro.core.threshold import AdaptiveThreshold, FixedSchedule
@@ -21,7 +21,10 @@ from repro.core.summary_io import load_summary, save_summary
 __all__ = [
     "PersonalizedWeights",
     "SummaryGraph",
+    "FlatSummaryGraph",
+    "BACKENDS",
     "CostModel",
+    "COST_CACHES",
     "personalized_error",
     "CorrectionSet",
     "compute_corrections",

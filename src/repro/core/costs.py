@@ -13,9 +13,8 @@ one superedge costs ``2·log2|S|`` bits.  With the factorized weights
 
 * ``s_A = Σ_{u∈A} w_u`` and ``q_A = Σ_{u∈A} w_u²`` — maintained per
   supernode by :class:`CostModel`, O(1) to update on a merge; and
-* ``ew_AB = Σ_{{u,v}∈E, u∈A, v∈B} w_u w_v / Z`` — recomputed on demand by
-  walking the input edges incident to one side, which is the
-  ``O(Σ_{u∈A}|N_u| + Σ_{v∈B}|N_v|)`` of Lemma 1.
+* ``ew_AB = Σ_{{u,v}∈E, u∈A, v∈B} w_u w_v / Z`` — the per-block edge
+  weights.
 
 These are the "new computational tricks ... maintaining additional
 information" the paper defers to its online appendix (Sect. III-G).
@@ -28,9 +27,33 @@ Block error, unordered-pair space:
 where ``Π_AB = s_A s_B / Z`` (or ``(s_A² − q_A) / 2Z`` for ``A = B``) is the
 total weight of all unordered node pairs in the block.
 
+Caching strategies
+------------------
+
+Two strategies compute ``ew_AB``, selected by ``CostModel(cache=...)``:
+
+* ``cache="incremental"`` (default) — every live supernode keeps a dict
+  ``{X: ew_AX}`` of block edge weights, built once at O(|E|) and updated
+  in O(deg) when a merge commits.  :meth:`evaluate_merge` then runs a
+  single fused pass over the two partner dicts (no per-candidate rebuild
+  and no scratch dict), which is what makes candidate evaluation
+  O(superdegree) instead of O(Σ member degrees) and drives the fig-6/fig-8
+  speedups.  Both summary backends share this code path, so their float
+  arithmetic — and therefore every merge decision — is bit-identical,
+  which the cross-backend equivalence suite relies on.
+* ``cache="rebuild"`` — the original strategy: recompute the block edge
+  weights of both candidates from the input adjacency on every call
+  (the ``O(Σ_{u∈A}|N_u| + Σ_{v∈B}|N_v|)`` of Lemma 1).  Kept as the
+  validation reference and as the baseline the benchmarks report
+  speedups against.
+
+The two strategies agree to float round-off but not bit-for-bit (sums
+associate differently), so per-run reproducibility requires sticking to
+one strategy; mixed-strategy comparisons belong in ``pytest.approx``.
+
 Implementation note: the normalizer is folded into the node weights once
 (``w' = w / sqrt(Z)``, so ``W_uv = w'_u w'_v`` exactly) and the hot loops
-run over plain Python lists — numpy scalar indexing is an order of
+run over plain Python dicts/lists — numpy scalar indexing is an order of
 magnitude slower than list indexing, and these loops are the inner kernel
 of the whole algorithm.
 """
@@ -46,6 +69,10 @@ import numpy as np
 from repro._util import log2_capped
 from repro.core.summary import SummaryGraph
 from repro.core.weights import PersonalizedWeights
+from repro.errors import GraphFormatError
+
+#: Available block-edge-weight caching strategies for :class:`CostModel`.
+COST_CACHES = ("incremental", "rebuild")
 
 
 @dataclass
@@ -80,22 +107,42 @@ class MergePlan:
 class CostModel:
     """Incremental cost bookkeeping for a :class:`SummaryGraph`.
 
-    The model owns the per-supernode weight sums and answers the two
-    questions PeGaSus asks while merging (Alg. 2):
+    The model owns the per-supernode weight sums (and, in the default
+    ``"incremental"`` mode, the per-supernode block-edge-weight caches) and
+    answers the two questions PeGaSus asks while merging (Alg. 2):
 
     * :meth:`evaluate_merge` — the (relative) cost reduction of a candidate
       pair, plus the optimal superedge set for the union (lines 4–5, 9);
     * :meth:`apply_merge` — commit a previously evaluated plan (lines 6–9).
 
-    All structural changes must flow through :meth:`apply_merge`; mutating
-    the summary directly desynchronizes the cached sums.
+    All *merges* must flow through :meth:`apply_merge`; merging the summary
+    directly desynchronizes the cached sums.  Superedge additions/removals
+    on the summary are safe: they change no cached quantity.
+
+    Parameters
+    ----------
+    summary, weights:
+        The live summary graph and the personalized node weights (must be
+        built on the same input graph).
+    cache:
+        Block-edge-weight strategy — ``"incremental"`` (default) or
+        ``"rebuild"``; see the module docstring.
     """
 
-    def __init__(self, summary: SummaryGraph, weights: PersonalizedWeights):
+    def __init__(
+        self,
+        summary: SummaryGraph,
+        weights: PersonalizedWeights,
+        *,
+        cache: str = "incremental",
+    ):
         if summary.graph is not weights.graph:
             raise ValueError("summary and weights must be built on the same graph")
+        if cache not in COST_CACHES:
+            raise ValueError(f"cache must be one of {COST_CACHES}, got {cache!r}")
         self.summary = summary
         self.weights = weights
+        self.cache = cache
         n = summary.num_nodes
         graph = summary.graph
 
@@ -116,16 +163,19 @@ class CostModel:
             index_list[indptr[u] : indptr[u + 1]] for u in range(n)
         ]
         self._error_bit_price = 2.0 * log2_capped(max(n, 1))
+        self._se_bits = 2.0 * log2_capped(max(summary.num_supernodes, 1))
+
+        self._blocks: "Dict[int, Dict[int, float]] | None" = None
+        if cache == "incremental":
+            self._blocks = {
+                s: self._walk_block_edge_weights(s) for s in summary.supernodes()
+            }
 
     # ------------------------------------------------------------------
     # block primitives
     # ------------------------------------------------------------------
-    def block_edge_weights(self, supernode: int) -> Dict[int, float]:
-        """``ew_{A,X}`` for every supernode ``X`` with an input edge to *A*.
-
-        The self entry ``ew_{A,A}`` counts each within-block edge once.
-        Cost is ``O(Σ_{u∈A} |N_u|)`` (Lemma 1).
-        """
+    def _walk_block_edge_weights(self, supernode: int) -> Dict[int, float]:
+        """``ew_{A,X}`` recomputed from the input adjacency (Lemma 1)."""
         w, sn, adj = self._w, self._sn, self._adj
         acc: Dict[int, float] = {}
         get = acc.get
@@ -137,6 +187,21 @@ class CostModel:
         if supernode in acc:
             acc[supernode] *= 0.5  # each within-block edge was visited twice
         return acc
+
+    def block_edge_weights(self, supernode: int) -> Dict[int, float]:
+        """``ew_{A,X}`` for every supernode ``X`` with an input edge to *A*.
+
+        The self entry ``ew_{A,A}`` counts each within-block edge once.
+        In ``"incremental"`` mode this is a copy of the maintained cache
+        (O(superdegree)); in ``"rebuild"`` mode it walks the input edges
+        incident to *A* (``O(Σ_{u∈A} |N_u|)``, Lemma 1).
+        """
+        if self._blocks is not None:
+            try:
+                return dict(self._blocks[supernode])
+            except KeyError:
+                raise GraphFormatError(f"supernode {supernode} does not exist") from None
+        return self._walk_block_edge_weights(supernode)
 
     def potential_weight(self, a: int, b: int) -> float:
         """``Π_AB``: total weight of unordered node pairs in block ``{A, B}``."""
@@ -198,13 +263,143 @@ class CostModel:
         Alg. 2): a superedge ``{A∪B, X}`` is kept iff it lowers
         ``Cost_{(A∪B)X}``; ties prefer the sparser summary.
         """
+        if self._blocks is None:
+            return self._evaluate_merge_rebuild(a, b)
+
+        summary = self.summary
+        se_bits = self._se_bits
+        price = self._error_bit_price
+        sw, sq = self._sw, self._sq
+        try:
+            acc_a = self._blocks[a]
+            acc_b = self._blocks[b]
+        except KeyError as exc:
+            raise GraphFormatError(f"supernode {exc.args[0]} does not exist") from None
+        adj_a = summary.superedge_neighbors(a)
+        adj_b = summary.superedge_neighbors(b)
+        s_a = sw[a]
+        s_b = sw[b]
+        s_m = s_a + s_b
+        q_m = sq[a] + sq[b]
+
+        # One fused pass over the union of both partner dicts computes the
+        # pre-merge cost of every affected block (``before``, which is all
+        # of Cost_A + Cost_B − Cost_AB: every block of either side is
+        # affected) and the post-merge cost with the optimal superedge
+        # choice.  Self blocks {a,a}, {b,b} and the cross block {a,b} are
+        # priced after the loops.
+        before = 0.0
+        merged_cost = 0.0
+        chosen: List[int] = []
+        ew_aa = 0.0
+        ew_bb = 0.0
+        ew_ab = 0.0
+        get_b = acc_b.get
+
+        for x, ew in acc_a.items():
+            if x == a:
+                ew_aa = ew
+                continue
+            if x == b:
+                ew_ab = ew
+                continue
+            sx = sw[x]
+            if x in adj_a:
+                before += se_bits + price * (s_a * sx - ew)
+            else:
+                before += price * ew
+            ew_b_x = get_b(x, 0.0)
+            if ew_b_x:
+                if x in adj_b:
+                    before += se_bits + price * (s_b * sx - ew_b_x)
+                else:
+                    before += price * ew_b_x
+                ew = ew + ew_b_x
+            elif x in adj_b:
+                before += se_bits + price * (s_b * sx)
+            with_edge = se_bits + price * (s_m * sx - ew)
+            without_edge = price * ew
+            if with_edge < without_edge:
+                merged_cost += with_edge
+                chosen.append(x)
+            else:
+                merged_cost += without_edge
+
+        in_a = acc_a.__contains__
+        for x, ew in acc_b.items():
+            if x == b:
+                ew_bb = ew
+                continue
+            if x == a or in_a(x):
+                continue
+            sx = sw[x]
+            if x in adj_b:
+                before += se_bits + price * (s_b * sx - ew)
+            else:
+                before += price * ew
+            with_edge = se_bits + price * (s_m * sx - ew)
+            without_edge = price * ew
+            if with_edge < without_edge:
+                merged_cost += with_edge
+                chosen.append(x)
+            else:
+                merged_cost += without_edge
+
+        # Superedges over edgeless blocks (only baseline-made summaries
+        # have these; a summarize() run never does).
+        for x in adj_a:
+            if x != a and x != b and x not in acc_a:
+                before += se_bits + price * (s_a * sw[x])
+        for x in adj_b:
+            if x != a and x != b and x not in acc_b and x not in acc_a:
+                before += se_bits + price * (s_b * sw[x])
+
+        if ew_aa or a in adj_a:
+            pi = (s_a * s_a - sq[a]) * 0.5
+            if a in adj_a:
+                before += se_bits + price * (pi - ew_aa)
+            else:
+                before += price * ew_aa
+        if ew_bb or b in adj_b:
+            pi = (s_b * s_b - sq[b]) * 0.5
+            if b in adj_b:
+                before += se_bits + price * (pi - ew_bb)
+            else:
+                before += price * ew_bb
+        if ew_ab or b in adj_a:
+            if b in adj_a:
+                before += se_bits + price * (s_a * s_b - ew_ab)
+            else:
+                before += price * ew_ab
+
+        ew_self = ew_aa + ew_bb + ew_ab
+        pi_self = (s_m * s_m - q_m) * 0.5
+        with_loop = se_bits + price * (pi_self - ew_self)
+        without_loop = price * ew_self
+        self_loop = with_loop < without_loop
+        merged_cost += with_loop if self_loop else without_loop
+
+        delta = before - merged_cost
+        relative = delta / before if before > 0.0 else 0.0
+        return MergePlan(
+            a=a,
+            b=b,
+            delta=delta,
+            relative_delta=relative,
+            superedges=chosen,
+            self_loop=self_loop,
+            merged_cost=merged_cost,
+        )
+
+    def _evaluate_merge_rebuild(self, a: int, b: int) -> MergePlan:
+        """The original per-candidate rebuild evaluation (``cache="rebuild"``)."""
         summary = self.summary
         se_bits = self._superedge_bits()
         price = self._error_bit_price
         sw, sq = self._sw, self._sq
 
-        acc_a = self.block_edge_weights(a)
-        acc_b = self.block_edge_weights(b)
+        acc_a = self._walk_block_edge_weights(a)
+        acc_b = self._walk_block_edge_weights(b)
         adj_a = summary.superedge_neighbors(a)
         adj_b = summary.superedge_neighbors(b)
 
@@ -269,6 +464,22 @@ class CostModel:
         sw, sq, sn = self._sw, self._sq, self._sn
         s_m = sw[a] + sw[b]
         q_m = sq[a] + sq[b]
+
+        blocks = self._blocks
+        merged: "Dict[int, float] | None" = None
+        if blocks is not None:
+            acc_a = blocks.pop(a)
+            acc_b = blocks.pop(b)
+            merged = {}
+            for x, ew in acc_a.items():
+                if x != a and x != b:
+                    merged[x] = ew
+            get_m = merged.get
+            for x, ew in acc_b.items():
+                if x != a and x != b:
+                    merged[x] = get_m(x, 0.0) + ew
+            ew_self = acc_a.get(a, 0.0) + acc_b.get(b, 0.0) + acc_a.get(b, 0.0)
+
         absorbed = list(self.summary.member_list(b))
         union, _former = self.summary.merge_supernodes(a, b)
         dead = b if union == a else a
@@ -280,13 +491,31 @@ class CostModel:
             self.summary.add_superedge(union, x)
         if plan.self_loop:
             self.summary.add_superedge(union, union)
+
+        if merged is not None:
+            # Re-key every partner's cache entry to the union id.  Setting
+            # the partner-side value from `merged` keeps the symmetry
+            # invariant ``blocks[X][A] == blocks[A][X]`` exact.
+            for x, ew in merged.items():
+                d = blocks[x]
+                d.pop(a, None)
+                d.pop(b, None)
+                d[union] = ew
+            if ew_self:
+                merged[union] = ew_self
+            blocks[union] = merged
+            self._se_bits = 2.0 * log2_capped(max(self.summary.num_supernodes, 1))
         return union
 
     # ------------------------------------------------------------------
     # whole-summary quantities (for tests, sparsification, and reporting)
     # ------------------------------------------------------------------
     def superedge_drop_order(self) -> List[Tuple[float, int, int]]:
-        """All superedges as ``(Cost_AB, A, B)`` sorted ascending (Sect. III-F)."""
+        """All superedges as ``(Cost_AB, A, B)`` sorted ascending (Sect. III-F).
+
+        Ties on the cost are broken by the ``(A, B)`` endpoint pair, so the
+        drop order is deterministic and identical across summary backends.
+        """
         entries: List[Tuple[float, int, int]] = []
         se_bits = self._superedge_bits()
         edge_weights = _blockwise_edge_weights(self.summary, self.weights)
@@ -295,7 +524,7 @@ class CostModel:
             ew = edge_weights.get(key, 0.0)
             cost = se_bits + self._error_bit_price * (self.potential_weight(a, b) - ew)
             entries.append((cost, a, b))
-        entries.sort(key=lambda item: item[0])
+        entries.sort()
         return entries
 
     def total_cost(self) -> float:
@@ -335,6 +564,8 @@ def personalized_error(summary: SummaryGraph, weights: PersonalizedWeights) -> f
     Works for any summary graph over the weights' input graph, including the
     weighted summaries produced by baselines (weights on superedges are
     ignored: reconstruction is presence/absence, as in Sect. II-A).
+    Superedges are folded in sorted order so the result is bit-identical
+    across summary backends.
     """
     if summary.graph is not weights.graph and summary.graph != weights.graph:
         raise ValueError("summary and weights must describe the same graph")
@@ -352,7 +583,7 @@ def personalized_error(summary: SummaryGraph, weights: PersonalizedWeights) -> f
 
     error = 0.0
     seen_blocks = set()
-    for a, b in summary.superedges():
+    for a, b in sorted(summary.superedges()):
         key = (a, b) if a <= b else (b, a)
         seen_blocks.add(key)
         error += potential(a, b) - block_ew.get(key, 0.0)

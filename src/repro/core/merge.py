@@ -13,6 +13,14 @@ until one supernode remains or ``log2|C_i|`` merge attempts fail in a row.
 
 The ablation of Sect. III-B (relative Eq. 11 vs absolute Eq. 10 criterion)
 is exposed via ``objective=``.
+
+This loop is storage-backend-agnostic: it talks to the summary only
+through the :class:`~repro.core.costs.CostModel`, and it consumes the RNG
+in a fixed pattern (one :func:`_sample_pairs` draw per attempt).  Given
+the same seed, the same candidate groups, and the same cost arithmetic,
+it therefore replays the same merges on the dict and flat backends —
+the property the cross-backend equivalence and determinism suites pin
+down (``tests/core/test_backend_equivalence.py``).
 """
 
 from __future__ import annotations

@@ -28,10 +28,10 @@ from typing import Iterable, List
 import numpy as np
 
 from repro._util import ensure_rng
-from repro.core.costs import CostModel
+from repro.core.costs import COST_CACHES, CostModel
 from repro.core.merge import OBJECTIVES, merge_within_group
 from repro.core.shingle import candidate_groups
-from repro.core.summary import SummaryGraph
+from repro.core.summary import BACKENDS, SummaryGraph
 from repro.core.threshold import AdaptiveThreshold, FixedSchedule, ThresholdPolicy
 from repro.core.weights import PersonalizedWeights
 from repro.errors import BudgetError
@@ -64,6 +64,13 @@ class PegasusConfig:
         ``"relative"`` (Eq. 11) or ``"absolute"`` (Eq. 10, ablation).
     seed:
         RNG seed; ``None`` draws fresh entropy.
+    backend:
+        Summary-graph storage backend, ``"dict"`` or ``"flat"`` (see
+        :mod:`repro.core.summary`).  Both produce identical summaries for
+        the same seed; ``"flat"`` is the array-native layout.
+    cost_cache:
+        Cost-model strategy, ``"incremental"`` (default) or ``"rebuild"``
+        (the pre-cache reference path; see :mod:`repro.core.costs`).
     """
 
     alpha: float = 1.25
@@ -75,6 +82,8 @@ class PegasusConfig:
     threshold: str = "adaptive"
     objective: str = "relative"
     seed: "int | None" = None
+    backend: str = "dict"
+    cost_cache: str = "incremental"
 
     def __post_init__(self):
         if self.alpha < 1.0:
@@ -87,6 +96,10 @@ class PegasusConfig:
             raise ValueError(f"threshold must be one of {THRESHOLD_POLICIES}")
         if self.objective not in OBJECTIVES:
             raise ValueError(f"objective must be one of {OBJECTIVES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.cost_cache not in COST_CACHES:
+            raise ValueError(f"cost_cache must be one of {COST_CACHES}")
 
 
 @dataclass
@@ -195,8 +208,8 @@ def summarize(
 
     rng = ensure_rng(config.seed)
     started = time.perf_counter()
-    summary = SummaryGraph(graph)
-    cost_model = CostModel(summary, weights)
+    summary = SummaryGraph(graph, backend=config.backend)
+    cost_model = CostModel(summary, weights, cache=config.cost_cache)
     threshold = _make_threshold(config)
 
     iterations = 0

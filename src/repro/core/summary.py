@@ -7,13 +7,39 @@ with
   node to the id of its supernode; merged supernodes absorb their partner's
   members and keep one of the two ids, so live ids are always a subset of
   ``0..|V|-1``), and
-* a **superedge set** ``P`` stored as adjacency sets, with self-loops
-  represented by a supernode appearing in its own set.
+* a **superedge set** ``P``, with self-loops represented by a supernode
+  being adjacent to itself.
 
 The decoded (reconstructed) graph ``Ĝ`` has an edge ``{u, v}`` iff
 ``{S_u, S_v}`` is a superedge (Sect. II-A); :meth:`reconstructed_neighbors`
 is exactly ``getNeighbors`` from Alg. 4 and is the primitive every query in
 :mod:`repro.queries` builds on.
+
+Storage backends
+----------------
+
+Two interchangeable storage backends implement the structure; both expose
+the same public API and are pinned to each other by the cross-backend
+equivalence suite (``tests/core/test_backend_equivalence.py``):
+
+* ``backend="dict"`` (:class:`SummaryGraph` itself) — the original
+  dict-of-lists / dict-of-sets layout: ``_members`` maps each live
+  supernode id to its member list, ``_adjacency`` maps it to its superedge
+  neighbor set.  Simple, and the reference semantics.
+* ``backend="flat"`` (:class:`FlatSummaryGraph`) — an array-native layout:
+  members live in one contiguous linked-chain buffer (``next`` pointers
+  plus per-slot head/tail/count arrays, so a merge concatenates two chains
+  in O(1)), supernode slots are indexed by id with a free-list of dead ids,
+  and superedges are kept in slot-indexed neighbor sets with an on-demand
+  packed columnar export (:meth:`FlatSummaryGraph.superedge_arrays`) that
+  vectorized consumers — :class:`repro.queries.operator.ReconstructedOperator`
+  in particular — read directly instead of walking dicts.
+
+``SummaryGraph(graph, backend="flat")`` dispatches to the flat backend;
+:meth:`from_parts` / :meth:`from_partition` take the same keyword.  Both
+backends enumerate live supernodes in ascending-id order after an identity
+initialization, which is what makes whole ``summarize()`` runs replayable
+across backends merge-for-merge.
 
 Baselines that emit *weighted* summary graphs (S2L, k-Grass, SAAGs) attach
 per-superedge weights; :meth:`size_in_bits` then uses the weighted encoding
@@ -22,13 +48,16 @@ from Sect. V-A (``|P| (2 log2|S| + log2 w_max) + |V| log2|S|``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro._util import log2_capped
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
+
+#: Available storage backends for :class:`SummaryGraph`.
+BACKENDS = ("dict", "flat")
 
 
 def _canonical(a: int, b: int) -> Tuple[int, int]:
@@ -41,9 +70,33 @@ class SummaryGraph:
     Freshly constructed, it is the *identity* summary: every node is its own
     supernode and every input edge its own superedge (the initialization of
     Alg. 1, line 1), which reconstructs the input graph exactly.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    weighted:
+        Whether superedges carry weights (baseline summarizers only).
+    backend:
+        ``"dict"`` (default) or ``"flat"``; see the module docstring.
     """
 
-    def __init__(self, graph: Graph, *, weighted: bool = False):
+    #: Storage backend name; overridden by subclasses.
+    backend = "dict"
+
+    def __new__(cls, *args, backend: str = "dict", **kwargs):
+        if backend not in BACKENDS:
+            raise GraphFormatError(f"unknown summary backend {backend!r}; choose from {BACKENDS}")
+        if cls is SummaryGraph and backend == "flat":
+            return object.__new__(FlatSummaryGraph)
+        return object.__new__(cls)
+
+    def __init__(self, graph: Graph, *, weighted: bool = False, backend: str = "dict"):
+        if backend != self.backend:
+            raise GraphFormatError(
+                f"cannot construct a {self.backend!r}-backend {type(self).__name__} "
+                f"with backend={backend!r}"
+            )
         n = graph.num_nodes
         self.graph = graph
         self.supernode_of = np.arange(n, dtype=np.int64)
@@ -54,6 +107,73 @@ class SummaryGraph:
         for u, v in graph.edge_array():
             self.add_superedge(int(u), int(v))
 
+    # ------------------------------------------------------------------
+    # alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        graph: Graph,
+        supernode_of: "np.ndarray | Sequence[int]",
+        superedges: "Iterable[Tuple[int, int, float | None]]" = (),
+        *,
+        weighted: bool = False,
+        backend: "str | None" = None,
+        validate: bool = False,
+    ) -> "SummaryGraph":
+        """Assemble a summary graph from an explicit partition + superedges.
+
+        Parameters
+        ----------
+        graph:
+            The input graph.
+        supernode_of:
+            ``supernode_of[u]`` is the supernode id of node ``u``.  Ids must
+            lie in ``0..|V|-1`` (they need not be the smallest member).
+        superedges:
+            ``(a, b, weight)`` triples; ``weight`` is ignored unless
+            *weighted* (``None`` means weight 1).
+        weighted, backend:
+            As for the main constructor.  When called on a subclass,
+            *backend* defaults to that subclass's backend.
+        validate:
+            Run :meth:`check_invariants` on the result (used by
+            :func:`repro.core.summary_io.load_summary` on untrusted input).
+        """
+        if backend is None:
+            backend = cls.backend if cls is not SummaryGraph else "dict"
+        if backend not in BACKENDS:
+            raise GraphFormatError(f"unknown summary backend {backend!r}; choose from {BACKENDS}")
+        assignment = np.asarray(supernode_of, dtype=np.int64)
+        if assignment.shape != (graph.num_nodes,):
+            raise GraphFormatError("supernode_of must have one entry per node")
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= graph.num_nodes):
+            raise GraphFormatError("supernode ids must lie in [0, num_nodes)")
+        target = FlatSummaryGraph if backend == "flat" else SummaryGraph
+        obj = object.__new__(target)
+        obj.graph = graph
+        obj.supernode_of = assignment.copy()
+        obj._weights = {} if weighted else None
+        obj._num_superedges = 0
+        obj._init_storage_from_assignment(assignment)
+        for a, b, weight in superedges:
+            obj.add_superedge(int(a), int(b), weight=weight)
+        if validate:
+            obj.check_invariants()
+        return obj
+
+    def _init_storage_from_assignment(self, assignment: np.ndarray) -> None:
+        """Build the member/adjacency storage for a given partition.
+
+        Supernodes are created in order of their first member, so live-id
+        enumeration matches between backends for identity-like partitions.
+        """
+        members: Dict[int, List[int]] = {}
+        for u, s in enumerate(assignment.tolist()):
+            members.setdefault(s, []).append(u)
+        self._members = members
+        self._adjacency = {s: set() for s in members}
+
     @classmethod
     def from_partition(
         cls,
@@ -62,6 +182,7 @@ class SummaryGraph:
         *,
         weighted: bool = False,
         superedge_rule: str = "majority",
+        backend: "str | None" = None,
     ) -> "SummaryGraph":
         """Build a summary graph from a node partition.
 
@@ -83,45 +204,44 @@ class SummaryGraph:
               L1-optimal unweighted decoding;
             * ``"all_blocks"`` — superedge for every block with ≥ 1 edge
               (the dense decoding of weighted baseline summaries).
+        backend:
+            Storage backend; defaults to the backend of *cls*.
         """
         if superedge_rule not in ("majority", "all_blocks"):
             raise GraphFormatError(f"unknown superedge_rule {superedge_rule!r}")
         assignment = np.asarray(assignment, dtype=np.int64)
         if assignment.shape != (graph.num_nodes,):
             raise GraphFormatError("assignment must have one label per node")
-        obj = cls.__new__(cls)
-        obj.graph = graph
-        obj._weights = {} if weighted else None
         labels, compact = np.unique(assignment, return_inverse=True)
         # Representative (smallest) node id per cluster becomes the supernode id.
         reps = np.full(labels.size, graph.num_nodes, dtype=np.int64)
         np.minimum.at(reps, compact, np.arange(graph.num_nodes, dtype=np.int64))
-        obj.supernode_of = reps[compact]
-        obj._members = {int(rep): [] for rep in reps}
-        for u, rep in enumerate(obj.supernode_of.tolist()):
-            obj._members[rep].append(u)
-        obj._adjacency = {int(rep): set() for rep in reps}
-        obj._num_superedges = 0
+        supernode_of = reps[compact]
+        sizes = np.bincount(compact)
 
+        superedges: List[Tuple[int, int, "float | None"]] = []
         edges = graph.edge_array()
         if edges.size:
-            a = obj.supernode_of[edges[:, 0]]
-            b = obj.supernode_of[edges[:, 1]]
+            a = supernode_of[edges[:, 0]]
+            b = supernode_of[edges[:, 1]]
             lo = np.minimum(a, b)
             hi = np.maximum(a, b)
             key = lo * np.int64(graph.num_nodes) + hi
             uniq, counts = np.unique(key, return_counts=True)
             n = graph.num_nodes
+            size_of = dict(zip(reps.tolist(), sizes.tolist()))
             for k, count in zip(uniq.tolist(), counts.tolist()):
                 sa, sb = int(k // n), int(k % n)
                 if sa == sb:
-                    size = len(obj._members[sa])
+                    size = size_of[sa]
                     pairs = size * (size - 1) // 2
                 else:
-                    pairs = len(obj._members[sa]) * len(obj._members[sb])
+                    pairs = size_of[sa] * size_of[sb]
                 if superedge_rule == "all_blocks" or (pairs and count * 2 >= pairs):
-                    obj.add_superedge(sa, sb, weight=float(count) if weighted else None)
-        return obj
+                    superedges.append((sa, sb, float(count) if weighted else None))
+        return cls.from_parts(
+            graph, supernode_of, superedges, weighted=weighted, backend=backend
+        )
 
     # ------------------------------------------------------------------
     # structure accessors
@@ -147,7 +267,7 @@ class SummaryGraph:
         return self._weights is not None
 
     def supernodes(self) -> List[int]:
-        """Live supernode ids (unordered)."""
+        """Live supernode ids (ascending after an identity initialization)."""
         return list(self._members)
 
     def members(self, supernode: int) -> np.ndarray:
@@ -161,7 +281,8 @@ class SummaryGraph:
         """Member nodes of *supernode* as the internal list (do not mutate).
 
         Hot-path variant of :meth:`members` that skips the array copy; the
-        cost model walks this list once per block evaluation (Lemma 1).
+        rebuild-mode cost model walks this list once per block evaluation
+        (Lemma 1).
         """
         try:
             return self._members[supernode]
@@ -198,6 +319,32 @@ class SummaryGraph:
         if self._weights is None:
             raise GraphFormatError("summary graph is unweighted")
         return self._weights.get(_canonical(a, b), 0.0)
+
+    def superedge_arrays(self) -> Tuple[np.ndarray, np.ndarray, "np.ndarray | None"]:
+        """Packed columnar superedges ``(lo, hi, weights)``, lexsorted.
+
+        ``weights`` is ``None`` for unweighted summaries.  Vectorized
+        consumers (the query operator, serialization) read these instead of
+        walking per-supernode adjacency; the fixed lexicographic order
+        makes everything built from them backend-independent.  The flat
+        backend overrides this with a cached export.
+        """
+        lo_list: List[int] = []
+        hi_list: List[int] = []
+        for a, b in self.superedges():
+            lo_list.append(a)
+            hi_list.append(b)
+        lo = np.asarray(lo_list, dtype=np.int64)
+        hi = np.asarray(hi_list, dtype=np.int64)
+        order = np.lexsort((hi, lo))
+        lo, hi = lo[order], hi[order]
+        if self._weights is None:
+            return lo, hi, None
+        weights = np.asarray(
+            [self._weights.get((int(a), int(b)), 1.0) for a, b in zip(lo, hi)],
+            dtype=np.float64,
+        )
+        return lo, hi, weights
 
     def block_pair_count(self, a: int, b: int) -> int:
         """Number of node pairs in block ``{a, b}`` (``C(|A|, 2)`` if ``a=b``)."""
@@ -308,7 +455,7 @@ class SummaryGraph:
         if not 0 <= node < self.num_nodes:
             raise GraphFormatError(f"node {node} out of range")
         home = int(self.supernode_of[node])
-        pieces = [self._members[a] for a in self._adjacency[home]]
+        pieces = [self.member_list(a) for a in self.superedge_neighbors(home)]
         if not pieces:
             return np.empty(0, dtype=np.int64)
         flat = np.concatenate([np.asarray(p, dtype=np.int64) for p in pieces])
@@ -325,8 +472,8 @@ class SummaryGraph:
         """Degree of *node* in ``Ĝ`` without materializing the neighbor set."""
         home = int(self.supernode_of[node])
         total = 0
-        for a in self._adjacency[home]:
-            total += len(self._members[a])
+        for a in self.superedge_neighbors(home):
+            total += self.member_count(a)
             if a == home:
                 total -= 1  # exclude the node itself under a self-loop
         return total
@@ -336,21 +483,22 @@ class SummaryGraph:
         total = 0
         for a, b in self.superedges():
             if a == b:
-                size = len(self._members[a])
+                size = self.member_count(a)
                 total += size * (size - 1) // 2
             else:
-                total += len(self._members[a]) * len(self._members[b])
+                total += self.member_count(a) * self.member_count(b)
         return total
 
     def reconstruct(self) -> Graph:
         """Materialize ``Ĝ`` as a :class:`Graph` (small graphs / tests only)."""
         edges: List[Tuple[int, int]] = []
         for a, b in self.superedges():
-            mem_a = self._members[a]
+            mem_a = self.member_list(a)
             if a == b:
                 edges.extend((mem_a[i], mem_a[j]) for i in range(len(mem_a)) for j in range(i + 1, len(mem_a)))
             else:
-                edges.extend((u, v) for u in mem_a for v in self._members[b])
+                mem_b = self.member_list(b)
+                edges.extend((u, v) for u in mem_a for v in mem_b)
         return Graph.from_edges(self.num_nodes, np.asarray(edges, dtype=np.int64).reshape(-1, 2), validate=False)
 
     # ------------------------------------------------------------------
@@ -388,5 +536,271 @@ class SummaryGraph:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SummaryGraph(|V|={self.num_nodes}, |S|={self.num_supernodes}, "
-            f"|P|={self._num_superedges}, weighted={self.is_weighted})"
+            f"|P|={self._num_superedges}, weighted={self.is_weighted}, "
+            f"backend={self.backend!r})"
         )
+
+
+class FlatSummaryGraph(SummaryGraph):
+    """Array-native storage backend for :class:`SummaryGraph`.
+
+    Layout (all arrays are slot-indexed by supernode id, length ``|V|``):
+
+    * ``_m_next`` — one contiguous ``int64`` buffer of linked member
+      chains: ``_m_next[u]`` is the next member of ``u``'s supernode, or
+      ``-1`` at the chain tail.  ``_m_head``/``_m_tail``/``_m_count`` hold
+      per-slot chain heads, tails, and lengths, so merging two supernodes
+      concatenates their chains in O(1) (the dict backend pays O(|B|) to
+      extend a list).
+    * ``_alive`` — liveness bitmap; ``_free`` is the LIFO free-list of dead
+      slot ids, kept for callers that allocate fresh supernodes (e.g.
+      future split/refine operations).
+    * ``_nbr`` — slot-indexed superedge neighbor sets (list-indexed, so the
+      hot membership tests skip dict hashing), plus a lazily built packed
+      columnar export (:meth:`superedge_arrays`) for vectorized consumers.
+
+    Member chains concatenate absorbed-last, so :meth:`member_list` returns
+    members in the same order as the dict backend's list ``extend`` — which
+    keeps the two backends replayable against each other merge-for-merge.
+    """
+
+    backend = "flat"
+
+    def __init__(self, graph: Graph, *, weighted: bool = False, backend: str = "flat"):
+        if backend != self.backend:
+            raise GraphFormatError(
+                f"cannot construct a {self.backend!r}-backend {type(self).__name__} "
+                f"with backend={backend!r}"
+            )
+        n = graph.num_nodes
+        self.graph = graph
+        self.supernode_of = np.arange(n, dtype=np.int64)
+        self._weights = {} if weighted else None
+        self._num_superedges = 0
+        self._init_storage_from_assignment(self.supernode_of)
+        for u, v in graph.edge_array():
+            self.add_superedge(int(u), int(v))
+
+    def _init_storage_from_assignment(self, assignment: np.ndarray) -> None:
+        n = self.graph.num_nodes
+        self._n = n  # plain-int mirror; the hot accessors skip the property chain
+        head = [-1] * n
+        tail = [-1] * n
+        nxt = [-1] * n
+        count = [0] * n
+        for u, s in enumerate(assignment.tolist()):
+            if head[s] < 0:
+                head[s] = u
+            else:
+                nxt[tail[s]] = u
+            tail[s] = u
+            count[s] += 1
+        self._m_head = np.asarray(head, dtype=np.int64)
+        self._m_tail = np.asarray(tail, dtype=np.int64)
+        self._m_next = np.asarray(nxt, dtype=np.int64)
+        self._m_count = np.asarray(count, dtype=np.int64)
+        self._alive = self._m_count > 0
+        self._live_count = int(self._alive.sum())
+        self._free: List[int] = np.flatnonzero(~self._alive).tolist()
+        self._nbr: List["Set[int] | None"] = [
+            set() if self._alive[s] else None for s in range(n)
+        ]
+        self._arrays_cache: "tuple | None" = None
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_supernodes(self) -> int:
+        return self._live_count
+
+    def supernodes(self) -> List[int]:
+        """Live supernode ids, ascending."""
+        return np.flatnonzero(self._alive).tolist()
+
+    def _require_live(self, supernode: int) -> None:
+        # Liveness is tracked by the adjacency slot: dead slots hold None.
+        if not 0 <= supernode < self._n or self._nbr[supernode] is None:
+            raise GraphFormatError(f"supernode {supernode} does not exist")
+
+    def members(self, supernode: int) -> np.ndarray:
+        return np.asarray(self.member_list(supernode), dtype=np.int64)
+
+    def member_list(self, supernode: int) -> List[int]:
+        """Member nodes of *supernode* in chain order (a fresh list)."""
+        self._require_live(supernode)
+        out: List[int] = []
+        nxt = self._m_next
+        u = int(self._m_head[supernode])
+        while u >= 0:
+            out.append(u)
+            u = int(nxt[u])
+        return out
+
+    def member_count(self, supernode: int) -> int:
+        self._require_live(supernode)
+        return int(self._m_count[supernode])
+
+    def superedge_neighbors(self, supernode: int) -> Set[int]:
+        neighbors = self._nbr[supernode] if 0 <= supernode < self._n else None
+        if neighbors is None:
+            raise GraphFormatError(f"supernode {supernode} does not exist")
+        return neighbors
+
+    def has_superedge(self, a: int, b: int) -> bool:
+        if not 0 <= a < self._n:
+            return False
+        neighbors = self._nbr[a]
+        return neighbors is not None and b in neighbors
+
+    def superedges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate superedges as ``(a, b)`` with ``a <= b``, sorted."""
+        for a in np.flatnonzero(self._alive).tolist():
+            for b in sorted(self._nbr[a]):
+                if a <= b:
+                    yield a, b
+
+    def superedge_arrays(self) -> Tuple[np.ndarray, np.ndarray, "np.ndarray | None"]:
+        """Packed columnar superedges ``(lo, hi, weights)``, lexsorted.
+
+        Same contract as the base-class export, but cached until the next
+        mutation — the flat backend's :meth:`superedges` already iterates
+        in lexicographic order, so no sort is needed.
+        """
+        if self._arrays_cache is None:
+            lo: List[int] = []
+            hi: List[int] = []
+            for a, b in self.superedges():
+                lo.append(a)
+                hi.append(b)
+            lo_arr = np.asarray(lo, dtype=np.int64)
+            hi_arr = np.asarray(hi, dtype=np.int64)
+            if self._weights is not None:
+                w_arr = np.asarray(
+                    [self._weights.get((a, b), 1.0) for a, b in zip(lo, hi)],
+                    dtype=np.float64,
+                )
+            else:
+                w_arr = None
+            self._arrays_cache = (lo_arr, hi_arr, w_arr)
+        return self._arrays_cache
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_superedge(self, a: int, b: int, *, weight: "float | None" = None) -> None:
+        if (
+            not 0 <= a < self._n
+            or not 0 <= b < self._n
+            or self._nbr[a] is None
+            or self._nbr[b] is None
+        ):
+            raise GraphFormatError(f"superedge endpoints {a}, {b} must be live supernodes")
+        neighbors = self._nbr[a]
+        if b not in neighbors:
+            neighbors.add(b)
+            self._nbr[b].add(a)
+            self._num_superedges += 1
+            self._arrays_cache = None
+        if self._weights is not None:
+            self._weights[_canonical(a, b)] = 1.0 if weight is None else float(weight)
+            self._arrays_cache = None
+
+    def remove_superedge(self, a: int, b: int) -> None:
+        if not 0 <= a < self._n:
+            return
+        neighbors = self._nbr[a]
+        if neighbors is not None and b in neighbors:
+            neighbors.discard(b)
+            self._nbr[b].discard(a)
+            self._num_superedges -= 1
+            self._arrays_cache = None
+            if self._weights is not None:
+                self._weights.pop(_canonical(a, b), None)
+
+    def merge_supernodes(self, a: int, b: int) -> Tuple[int, Set[int]]:
+        if a == b:
+            raise GraphFormatError("cannot merge a supernode with itself")
+        if (
+            not 0 <= a < self._n
+            or not 0 <= b < self._n
+            or self._nbr[a] is None
+            or self._nbr[b] is None
+        ):
+            raise GraphFormatError(f"merge endpoints {a}, {b} must be live supernodes")
+        members_b = self.member_list(b)
+        nbr = self._nbr
+        na, nb = nbr[a], nbr[b]
+        former = (na | nb) - {a, b}
+        dropped = len(na) + len(nb) - (1 if b in na else 0)
+        weights = self._weights
+        for x in na:
+            if x != a and x != b:
+                nbr[x].discard(a)
+            if weights is not None:
+                weights.pop(_canonical(a, x), None)
+        for x in nb:
+            if x != a and x != b:
+                nbr[x].discard(b)
+            if weights is not None:
+                weights.pop(_canonical(b, x), None)
+        na.clear()
+        nbr[b] = None
+        self._num_superedges -= dropped
+
+        self._m_next[self._m_tail[a]] = self._m_head[b]
+        self._m_tail[a] = self._m_tail[b]
+        self._m_count[a] += self._m_count[b]
+        self._m_head[b] = self._m_tail[b] = -1
+        self._m_count[b] = 0
+        self.supernode_of[members_b] = a
+        self._alive[b] = False
+        self._live_count -= 1
+        self._free.append(b)
+        self._arrays_cache = None
+        return a, former
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        live = np.flatnonzero(self._alive).tolist()
+        if len(live) != self._live_count:
+            raise GraphFormatError(f"live count {self._live_count} != bitmap count {len(live)}")
+        for supernode in live:
+            members = self.member_list(supernode)
+            if not members:
+                raise GraphFormatError(f"supernode {supernode} is empty")
+            if len(members) != int(self._m_count[supernode]):
+                raise GraphFormatError(f"member chain of {supernode} disagrees with its count")
+            for u in members:
+                if seen[u]:
+                    raise GraphFormatError(f"node {u} appears in two supernodes")
+                seen[u] = True
+                if self.supernode_of[u] != supernode:
+                    raise GraphFormatError(f"supernode_of[{u}] inconsistent")
+        if not seen.all():
+            raise GraphFormatError("partition does not cover all nodes")
+        for dead in self._free:
+            if self._alive[dead]:
+                raise GraphFormatError(f"free-list contains live supernode {dead}")
+            if self._nbr[dead] is not None:
+                raise GraphFormatError(f"adjacency for dead supernode {dead}")
+        count = 0
+        for a in live:
+            neighbors = self._nbr[a]
+            if neighbors is None:
+                raise GraphFormatError(f"missing adjacency for live supernode {a}")
+            for b in neighbors:
+                other = self._nbr[b] if 0 <= b < self.num_nodes else None
+                if other is None or a not in other:
+                    raise GraphFormatError(f"superedge {{{a}, {b}}} not symmetric")
+                if a <= b:
+                    count += 1
+        if count != self._num_superedges:
+            raise GraphFormatError(f"superedge count {self._num_superedges} != recount {count}")

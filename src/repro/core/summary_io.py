@@ -43,11 +43,16 @@ def save_summary(summary: SummaryGraph, path: "str | os.PathLike[str]") -> None:
                 handle.write(f"P {a} {b}\n")
 
 
-def load_summary(path: "str | os.PathLike[str]", graph: Graph) -> SummaryGraph:
+def load_summary(
+    path: "str | os.PathLike[str]", graph: Graph, *, backend: str = "dict"
+) -> SummaryGraph:
     """Read a summary of *graph* from *path*.
 
     The input graph must be supplied separately (the summary stores only
-    the partition and superedges, as in Eq. 3's size accounting).
+    the partition and superedges, as in Eq. 3's size accounting).  The
+    *backend* keyword selects the storage backend of the loaded summary;
+    the on-disk format is backend-agnostic, so a summary saved from either
+    backend loads into either.
     """
     with open(path, "r", encoding="utf-8") as handle:
         lines = [line.rstrip("\n") for line in handle]
@@ -81,16 +86,14 @@ def load_summary(path: "str | os.PathLike[str]", graph: Graph) -> SummaryGraph:
     if np.any(assignment < 0):
         raise GraphFormatError(f"{path}: partition does not cover all nodes")
 
-    summary = SummaryGraph.__new__(SummaryGraph)
-    summary.graph = graph
-    summary.supernode_of = assignment
-    summary._members = {}
-    for u, supernode in enumerate(assignment.tolist()):
-        summary._members.setdefault(supernode, []).append(u)
-    summary._adjacency = {supernode: set() for supernode in summary._members}
-    summary._num_superedges = 0
-    summary._weights = {} if weighted else None
-    for a, b, weight in superedges:
-        summary.add_superedge(a, b, weight=weight)
-    summary.check_invariants()
-    return summary
+    try:
+        return SummaryGraph.from_parts(
+            graph,
+            assignment,
+            superedges,
+            weighted=weighted,
+            backend=backend,
+            validate=True,
+        )
+    except GraphFormatError as exc:
+        raise GraphFormatError(f"{path}: {exc}") from None

@@ -113,6 +113,8 @@ def build_summary_for_method(
     alpha: float = 1.25,
     t_max: int = 20,
     seed: int = 0,
+    backend: str = "dict",
+    cost_cache: str = "incremental",
 ) -> Tuple[SummaryGraph, float, float]:
     """Summarize *graph* with *method* at requested compression *ratio*.
 
@@ -123,18 +125,31 @@ def build_summary_for_method(
     their achieved bit ratio fits the requested one (see
     :func:`_calibrated_baseline`).  Raises :class:`MethodSkipped` for
     baselines above their o.o.t node budget.
+
+    *backend* / *cost_cache* select the shared merge engine's storage
+    backend and cost-model strategy for PeGaSus and SSumM (the weighted
+    baselines do not run the merge engine and ignore them).
     """
     limit = OOT_NODE_LIMITS.get(method)
     if limit is not None and graph.num_nodes > limit:
         raise MethodSkipped(f"{method} exceeds its o.o.t budget at {graph.num_nodes} nodes")
     started = time.perf_counter()
     if method == "pegasus":
-        config = PegasusConfig(alpha=alpha, t_max=t_max, seed=seed)
+        config = PegasusConfig(
+            alpha=alpha, t_max=t_max, seed=seed, backend=backend, cost_cache=cost_cache
+        )
         summary = summarize(
             graph, targets=targets, compression_ratio=ratio, config=config
         ).summary
     elif method == "ssumm":
-        summary = ssumm_summarize(graph, compression_ratio=ratio, t_max=t_max, seed=seed).summary
+        summary = ssumm_summarize(
+            graph,
+            compression_ratio=ratio,
+            t_max=t_max,
+            seed=seed,
+            backend=backend,
+            cost_cache=cost_cache,
+        ).summary
     elif method == "saags":
         summary = _calibrated_baseline(saags_summarize, graph, ratio, seed)
     elif method == "s2l":

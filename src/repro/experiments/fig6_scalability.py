@@ -49,8 +49,15 @@ def run(
     ratio: float = 0.5,
     base_nodes: "int | None" = None,
     scale: "ExperimentScale | None" = None,
+    backend: str = "dict",
+    cost_cache: str = "incremental",
 ) -> List[ScalabilityRow]:
-    """Run the scalability sweep; returns one row per (graph, |T|, fraction)."""
+    """Run the scalability sweep; returns one row per (graph, |T|, fraction).
+
+    *backend* / *cost_cache* select the merge engine (the bench wrapper's
+    ``--backend`` axis); the timing shape is the point, so the same seed is
+    used for every engine and the summaries are identical across backends.
+    """
     scale = scale or ExperimentScale.from_env()
     rng = np.random.default_rng(scale.seed)
     graphs: List[Tuple[str, object]] = []
@@ -74,7 +81,9 @@ def run(
                 else:
                     size = max(subgraph.num_nodes // 2, 1)
                 targets = rng.choice(subgraph.num_nodes, size=size, replace=False)
-                config = PegasusConfig(t_max=scale.t_max, seed=scale.seed)
+                config = PegasusConfig(
+                    t_max=scale.t_max, seed=scale.seed, backend=backend, cost_cache=cost_cache
+                )
                 result = summarize(
                     subgraph, targets=targets, compression_ratio=ratio, config=config
                 )

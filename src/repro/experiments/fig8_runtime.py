@@ -35,12 +35,19 @@ class RuntimeRow:
 
 def run(
     *,
-    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp"),
+    datasets: Sequence[str] = ("lastfm_asia", "caida", "dblp", "synthetic_ba"),
     methods: Sequence[str] = METHODS,
     ratio: float = 0.5,
     scale: "ExperimentScale | None" = None,
+    backend: str = "dict",
+    cost_cache: str = "incremental",
 ) -> List[RuntimeRow]:
-    """Time summarization plus HOP/RWR query answering per method."""
+    """Time summarization plus HOP/RWR query answering per method.
+
+    *backend* / *cost_cache* select the merge engine for PeGaSus and SSumM
+    (see :mod:`repro.core.summary` / :mod:`repro.core.costs`); the bench
+    wrapper exposes them as its ``--backend`` axis.
+    """
     scale = scale or ExperimentScale.from_env()
     rows: List[RuntimeRow] = []
     for name in datasets:
@@ -49,7 +56,14 @@ def run(
         for method in methods:
             try:
                 summary, _achieved, build_time = build_summary_for_method(
-                    method, graph, ratio, targets=queries, t_max=scale.t_max, seed=scale.seed
+                    method,
+                    graph,
+                    ratio,
+                    targets=queries,
+                    t_max=scale.t_max,
+                    seed=scale.seed,
+                    backend=backend,
+                    cost_cache=cost_cache,
                 )
             except MethodSkipped:
                 rows.append(RuntimeRow(name, method, float("nan"), float("nan"), float("nan"), 0, True))

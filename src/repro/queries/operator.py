@@ -62,32 +62,40 @@ class ReconstructedOperator:
     def _init_summary(self, summary: SummaryGraph) -> None:
         self.num_nodes = summary.num_nodes
         self._mode = "summary"
-        order = sorted(summary.supernodes())
-        position = {a: i for i, a in enumerate(order)}
-        k = len(order)
+        # Compact live supernode ids to 0..k-1 without walking the member
+        # dicts: the sorted unique of the partition array IS the live-id
+        # list, and a bincount over the compacted labels gives the sizes.
+        order = np.unique(summary.supernode_of)
+        k = order.size
         self._num_supernodes = k
-        self._compact = np.asarray(
-            [position[a] for a in summary.supernode_of.tolist()], dtype=np.int64
-        )
-        sizes = np.zeros(k, dtype=np.float64)
-        for a, i in position.items():
-            sizes[i] = summary.member_count(a)
+        self._compact = np.searchsorted(order, summary.supernode_of)
+        sizes = np.bincount(self._compact, minlength=k).astype(np.float64)
 
-        cross_a, cross_b, cross_m = [], [], []
+        # The lexsorted columnar export keeps the operator — and hence every
+        # query answer — numerically identical across storage backends.
+        lo, hi, weights = summary.superedge_arrays()
+        lo_pos = np.searchsorted(order, lo)
+        hi_pos = np.searchsorted(order, hi)
+        if summary.is_weighted and self.use_weights and weights is not None:
+            pairs = np.where(
+                lo == hi,
+                sizes[lo_pos] * (sizes[lo_pos] - 1.0) / 2.0,
+                sizes[lo_pos] * sizes[hi_pos],
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                density = np.where(pairs > 0.0, np.minimum(weights / pairs, 1.0), 0.0)
+        else:
+            density = np.ones(lo.shape[0], dtype=np.float64)
+        keep = density > 0.0
+        lo_pos, hi_pos, density = lo_pos[keep], hi_pos[keep], density[keep]
+        self_mask = lo[keep] == hi[keep]
+
         self._self_density = np.zeros(k, dtype=np.float64)
-        for a, b in summary.superedges():
-            density = summary.superedge_density(a, b) if (summary.is_weighted and self.use_weights) else 1.0
-            if density <= 0.0:
-                continue
-            if a == b:
-                self._self_density[position[a]] = density
-            else:
-                cross_a.append(position[a])
-                cross_b.append(position[b])
-                cross_m.append(density)
-        self._cross_a = np.asarray(cross_a, dtype=np.int64)
-        self._cross_b = np.asarray(cross_b, dtype=np.int64)
-        self._cross_m = np.asarray(cross_m, dtype=np.float64)
+        self._self_density[lo_pos[self_mask]] = density[self_mask]
+        cross = ~self_mask
+        self._cross_a = lo_pos[cross]
+        self._cross_b = hi_pos[cross]
+        self._cross_m = density[cross]
 
         # Per-supernode total: Σ_B m_AB |B| (self-loop contributes m·|A|).
         super_total = self._self_density * sizes

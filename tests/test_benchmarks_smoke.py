@@ -1,0 +1,57 @@
+"""Smoke tests for the benchmark scripts.
+
+Every ``benchmarks/bench_*.py`` is runnable standalone via its ``main()``
+(see ``benchmarks/_util.bench_main``); here each one is imported and run
+with ``--smoke`` (tiny graphs, restricted sweeps) so the scripts cannot
+silently rot when the library underneath them changes.  The pass/fail
+*assertions* of each bench live in its pytest wrapper and are not
+exercised here — smoke mode only proves the scripts still run end to end.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _bench_path(monkeypatch, tmp_path):
+    """Import benches from their directory; write result tables to tmp."""
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    util = importlib.import_module("_util")
+    monkeypatch.setattr(util, "RESULTS_DIR", str(tmp_path))
+
+
+def test_all_bench_scripts_discovered():
+    # The repo ships 12 bench scripts; a disappearing file should fail
+    # loudly here rather than silently shrinking coverage.
+    assert len(BENCH_MODULES) >= 12
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_bench_main_smoke(module_name, capsys):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "main"), f"{module_name} lost its standalone main()"
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "----" in out, f"{module_name} --smoke printed no table"
+
+
+@pytest.mark.parametrize("module_name", ["bench_fig8_runtime", "bench_fig6_scalability"])
+def test_backend_axis_smoke(module_name):
+    """The two engine-axis benches accept --backend flat in smoke mode."""
+    module = importlib.import_module(module_name)
+    assert module.main(["--smoke", "--backend", "flat"]) == 0
+
+
+def test_unknown_flag_rejected():
+    module = importlib.import_module("bench_table2_datasets")
+    with pytest.raises(SystemExit) as excinfo:
+        module.main(["--bogus-flag"])
+    assert excinfo.value.code != 0
