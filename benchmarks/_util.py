@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import time
 from typing import Callable, Sequence
 
 from repro._util import format_table
@@ -95,6 +96,46 @@ def engine_arguments(parser: argparse.ArgumentParser) -> None:
         default="incremental",
         help="cost-model strategy; 'rebuild' is the pre-cache reference engine",
     )
+
+
+def worker_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the parallel-execution axis (``--workers``)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the experiment sweep (1 = sequential, "
+        "0 = all cores); with more than one worker the bench also reports "
+        "the sequential-vs-parallel wall-clock speedup",
+    )
+
+
+def run_with_speedup(run, workers: int, **kwargs):
+    """Run an experiment driver, reporting parallel speedup when asked.
+
+    With ``workers`` in {0, >1}, times the sequential reference first and
+    the *workers*-process run second and prints the wall-clock speedup.
+    Returns the **sequential** rows: both runs produce identical rows by
+    the executor's determinism contract except for per-point timing
+    fields, which on a saturated pool measure core contention — the
+    emitted tables must keep the uncontended timings.
+    """
+    from repro.parallel import resolve_workers
+
+    pool_size = resolve_workers(workers)
+    if pool_size <= 1:
+        return run(workers=1, **kwargs)
+    started = time.perf_counter()
+    rows = run(workers=1, **kwargs)
+    sequential = time.perf_counter() - started
+    started = time.perf_counter()
+    run(workers=pool_size, **kwargs)
+    parallel = time.perf_counter() - started
+    print(
+        f"\n  wall clock: sequential {sequential:.2f}s, "
+        f"{pool_size} workers {parallel:.2f}s, speedup {sequential / parallel:.2f}x"
+    )
+    return rows
 
 
 def emit_table(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -13,9 +13,14 @@ modes they are equivalent in quality but not bit-identical.
 
 from __future__ import annotations
 
-from _util import bench_main, emit_table, engine_arguments, fmt
+from _util import bench_main, emit_table, engine_arguments, fmt, run_with_speedup, worker_arguments
 
 from repro.experiments import fig6_scalability
+
+
+def _bench_arguments(parser) -> None:
+    engine_arguments(parser)
+    worker_arguments(parser)
 
 
 def _emit(rows, title_suffix=""):
@@ -54,7 +59,13 @@ def _run_table(args) -> None:
     kwargs = {}
     if args.smoke:
         kwargs.update(node_fractions=(0.6, 1.0), target_modes=("100",))
-    rows = fig6_scalability.run(backend=args.backend, cost_cache=args.cost_cache, **kwargs)
+    rows = run_with_speedup(
+        fig6_scalability.run,
+        args.workers,
+        backend=args.backend,
+        cost_cache=args.cost_cache,
+        **kwargs,
+    )
     _emit(rows, title_suffix=f" [backend={args.backend}, cost_cache={args.cost_cache}]")
     _print_slopes(rows, check=False)
 
@@ -63,8 +74,8 @@ def main(argv: "list[str] | None" = None) -> int:
     return bench_main(
         argv,
         _run_table,
-        description="Fig. 6 scalability bench with a summarization-engine axis.",
-        parser_hook=engine_arguments,
+        description="Fig. 6 scalability bench with engine and worker axes.",
+        parser_hook=_bench_arguments,
     )
 
 

@@ -20,9 +20,14 @@ trajectory.
 from __future__ import annotations
 
 import numpy as np
-from _util import bench_main, emit_table, engine_arguments, fmt
+from _util import bench_main, emit_table, engine_arguments, fmt, run_with_speedup, worker_arguments
 
 from repro.experiments import fig8_runtime
+
+
+def _bench_arguments(parser) -> None:
+    engine_arguments(parser)
+    worker_arguments(parser)
 
 
 def _emit(rows, name="fig8_runtime", title_suffix=""):
@@ -108,7 +113,13 @@ def _engine_speedup_table(datasets, *, repeats: int = 3) -> None:
 def _run_table(args) -> None:
     methods = ("pegasus", "ssumm") if args.smoke else None
     kwargs = {"methods": methods} if methods else {}
-    rows = fig8_runtime.run(backend=args.backend, cost_cache=args.cost_cache, **kwargs)
+    rows = run_with_speedup(
+        fig8_runtime.run,
+        args.workers,
+        backend=args.backend,
+        cost_cache=args.cost_cache,
+        **kwargs,
+    )
     _emit(rows, title_suffix=f" [backend={args.backend}, cost_cache={args.cost_cache}]")
     if args.backend == "flat" and args.cost_cache == "incremental":
         datasets = sorted({r.dataset for r in rows})
@@ -119,8 +130,8 @@ def main(argv: "list[str] | None" = None) -> int:
     return bench_main(
         argv,
         _run_table,
-        description="Fig. 8 runtime bench with a summarization-engine axis.",
-        parser_hook=engine_arguments,
+        description="Fig. 8 runtime bench with engine and worker axes.",
+        parser_hook=_bench_arguments,
     )
 
 

@@ -30,6 +30,7 @@ from repro.core import (
 )
 from repro.core.summary_io import load_summary, save_summary
 from repro.graph import Graph, dataset_names, load_dataset, read_edgelist, write_edgelist
+from repro.parallel import ParallelExecutor
 from repro.queries import hop_distances, php_scores, rwr_scores
 
 __version__ = "1.0.0"
@@ -47,6 +48,7 @@ __all__ = [
     "load_summary",
     "save_summary",
     "Graph",
+    "ParallelExecutor",
     "dataset_names",
     "load_dataset",
     "read_edgelist",

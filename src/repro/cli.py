@@ -151,7 +151,14 @@ def _cmd_experiment(args) -> int:
         "ablation-cost": ablations.run_cost_criterion,
         "ablation-threshold": ablations.run_threshold_schedule,
     }
-    rows = runners[args.name]()
+    # Experiments whose sweep points fan out over the worker pool.
+    parallel_runners = {"fig5", "fig6", "fig8", "fig9", "fig11", "fig12"}
+    kwargs = {}
+    if args.name in parallel_runners:
+        kwargs["workers"] = args.workers
+    elif args.workers != 1:
+        print(f"note: {args.name} runs sequentially; --workers ignored", file=sys.stderr)
+    rows = runners[args.name](**kwargs)
     if not rows:
         print("no rows produced")
         return 1
@@ -233,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation-cost",
             "ablation-threshold",
         ),
+    )
+    experiment_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the experiment sweep "
+        "(1 = sequential, 0 = all cores; identical rows at any count)",
     )
     experiment_cmd.set_defaults(func=_cmd_experiment)
     return parser

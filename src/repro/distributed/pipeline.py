@@ -10,6 +10,12 @@ Two cluster builders mirror the two sides of Fig. 12:
 
 Both return a :class:`~repro.distributed.cluster.DistributedCluster` whose
 queries are answered without communication.
+
+The ``m`` per-machine artifacts are mutually independent, so both builders
+accept ``workers=`` and fan the machines out over a
+:class:`~repro.parallel.ParallelExecutor`.  Each machine's build is
+self-contained and seeded, so the cluster is byte-identical at any worker
+count.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.distributed.cluster import DistributedCluster, Machine
 from repro.distributed.subgraph import budgeted_subgraph
 from repro.errors import PartitionError
 from repro.graph.graph import Graph
+from repro.parallel import ParallelExecutor
 from repro.partitioning.louvain import louvain_partition
 from repro.partitioning.quality import validate_partition
 
@@ -38,6 +45,47 @@ def _parts_from_assignment(graph: Graph, assignment: np.ndarray, num_machines: i
     return parts
 
 
+def _resolve_parts(
+    graph: Graph,
+    num_machines: int,
+    partitioner: "Partitioner | None",
+    assignment: "np.ndarray | None",
+    seed: "int | None",
+) -> List[np.ndarray]:
+    """Partition once in the parent process (Alg. 3, line 1)."""
+    if assignment is None:
+        partitioner = partitioner or (lambda g, m: louvain_partition(g, m, seed=seed))
+        assignment = partitioner(graph, num_machines)
+    return _parts_from_assignment(graph, assignment, num_machines)
+
+
+def _summary_machine_task(shared, task) -> Machine:
+    """Build one machine's personalized summary (runs in a pool worker)."""
+    graph, budget_bits, config = shared
+    machine_id, part = task
+    weights = PersonalizedWeights(graph, part, alpha=config.alpha)
+    result = summarize(graph, budget_bits=budget_bits, config=config, weights=weights)
+    return Machine(
+        machine_id=machine_id,
+        part_nodes=part,
+        source=result.summary,
+        memory_bits=result.summary.size_in_bits(),
+    )
+
+
+def _subgraph_machine_task(shared, task) -> Machine:
+    """Build one machine's budgeted subgraph (runs in a pool worker)."""
+    graph, budget_bits, seed = shared
+    machine_id, part = task
+    subgraph = budgeted_subgraph(graph, part, budget_bits, seed=seed)
+    return Machine(
+        machine_id=machine_id,
+        part_nodes=part,
+        source=subgraph,
+        memory_bits=subgraph.size_in_bits(),
+    )
+
+
 def build_summary_cluster(
     graph: Graph,
     num_machines: int,
@@ -46,6 +94,8 @@ def build_summary_cluster(
     partitioner: "Partitioner | None" = None,
     assignment: "np.ndarray | None" = None,
     config: "PegasusConfig | None" = None,
+    seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> DistributedCluster:
     """Alg. 3 preprocessing with personalized summary graphs.
 
@@ -64,24 +114,24 @@ def build_summary_cluster(
         Precomputed node partition (overrides *partitioner*).
     config:
         PeGaSus hyper-parameters for the per-part summaries.
+    seed:
+        Seed for the default Louvain partitioner and, when *config* is
+        not given, for the default ``PegasusConfig`` (the seed used to
+        be silently dropped on both paths, leaving the default build
+        non-reproducible).
+    workers:
+        Process-pool size for the ``m`` per-machine summary builds
+        (``1`` = sequential, ``0`` = all cores).  With a seeded config
+        the machine summaries are byte-identical at any worker count;
+        ``config.seed=None`` opts into fresh entropy per build.
     """
-    if assignment is None:
-        partitioner = partitioner or (lambda g, m: louvain_partition(g, m, seed=0))
-        assignment = partitioner(graph, num_machines)
-    parts = _parts_from_assignment(graph, assignment, num_machines)
-    config = config or PegasusConfig()
-    machines = []
-    for machine_id, part in enumerate(parts):
-        weights = PersonalizedWeights(graph, part, alpha=config.alpha)
-        result = summarize(graph, budget_bits=budget_bits, config=config, weights=weights)
-        machines.append(
-            Machine(
-                machine_id=machine_id,
-                part_nodes=part,
-                source=result.summary,
-                memory_bits=result.summary.size_in_bits(),
-            )
-        )
+    parts = _resolve_parts(graph, num_machines, partitioner, assignment, seed)
+    config = config or PegasusConfig(seed=seed)
+    machines = ParallelExecutor(workers).map(
+        _summary_machine_task,
+        list(enumerate(parts)),
+        shared=(graph, float(budget_bits), config),
+    )
     return DistributedCluster(graph, machines)
 
 
@@ -93,21 +143,19 @@ def build_subgraph_cluster(
     partitioner: "Partitioner | None" = None,
     assignment: "np.ndarray | None" = None,
     seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> DistributedCluster:
-    """The Sect. IV alternative: budgeted subgraphs from a partitioner."""
-    if assignment is None:
-        partitioner = partitioner or (lambda g, m: louvain_partition(g, m, seed=0))
-        assignment = partitioner(graph, num_machines)
-    parts = _parts_from_assignment(graph, assignment, num_machines)
-    machines = []
-    for machine_id, part in enumerate(parts):
-        subgraph = budgeted_subgraph(graph, part, budget_bits, seed=seed)
-        machines.append(
-            Machine(
-                machine_id=machine_id,
-                part_nodes=part,
-                source=subgraph,
-                memory_bits=subgraph.size_in_bits(),
-            )
-        )
+    """The Sect. IV alternative: budgeted subgraphs from a partitioner.
+
+    *seed* feeds both the default Louvain partitioner and the per-machine
+    :func:`~repro.distributed.subgraph.budgeted_subgraph` tie-breaking;
+    *workers* fans the per-machine subgraph builds out, byte-identically
+    at any worker count, as in :func:`build_summary_cluster`.
+    """
+    parts = _resolve_parts(graph, num_machines, partitioner, assignment, seed)
+    machines = ParallelExecutor(workers).map(
+        _subgraph_machine_task,
+        list(enumerate(parts)),
+        shared=(graph, float(budget_bits), seed),
+    )
     return DistributedCluster(graph, machines)

@@ -8,6 +8,6 @@ qualitative shape.  Scales are controlled by
 so the same code runs as a quick smoke or a fuller sweep.
 """
 
-from repro.experiments.common import ExperimentScale, build_summary_for_method, METHODS
+from repro.experiments.common import ExperimentScale, build_summary_for_method, METHODS, sweep
 
-__all__ = ["ExperimentScale", "build_summary_for_method", "METHODS"]
+__all__ = ["ExperimentScale", "build_summary_for_method", "METHODS", "sweep"]

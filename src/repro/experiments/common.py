@@ -31,6 +31,7 @@ from repro.baselines import (
 )
 from repro.core import PegasusConfig, SummaryGraph, summarize
 from repro.graph.graph import Graph
+from repro.parallel import ParallelExecutor
 
 #: Method names in the paper's plotting order.
 METHODS = ("pegasus", "ssumm", "saags", "s2l", "kgrass")
@@ -57,6 +58,7 @@ class ExperimentScale:
     num_machines: int = 4
     t_max: int = 20
     seed: int = 0
+    workers: int = 1
 
     @classmethod
     def from_env(cls) -> "ExperimentScale":
@@ -69,13 +71,30 @@ class ExperimentScale:
             scale = cls()
         dataset_scale = float(os.environ.get("REPRO_DATASET_SCALE", scale.dataset_scale))
         num_queries = int(os.environ.get("REPRO_QUERIES", scale.num_queries))
+        workers = int(os.environ.get("REPRO_WORKERS", scale.workers))
         return cls(
             dataset_scale=dataset_scale,
             num_queries=num_queries,
             num_machines=scale.num_machines,
             t_max=scale.t_max,
             seed=scale.seed,
+            workers=workers,
         )
+
+
+def sweep(point_fn, points, *, workers: "int | None" = 1, shared=None) -> list:
+    """Fan independent experiment points out over the worker pool.
+
+    The parallel sweep runner behind the Fig. 5/6/8/9/11/12 drivers: each
+    *point* is one self-contained unit of work (a summarize-and-evaluate
+    for one dataset × method × parameter combination), *shared* is the
+    payload every point needs (graphs, query nodes, scale), and
+    ``point_fn(shared, point)`` must be a module-level function.  Results
+    come back in point order, so a driver that (a) consumes all of its RNG
+    while *planning* the point list and (b) assembles rows from the
+    ordered results produces identical output at any worker count.
+    """
+    return ParallelExecutor(workers).map(point_fn, points, shared=shared)
 
 
 def _calibrated_baseline(builder, graph: Graph, ratio: float, seed: int, probes: int = 4):

@@ -22,7 +22,7 @@ from repro.core import PegasusConfig
 from repro.distributed import build_subgraph_cluster, build_summary_cluster
 from repro.distributed.cluster import DistributedCluster, Machine
 from repro.eval import evaluate_query_accuracy, sample_query_nodes
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, sweep
 from repro.graph import load_dataset
 from repro.partitioning import blp_partition, louvain_partition, shp_partition
 
@@ -72,6 +72,29 @@ def _build_cluster(method, graph, num_machines, budget, assignment, scale) -> Di
     )
 
 
+def _distributed_point(shared, point):
+    """Build one (dataset, ratio, method) cluster and evaluate its queries.
+
+    Runs in a pool worker; the whole cluster build + routed answering of
+    one curve point is self-contained, so points parallelize without any
+    cross-point state.  Returns the per-query-type accuracy pairs.
+    """
+    per_dataset, machines, scale, query_types = shared
+    name, ratio, method = point
+    graph, queries, louvain_assignment = per_dataset[name]
+    budget = ratio * graph.size_in_bits()
+    cluster = _build_cluster(method, graph, machines, budget, louvain_assignment, scale)
+    accuracy = evaluate_query_accuracy(
+        graph,
+        None,
+        queries,
+        query_types=tuple(query_types),
+        answer_on=lambda q, t, c=cluster: c.answer(q, t),
+    )
+    cluster.assert_communication_free()
+    return {qt: (result.smape, result.spearman) for qt, result in accuracy.items()}
+
+
 def run(
     *,
     datasets: Sequence[str] = ("lastfm_asia", "caida"),
@@ -81,6 +104,7 @@ def run(
     dataset_scale_multiplier: float = 2.0,
     num_machines: "int | None" = None,
     scale: "ExperimentScale | None" = None,
+    workers: "int | None" = None,
 ) -> List[DistributedRow]:
     """Run the distributed comparison; returns one row per
     (dataset, method, ratio, query type).
@@ -89,10 +113,16 @@ def run(
     experiments — with tiny parts, part-personalization degenerates into
     the uniform setting — hence the dataset-scale multiplier and the
     paper's 8 machines by default.
+
+    The (dataset, ratio, method) curve points are independent and fan out
+    over *workers* processes (default: ``scale.workers``); every point
+    still asserts communication-free answering, and rows are identical at
+    any worker count.
     """
     scale = scale or ExperimentScale.from_env()
+    workers = scale.workers if workers is None else workers
     machines = num_machines if num_machines is not None else max(scale.num_machines, 8)
-    rows: List[DistributedRow] = []
+    per_dataset = {}
     for name in datasets:
         graph = load_dataset(
             name, scale=scale.dataset_scale * dataset_scale_multiplier, seed=scale.seed
@@ -100,31 +130,28 @@ def run(
         queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
         # The summary rows route by the Alg. 3 Louvain parts.
         louvain_assignment = louvain_partition(graph, machines, seed=scale.seed)
-        for ratio in ratios:
-            budget = ratio * graph.size_in_bits()
-            for method in methods:
-                cluster = _build_cluster(
-                    method, graph, machines, budget, louvain_assignment, scale
+        per_dataset[name] = (graph, queries, louvain_assignment)
+    points = [(name, ratio, method) for name in datasets for ratio in ratios for method in methods]
+    results = sweep(
+        _distributed_point,
+        points,
+        workers=workers,
+        shared=(per_dataset, machines, scale, tuple(query_types)),
+    )
+    rows: List[DistributedRow] = []
+    for (name, ratio, method), accuracy in zip(points, results):
+        for qt in query_types:
+            smape, spearman = accuracy[qt]
+            rows.append(
+                DistributedRow(
+                    dataset=name,
+                    method=method,
+                    ratio=ratio,
+                    query_type=qt,
+                    smape=smape,
+                    spearman=spearman,
                 )
-                accuracy = evaluate_query_accuracy(
-                    graph,
-                    None,
-                    queries,
-                    query_types=tuple(query_types),
-                    answer_on=lambda q, t, c=cluster: c.answer(q, t),
-                )
-                cluster.assert_communication_free()
-                for qt, result in accuracy.items():
-                    rows.append(
-                        DistributedRow(
-                            dataset=name,
-                            method=method,
-                            ratio=ratio,
-                            query_type=qt,
-                            smape=result.smape,
-                            spearman=result.spearman,
-                        )
-                    )
+            )
     return rows
 
 

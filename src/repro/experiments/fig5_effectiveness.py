@@ -18,11 +18,46 @@ import numpy as np
 
 from repro.baselines import ssumm_summarize
 from repro.core import PegasusConfig, PersonalizedWeights, personalized_error, summarize
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, sweep
 from repro.graph import load_dataset
 
 #: |T| specifications of Fig. 5: one node, then fractions of |V|.
 TARGET_SPECS = (("1", None), ("0.01|V|", 0.01), ("0.1|V|", 0.1), ("0.3|V|", 0.3), ("0.5|V|", 0.5), ("|V|", 1.0))
+
+
+def _reference_point(shared, point):
+    """Build one dataset's non-personalized reference summary."""
+    graphs, scale, ratio = shared
+    kind, name = point
+    graph = graphs[name]
+    if kind == "pegasus":
+        return summarize(
+            graph, compression_ratio=ratio, config=PegasusConfig(t_max=scale.t_max, seed=scale.seed)
+        ).summary
+    return ssumm_summarize(graph, compression_ratio=ratio, t_max=scale.t_max, seed=scale.seed).summary
+
+
+def _effectiveness_point(shared, point):
+    """One (dataset, α, |T|) bar: personalized summary plus its error ratios."""
+    graphs, references, scale, ratio, num_test_nodes = shared
+    name, alpha, targets = point
+    graph = graphs[name]
+    reference, ssumm_reference = references[name]
+    config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+    personalized = summarize(graph, targets=targets, compression_ratio=ratio, config=config).summary
+    test_nodes = targets[: min(num_test_nodes, targets.size)]
+    ratios, ssumm_ratios = [], []
+    for u in test_nodes:
+        eval_weights = PersonalizedWeights(graph, [int(u)], alpha=alpha)
+        denom = personalized_error(reference, eval_weights)
+        if denom == 0.0:
+            continue
+        ratios.append(personalized_error(personalized, eval_weights) / denom)
+        ssumm_ratios.append(personalized_error(ssumm_reference, eval_weights) / denom)
+    return (
+        float(np.mean(ratios)) if ratios else 1.0,
+        float(np.mean(ssumm_ratios)) if ssumm_ratios else 1.0,
+    )
 
 
 @dataclass
@@ -50,43 +85,52 @@ def run(
     ratio: float = 0.5,
     num_test_nodes: int = 3,
     scale: "ExperimentScale | None" = None,
+    workers: "int | None" = None,
 ) -> List[EffectivenessRow]:
-    """Run the Fig. 5 sweep and return one row per (dataset, α, |T|)."""
+    """Run the Fig. 5 sweep and return one row per (dataset, α, |T|).
+
+    Two parallel waves over *workers* processes (default:
+    ``scale.workers``): the per-dataset reference summaries, then the
+    (dataset, α, |T|) bars.  All target sampling happens up front on one
+    RNG in the sequential visit order, so rows are identical at any
+    worker count.
+    """
     scale = scale or ExperimentScale.from_env()
-    rows: List[EffectivenessRow] = []
+    workers = scale.workers if workers is None else workers
     rng = np.random.default_rng(scale.seed)
+    graphs = {
+        name: load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
+        for name in datasets
+    }
+    points = []
     for name in datasets:
-        graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
-        reference = summarize(
-            graph, compression_ratio=ratio, config=PegasusConfig(t_max=scale.t_max, seed=scale.seed)
-        ).summary
-        ssumm_reference = ssumm_summarize(
-            graph, compression_ratio=ratio, t_max=scale.t_max, seed=scale.seed
-        ).summary
         for alpha in alphas:
             for spec_name, spec_fraction in target_specs:
-                count = _target_count(spec_fraction, graph.num_nodes)
-                targets = rng.choice(graph.num_nodes, size=count, replace=False)
-                config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
-                personalized = summarize(
-                    graph, targets=targets, compression_ratio=ratio, config=config
-                ).summary
-                test_nodes = targets[: min(num_test_nodes, targets.size)]
-                ratios, ssumm_ratios = [], []
-                for u in test_nodes:
-                    eval_weights = PersonalizedWeights(graph, [int(u)], alpha=alpha)
-                    denom = personalized_error(reference, eval_weights)
-                    if denom == 0.0:
-                        continue
-                    ratios.append(personalized_error(personalized, eval_weights) / denom)
-                    ssumm_ratios.append(personalized_error(ssumm_reference, eval_weights) / denom)
-                rows.append(
-                    EffectivenessRow(
-                        dataset=name,
-                        alpha=alpha,
-                        target_spec=spec_name,
-                        relative_error=float(np.mean(ratios)) if ratios else 1.0,
-                        ssumm_relative_error=float(np.mean(ssumm_ratios)) if ssumm_ratios else 1.0,
-                    )
-                )
-    return rows
+                count = _target_count(spec_fraction, graphs[name].num_nodes)
+                targets = rng.choice(graphs[name].num_nodes, size=count, replace=False)
+                points.append((name, alpha, spec_name, targets))
+
+    reference_points = [(kind, name) for name in datasets for kind in ("pegasus", "ssumm")]
+    reference_summaries = sweep(
+        _reference_point, reference_points, workers=workers, shared=(graphs, scale, ratio)
+    )
+    references = {
+        name: (reference_summaries[2 * i], reference_summaries[2 * i + 1])
+        for i, name in enumerate(datasets)
+    }
+    results = sweep(
+        _effectiveness_point,
+        [(name, alpha, targets) for name, alpha, _spec, targets in points],
+        workers=workers,
+        shared=(graphs, references, scale, ratio, num_test_nodes),
+    )
+    return [
+        EffectivenessRow(
+            dataset=name,
+            alpha=alpha,
+            target_spec=spec_name,
+            relative_error=relative,
+            ssumm_relative_error=ssumm_relative,
+        )
+        for (name, alpha, spec_name, _targets), (relative, ssumm_relative) in zip(points, results)
+    ]

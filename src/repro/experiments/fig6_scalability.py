@@ -16,7 +16,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.core import PegasusConfig, summarize
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, sweep
 from repro.graph import barabasi_albert, load_dataset
 from repro.graph.traversal import largest_connected_component
 
@@ -42,6 +42,13 @@ def fit_loglog_slope(rows: Sequence[ScalabilityRow]) -> float:
     return float(slope)
 
 
+def _scalability_point(shared, point):
+    """Time one (subgraph, targets) summarization (runs in a pool worker)."""
+    ratio = shared
+    subgraph, targets, config = point
+    return summarize(subgraph, targets=targets, compression_ratio=ratio, config=config).elapsed_seconds
+
+
 def run(
     *,
     node_fractions: Sequence[float] = (0.4, 0.55, 0.7, 0.85, 1.0),
@@ -51,14 +58,19 @@ def run(
     scale: "ExperimentScale | None" = None,
     backend: str = "dict",
     cost_cache: str = "incremental",
+    workers: "int | None" = None,
 ) -> List[ScalabilityRow]:
     """Run the scalability sweep; returns one row per (graph, |T|, fraction).
 
     *backend* / *cost_cache* select the merge engine (the bench wrapper's
     ``--backend`` axis); the timing shape is the point, so the same seed is
     used for every engine and the summaries are identical across backends.
+    All subgraph/target sampling happens while planning the point list, so
+    fanning the summarizations out over *workers* processes (default:
+    ``scale.workers``) changes only the wall clock, not the workload.
     """
     scale = scale or ExperimentScale.from_env()
+    workers = scale.workers if workers is None else workers
     rng = np.random.default_rng(scale.seed)
     graphs: List[Tuple[str, object]] = []
     skitter = load_dataset("skitter", scale=scale.dataset_scale * 2, seed=scale.seed).graph
@@ -66,7 +78,8 @@ def run(
     ba_nodes = base_nodes or max(int(3000 * scale.dataset_scale * 2), 500)
     graphs.append(("synthetic_ba", barabasi_albert(ba_nodes, 5, seed=scale.seed)))
 
-    rows: List[ScalabilityRow] = []
+    labels: List[Tuple[str, str, int, int]] = []
+    points = []
     for graph_name, graph in graphs:
         for fraction in node_fractions:
             count = max(int(fraction * graph.num_nodes), 10)
@@ -84,16 +97,17 @@ def run(
                 config = PegasusConfig(
                     t_max=scale.t_max, seed=scale.seed, backend=backend, cost_cache=cost_cache
                 )
-                result = summarize(
-                    subgraph, targets=targets, compression_ratio=ratio, config=config
-                )
-                rows.append(
-                    ScalabilityRow(
-                        graph_name=graph_name,
-                        target_mode=mode,
-                        num_nodes=subgraph.num_nodes,
-                        num_edges=subgraph.num_edges,
-                        elapsed_seconds=result.elapsed_seconds,
-                    )
-                )
-    return rows
+                labels.append((graph_name, mode, subgraph.num_nodes, subgraph.num_edges))
+                points.append((subgraph, targets, config))
+
+    timings = sweep(_scalability_point, points, workers=workers, shared=ratio)
+    return [
+        ScalabilityRow(
+            graph_name=graph_name,
+            target_mode=mode,
+            num_nodes=num_nodes,
+            num_edges=num_edges,
+            elapsed_seconds=elapsed,
+        )
+        for (graph_name, mode, num_nodes, num_edges), elapsed in zip(labels, timings)
+    ]

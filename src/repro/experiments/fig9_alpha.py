@@ -16,10 +16,21 @@ import numpy as np
 
 from repro.core import PegasusConfig, summarize
 from repro.eval import evaluate_query_accuracy, sample_query_nodes
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, sweep
 from repro.graph import load_dataset
 
 ALPHAS = (1.0, 1.05, 1.25, 1.5, 1.75, 2.0)
+
+
+def _alpha_point(shared, point):
+    """Summarize and evaluate one (ratio, α, dataset) point."""
+    per_dataset, scale, query_types = shared
+    ratio, alpha, name = point
+    graph, queries = per_dataset[name]
+    config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
+    summary = summarize(graph, targets=queries, compression_ratio=ratio, config=config).summary
+    accuracy = evaluate_query_accuracy(graph, summary, queries, query_types=tuple(query_types))
+    return {qt: (result.smape, result.spearman) for qt, result in accuracy.items()}
 
 
 @dataclass
@@ -40,29 +51,34 @@ def run(
     ratios: Sequence[float] = (0.3, 0.5),
     query_types: Sequence[str] = ("rwr", "hop", "php"),
     scale: "ExperimentScale | None" = None,
+    workers: "int | None" = None,
 ) -> List[AlphaRow]:
-    """Sweep α; rows are averaged over the datasets as in Fig. 9."""
+    """Sweep α; rows are averaged over the datasets as in Fig. 9.
+
+    The (ratio, α, dataset) points are independent and fan out over
+    *workers* processes (default: ``scale.workers``); rows are identical
+    at any worker count.
+    """
     scale = scale or ExperimentScale.from_env()
-    rows: List[AlphaRow] = []
+    workers = scale.workers if workers is None else workers
     per_dataset = {}
     for name in datasets:
         graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
         queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
         per_dataset[name] = (graph, queries)
+    points = [(ratio, alpha, name) for ratio in ratios for alpha in alphas for name in datasets]
+    results = sweep(
+        _alpha_point, points, workers=workers, shared=(per_dataset, scale, tuple(query_types))
+    )
+    by_point = dict(zip(points, results))
+    rows: List[AlphaRow] = []
     for ratio in ratios:
         for alpha in alphas:
             metrics = {qt: ([], []) for qt in query_types}
-            for name, (graph, queries) in per_dataset.items():
-                config = PegasusConfig(alpha=alpha, t_max=scale.t_max, seed=scale.seed)
-                summary = summarize(
-                    graph, targets=queries, compression_ratio=ratio, config=config
-                ).summary
-                accuracy = evaluate_query_accuracy(
-                    graph, summary, queries, query_types=tuple(query_types)
-                )
-                for qt, result in accuracy.items():
-                    metrics[qt][0].append(result.smape)
-                    metrics[qt][1].append(result.spearman)
+            for name in datasets:
+                for qt, (smape, spearman) in by_point[(ratio, alpha, name)].items():
+                    metrics[qt][0].append(smape)
+                    metrics[qt][1].append(spearman)
             for qt, (smapes, spearmans) in metrics.items():
                 rows.append(
                     AlphaRow(

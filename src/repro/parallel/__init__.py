@@ -1,0 +1,19 @@
+"""Process-parallel execution for the reproduction's fan-out stages.
+
+One class, one contract: :class:`ParallelExecutor` runs independent
+deterministic tasks over a worker pool with ordered result collection, so
+any consumer's output is byte-identical at any worker count (``workers=1``
+runs inline and is the reference path).  Consumers:
+
+* :func:`repro.distributed.pipeline.build_summary_cluster` /
+  :func:`~repro.distributed.pipeline.build_subgraph_cluster` — the ``m``
+  per-machine artifacts of Alg. 3 build concurrently;
+* :meth:`repro.distributed.cluster.DistributedCluster.answer_batch` —
+  batch query serving with per-machine batching;
+* :func:`repro.experiments.common.sweep` — experiment points of
+  Figs. 5/6/8/9/11/12 fan out across datasets × methods × parameters.
+"""
+
+from repro.parallel.executor import ParallelExecutor, derive_seed, resolve_workers
+
+__all__ = ["ParallelExecutor", "derive_seed", "resolve_workers"]

@@ -79,3 +79,18 @@ def test_experiment_command_smoke(capsys, monkeypatch):
     monkeypatch.setenv("REPRO_SCALE", "small")
     assert main(["experiment", "ablation-threshold"]) == 0
     assert "variant" in capsys.readouterr().out
+
+
+def test_experiment_command_with_workers(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    monkeypatch.setenv("REPRO_DATASET_SCALE", "0.1")
+    monkeypatch.setenv("REPRO_QUERIES", "2")
+    assert main(["experiment", "fig9", "--workers", "2"]) == 0
+    assert "alpha" in capsys.readouterr().out
+
+
+def test_experiment_workers_ignored_for_sequential_runner(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert main(["experiment", "ablation-threshold", "--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "--workers ignored" in captured.err

@@ -1,0 +1,55 @@
+"""The documentation cannot rot silently.
+
+Two guards over ``README.md`` and ``docs/*.md``:
+
+* every ``>>>`` example is a doctest and must pass (the quickstart is
+  executed for real, processes pools included);
+* every relative markdown link must point at a file that exists.
+
+CI runs this module as its docs job; it is also part of tier-1.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+#: ``[text](target)`` markdown links, excluding images.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_examples_run(path):
+    """All ``>>>`` blocks in the documentation execute and pass."""
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{path.name}: {results.failed} doctest failure(s)"
+    if path.name == "README.md":
+        # The quickstart must actually contain runnable examples.
+        assert results.attempted >= 5
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_links_resolve(path):
+    """Relative links in the docs point at files that exist."""
+    dead = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"{path.name}: dead link(s) {dead}"

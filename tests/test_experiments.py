@@ -33,6 +33,11 @@ class TestCommon:
         monkeypatch.setenv("REPRO_DATASET_SCALE", "0.77")
         assert ExperimentScale.from_env().dataset_scale == 0.77
 
+    def test_workers_from_env(self, monkeypatch):
+        assert ExperimentScale.from_env().workers == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ExperimentScale.from_env().workers == 3
+
     @pytest.mark.parametrize("method", ["pegasus", "ssumm", "saags", "kgrass"])
     def test_build_summary_per_method(self, method):
         graph = load_dataset("lastfm_asia", scale=0.15, seed=0).graph
@@ -132,6 +137,46 @@ class TestDrivers:
         )
         assert {r.method for r in rows} == {"pegasus", "ssumm", "louvain"}
         assert all(0.0 <= r.smape <= 1.0 for r in rows)
+
+    def test_fig12_workers_equivalent(self):
+        kwargs = dict(
+            datasets=("lastfm_asia",),
+            ratios=(0.5,),
+            methods=("pegasus", "louvain"),
+            query_types=("rwr",),
+            dataset_scale_multiplier=1.0,
+            num_machines=2,
+            scale=TINY,
+        )
+        assert fig12_distributed.run(workers=1, **kwargs) == fig12_distributed.run(
+            workers=2, **kwargs
+        )
+
+    def test_fig9_workers_equivalent(self):
+        kwargs = dict(
+            datasets=("lastfm_asia",), alphas=(1.0, 1.5), ratios=(0.5,), query_types=("rwr",), scale=TINY
+        )
+        assert fig9_alpha.run(workers=1, **kwargs) == fig9_alpha.run(workers=2, **kwargs)
+
+    def test_fig5_workers_equivalent(self):
+        kwargs = dict(
+            datasets=("lastfm_asia",),
+            alphas=(1.75,),
+            target_specs=(("1", None), ("|V|", 1.0)),
+            scale=TINY,
+        )
+        assert fig5_effectiveness.run(workers=1, **kwargs) == fig5_effectiveness.run(
+            workers=2, **kwargs
+        )
+
+    def test_fig6_workers_equivalent_workload(self):
+        kwargs = dict(node_fractions=(0.6, 1.0), target_modes=("100",), scale=TINY)
+        keys = lambda rows: [
+            (r.graph_name, r.target_mode, r.num_nodes, r.num_edges) for r in rows
+        ]
+        assert keys(fig6_scalability.run(workers=1, **kwargs)) == keys(
+            fig6_scalability.run(workers=2, **kwargs)
+        )
 
     def test_ablation_cost(self):
         rows = ablations.run_cost_criterion(datasets=("lastfm_asia",), scale=TINY)
