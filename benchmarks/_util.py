@@ -17,6 +17,7 @@ the summarization engine.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 from typing import Callable, Sequence
@@ -138,13 +139,41 @@ def run_with_speedup(run, workers: int, **kwargs):
     return rows
 
 
+def _json_value(value: object) -> object:
+    """A JSON-serializable mirror of one table cell."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # NumPy scalars
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
 def emit_table(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Print a table and persist it under ``benchmarks/results/``."""
+    """Print a table and persist it under ``benchmarks/results/``.
+
+    Writes both the human-readable ``<name>.txt`` and a machine-readable
+    ``<name>.json`` (``{"bench", "title", "headers", "rows"}``), so the
+    perf trajectory across PRs can be diffed/plotted without re-parsing
+    aligned-column text.
+    """
     table = f"{title}\n{format_table(headers, rows)}\n"
     print("\n" + table)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
         handle.write(table)
+    payload = {
+        "bench": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_json_value(value) for value in row] for row in rows],
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
     return table
 
 

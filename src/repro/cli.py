@@ -13,6 +13,11 @@ Subcommands
     it against the answer from a personalized summary.
 ``experiment``
     Run one of the paper's experiments and print its rows.
+``serve``
+    Build a simulated cluster and serve a stream of concurrent queries
+    through the async micro-batching front end, reporting throughput,
+    latency percentiles, and (by default) byte-identical verification
+    against the synchronous answering path.
 """
 
 from __future__ import annotations
@@ -155,8 +160,11 @@ def _cmd_experiment(args) -> int:
     parallel_runners = {"fig5", "fig6", "fig8", "fig9", "fig11", "fig12"}
     kwargs = {}
     if args.name in parallel_runners:
-        kwargs["workers"] = args.workers
-    elif args.workers != 1:
+        # Only override when the flag was given, so the REPRO_WORKERS
+        # environment default (read by ExperimentScale) stays live.
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+    elif args.workers not in (None, 1):
         print(f"note: {args.name} runs sequentially; --workers ignored", file=sys.stderr)
     rows = runners[args.name](**kwargs)
     if not rows:
@@ -167,6 +175,92 @@ def _cmd_experiment(args) -> int:
         [f"{v:.4f}" if isinstance(v, float) else v for v in vars(row).values()] for row in rows
     ]
     print(format_table(headers, table_rows))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import time
+
+    from repro.distributed import build_subgraph_cluster, build_summary_cluster
+    from repro.serving import QUERY_TYPES, QueryServer
+
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
+        return 2
+    query_types = [q.strip() for q in args.types.split(",") if q.strip()]
+    unknown = [q for q in query_types if q not in QUERY_TYPES]
+    if not query_types or unknown:
+        print(
+            f"error: --types must name at least one of {', '.join(QUERY_TYPES)}"
+            + (f" (unknown: {', '.join(unknown)})" if unknown else ""),
+            file=sys.stderr,
+        )
+        return 2
+
+    graph, name = _load_graph(args)
+    budget = args.ratio * graph.size_in_bits()
+    if args.source == "subgraph":
+        cluster = build_subgraph_cluster(graph, args.machines, budget, seed=args.seed)
+    else:
+        config = PegasusConfig(seed=args.seed, backend=args.backend)
+        cluster = build_summary_cluster(
+            graph, args.machines, budget, config=config, seed=args.seed
+        )
+
+    rng = np.random.default_rng(args.seed)
+    nodes = rng.integers(0, graph.num_nodes, size=args.queries)
+    stream = [(int(node), query_types[i % len(query_types)]) for i, node in enumerate(nodes)]
+
+    latencies: List[float] = []
+    answers: List[np.ndarray] = [None] * len(stream)
+
+    async def _client(server, index: int, node: int, query_type: str) -> None:
+        started = time.perf_counter()
+        answers[index] = await server.submit(node, query_type)
+        latencies.append(time.perf_counter() - started)
+
+    async def _run() -> "QueryServer":
+        server = QueryServer(
+            cluster,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_pending=args.max_pending,
+            use_shared_memory=not args.no_shared_memory,
+        )
+        async with server:
+            await asyncio.gather(
+                *(_client(server, i, node, qt) for i, (node, qt) in enumerate(stream))
+            )
+        return server
+
+    started = time.perf_counter()
+    server = asyncio.run(_run())
+    elapsed = time.perf_counter() - started
+    cluster.assert_communication_free()
+
+    stats = server.stats
+    p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
+    print(f"cluster         {name}: m={args.machines}, budget {args.ratio:.2f} * Size(G), source={args.source}")
+    print(
+        f"serving         workers={args.workers}, max_batch={args.max_batch}, "
+        f"max_wait={args.max_wait_ms:.1f}ms, shared_memory={server.uses_shared_memory}"
+    )
+    print(f"queries         {stats.answered} answered in {elapsed:.2f}s ({stats.answered / elapsed:.1f} q/s)")
+    print(f"batches         {stats.batches} (mean {stats.mean_batch_size:.1f} queries/batch, max {stats.max_batch_size})")
+    print(f"latency         p50 {p50:.1f}ms, p99 {p99:.1f}ms")
+    if args.no_verify:
+        return 0
+    mismatches = sum(
+        1
+        for (node, qt), answer in zip(stream, answers)
+        if answer is None or answer.tobytes() != cluster.answer(node, qt).tobytes()
+    )
+    print(f"verified        {len(stream) - mismatches}/{len(stream)} answers byte-identical to the synchronous path")
+    if mismatches:
+        print(f"error: {mismatches} served answer(s) diverged", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -244,11 +338,63 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         help="process-pool size for the experiment sweep "
-        "(1 = sequential, 0 = all cores; identical rows at any count)",
+        "(1 = sequential, 0 = all cores; identical rows at any count; "
+        "default: REPRO_WORKERS or 1)",
     )
     experiment_cmd.set_defaults(func=_cmd_experiment)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve a concurrent query stream through the async front end"
+    )
+    _add_graph_arguments(serve_cmd)
+    serve_cmd.add_argument("--machines", type=int, default=2, help="number of simulated machines m")
+    serve_cmd.add_argument(
+        "--ratio", type=float, default=0.5, help="per-machine budget as a fraction of Size(G)"
+    )
+    serve_cmd.add_argument(
+        "--source",
+        choices=("summary", "subgraph"),
+        default="summary",
+        help="what each machine holds: a personalized summary or a budgeted subgraph",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="dict",
+        help="summary storage backend for --source summary",
+    )
+    serve_cmd.add_argument("--queries", type=int, default=64, help="number of queries to fire")
+    serve_cmd.add_argument(
+        "--types",
+        default="rwr,hop,php",
+        help="comma-separated query types cycled through the stream",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serving-pool size (1 = inline reference path, 0 = all cores)",
+    )
+    serve_cmd.add_argument("--max-batch", type=int, default=8, help="flush a machine batch at this size")
+    serve_cmd.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch arrival window in milliseconds"
+    )
+    serve_cmd.add_argument(
+        "--max-pending", type=int, default=1024, help="admission-queue bound (backpressure beyond it)"
+    )
+    serve_cmd.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="ship machine arrays by pickle instead of multiprocessing.shared_memory",
+    )
+    serve_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the byte-identical comparison against the synchronous path",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
     return parser
 
 

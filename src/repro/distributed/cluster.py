@@ -12,7 +12,7 @@ tests and benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 import numpy as np
@@ -67,11 +67,12 @@ class Machine:
 
 
 def _machine_batch_task(shared, task) -> List[np.ndarray]:
-    """Answer one machine's routed batch (runs in a pool worker).
+    """Answer one machine's routed batch (the inline, no-shipping path).
 
-    The machine is shipped once per batch with all of its queries; its
-    reconstruction operator is built once inside the worker and reused
-    across the whole batch (``Machine.operator`` caches it).
+    The machine's reconstruction operator is built once and reused across
+    the whole batch (``Machine.operator`` caches it).  The parallel path
+    of :meth:`DistributedCluster.answer_batch` does not use this: it ships
+    the serving blueprint's array reduction instead of Machine objects.
     """
     query_type = shared
     machine, nodes = task
@@ -111,7 +112,15 @@ class DistributedCluster:
         return self.machine_for(node).answer(node, query_type)
 
     def answer_many(self, nodes, query_type: str) -> Dict[int, np.ndarray]:
-        """Answer a batch of queries (the multi-query workload of Sect. IV)."""
+        """Answer a batch of queries (the multi-query workload of Sect. IV).
+
+        Returns a dict keyed by node id, so **repeated query nodes
+        collapse to a single entry** — harmless for accuracy experiments
+        (every occurrence has the same answer) but wrong for serving,
+        where each request must get its own response.  The serving layer
+        (:class:`repro.serving.QueryServer`) therefore keeps one future
+        per *request* and never routes through this dict.
+        """
         return {int(q): self.answer(int(q), query_type) for q in nodes}
 
     def answer_batch(
@@ -127,6 +136,10 @@ class DistributedCluster:
         ``1`` = inline).  Answers are exactly those of
         :meth:`answer_many`, keyed by node in input order, and no
         inter-machine communication happens in either mode.
+
+        Like :meth:`answer_many`, the dict return **dedupes repeated
+        query nodes** (pinned by a regression test); per-request
+        answering lives in :class:`repro.serving.QueryServer`.
         """
         node_list = [int(q) for q in nodes]
         groups: Dict[int, List[int]] = {}
@@ -134,24 +147,28 @@ class DistributedCluster:
             machine = self.machine_for(node)  # validates the node id
             groups.setdefault(machine.machine_id, []).append(node)
         executor = ParallelExecutor(workers)
-        # With a single group the executor runs inline; only strip the
-        # cached operator when machines will actually be shipped to
-        # worker processes.
+        order = sorted(groups)
         shipping = executor.workers > 1 and len(groups) > 1
-        tasks = []
-        for machine_id in sorted(groups):
-            machine = self.machines[machine_id]
-            if shipping:
-                # Ship a copy without the cached operator: the worker
-                # rebuilds it once for the batch, and the parent's lazy
-                # cache state stays untouched.
-                machine = replace(machine, _operator=None)
-            tasks.append((machine, groups[machine_id]))
+        if shipping:
+            # Every summary holds a reference to the full input graph, so
+            # pickling Machine objects would ship the graph once per
+            # machine.  Ship the serving layer's array reduction instead:
+            # workers rebuild each machine from its determining arrays
+            # (shared memory where available) and build its operator once.
+            from repro.serving.blueprint import ClusterBlueprint, serve_batch_task
+
+            tasks = [
+                (machine_id, [(node, query_type) for node in groups[machine_id]])
+                for machine_id in order
+            ]
+            with ClusterBlueprint(self) as blueprint:
+                batches = executor.map(serve_batch_task, tasks, shared=blueprint.payload)
+        else:
+            inline_tasks = [(self.machines[machine_id], groups[machine_id]) for machine_id in order]
+            batches = executor.map(_machine_batch_task, inline_tasks, shared=query_type)
         answers: Dict[int, np.ndarray] = {}
-        for (machine, group), vectors in zip(
-            tasks, executor.map(_machine_batch_task, tasks, shared=query_type)
-        ):
-            answers.update(zip(group, vectors))
+        for machine_id, vectors in zip(order, batches):
+            answers.update(zip(groups[machine_id], vectors))
         return {node: answers[node] for node in node_list}
 
     def memory_per_machine(self) -> List[float]:

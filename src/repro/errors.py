@@ -26,3 +26,12 @@ class PartitionError(ReproError):
 
 class QueryError(ReproError):
     """A graph query was issued with invalid arguments (e.g. unknown node)."""
+
+
+class ServingError(ReproError):
+    """The async serving layer rejected a request or hit a lifecycle error.
+
+    Raised on admission-control rejection (bounded queue full), on
+    submitting to a server that is not running, and on attempts to serve
+    an unsupported source type.
+    """

@@ -11,9 +11,21 @@ runs inline and is the reference path).  Consumers:
 * :meth:`repro.distributed.cluster.DistributedCluster.answer_batch` —
   batch query serving with per-machine batching;
 * :func:`repro.experiments.common.sweep` — experiment points of
-  Figs. 5/6/8/9/11/12 fan out across datasets × methods × parameters.
+  Figs. 5/6/8/9/11/12 fan out across datasets × methods × parameters;
+* :class:`repro.serving.QueryServer` — the asyncio serving front end
+  holds a *session* pool (``with executor: ...``) and ships the
+  per-machine arrays once per worker via :mod:`repro.parallel.shm`.
 """
 
 from repro.parallel.executor import ParallelExecutor, derive_seed, resolve_workers
+from repro.parallel.shm import AttachedArrays, SharedArrayPack, ShmDescriptor, attach_arrays
 
-__all__ = ["ParallelExecutor", "derive_seed", "resolve_workers"]
+__all__ = [
+    "AttachedArrays",
+    "ParallelExecutor",
+    "SharedArrayPack",
+    "ShmDescriptor",
+    "attach_arrays",
+    "derive_seed",
+    "resolve_workers",
+]

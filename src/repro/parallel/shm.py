@@ -1,0 +1,178 @@
+"""Zero-copy array shipping through ``multiprocessing.shared_memory``.
+
+The serving path (and any long-lived pool) must not re-pickle the
+per-machine summary/operator arrays on every micro-batch.  This module
+packs a set of named NumPy arrays into **one** shared-memory block on the
+parent side and hands workers a tiny picklable descriptor; each worker
+attaches the block once and maps the arrays back as read-only views — no
+copies, no per-batch serialization, identical bytes by construction.
+
+Parent side::
+
+    pack = SharedArrayPack({"indptr": indptr, "indices": indices})
+    payload = pack.descriptor          # small, picklable
+    ...ship payload through a pool initializer...
+    pack.close()                       # when the session ends
+
+Worker side::
+
+    attached = attach_arrays(descriptor)   # cached per process by name
+    indptr = attached["indptr"]            # read-only view into the block
+
+The pack owner is responsible for unlinking (``close``); workers only
+ever attach.  Attachment is untracked (the semantics of 3.13's
+``track=False``, emulated on older CPython) so the resource tracker never
+tears a block out from under the parent or double-counts its cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+
+def _align(offset: int, alignment: int = 16) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    The pack owner handles unlinking; an attaching worker must not enroll
+    the segment in the resource tracker (under ``fork`` the tracker is
+    shared with the parent, so a tracked attach corrupts the parent's
+    bookkeeping).  Python 3.13 exposes this as ``track=False``; on older
+    versions the registration hook is suppressed for the attach call.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    original = resource_tracker.register
+
+    def _register_except_shm(res_name, rtype):
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """A picklable handle to one packed shared-memory block.
+
+    ``entries`` maps array name → ``(dtype string, shape, byte offset)``
+    inside the block called ``name``.
+    """
+
+    name: str
+    entries: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+
+
+class SharedArrayPack:
+    """Parent-side owner of one shared-memory block holding named arrays.
+
+    Arrays are copied into the block once at construction; the pack's
+    :attr:`descriptor` is what ships to workers.  The owner must call
+    :meth:`close` (which also unlinks) when the session ends — typically
+    from ``QueryServer.stop`` or an executor ``finally`` block.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        entries = []
+        offset = 0
+        prepared: Dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            prepared[key] = array
+            offset = _align(offset)
+            entries.append((key, array.dtype.str, tuple(array.shape), offset))
+            offset += array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (key, _dtype, _shape, start) in entries:
+            array = prepared[key]
+            if array.nbytes:
+                self._shm.buf[start : start + array.nbytes] = array.tobytes()
+        self.descriptor = ShmDescriptor(name=self._shm.name, entries=tuple(entries))
+        self._closed = False
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AttachedArrays:
+    """Worker-side read-only views into an attached shared-memory block.
+
+    Behaves as a mapping from array name to view.  Keeps the underlying
+    :class:`~multiprocessing.shared_memory.SharedMemory` referenced for as
+    long as the views are alive.
+    """
+
+    def __init__(self, descriptor: ShmDescriptor):
+        self._shm = _attach_untracked(descriptor.name)
+        self._views: Dict[str, np.ndarray] = {}
+        for key, dtype, shape, offset in descriptor.entries:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset)
+            view.setflags(write=False)
+            self._views[key] = view
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._views[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._views
+
+    def keys(self):
+        return self._views.keys()
+
+    def close(self) -> None:
+        """Drop the views and unmap the block (invalidates the views)."""
+        self._views.clear()
+        self._shm.close()
+
+
+#: Per-process cache of attached blocks, keyed by segment name — a worker
+#: serving thousands of micro-batches attaches each session's block once.
+_ATTACHED: Dict[str, AttachedArrays] = {}
+
+
+def attach_arrays(descriptor: ShmDescriptor) -> AttachedArrays:
+    """Attach (or fetch the cached attachment of) a packed block."""
+    attached = _ATTACHED.get(descriptor.name)
+    if attached is None:
+        attached = AttachedArrays(descriptor)
+        _ATTACHED[descriptor.name] = attached
+    return attached
+
+
+def detach_arrays(name: str) -> None:
+    """Evict and unmap a cached attachment (no-op if never attached).
+
+    Long-lived processes that attach many sessions over time (the
+    ``workers=1`` inline serving path attaches in the *parent*) call this
+    at session end so finished sessions do not pin their pages forever.
+    """
+    attached = _ATTACHED.pop(name, None)
+    if attached is not None:
+        attached.close()

@@ -1,0 +1,29 @@
+"""Async query serving over the communication-free cluster (Sect. IV, online).
+
+The batch pipeline answers a *fixed* query set
+(:meth:`~repro.distributed.cluster.DistributedCluster.answer_batch`);
+this package serves a *stream*: :class:`QueryServer` admits queries
+continuously on an asyncio event loop, micro-batches them per owning
+machine by arrival window, applies bounded-queue admission control, and
+answers them on a persistent shared-memory worker pool — every answer
+byte-identical to the synchronous ``cluster.answer`` path, every
+submission getting its own per-request future (duplicate query nodes
+included).
+
+Entry points: :class:`QueryServer` (the async front end),
+:func:`serve_queries` (synchronous convenience for fixed streams),
+:class:`~repro.serving.blueprint.ClusterBlueprint` (the worker-side
+shipping layer, reusable by other long-lived pools).
+"""
+
+from repro.serving.blueprint import ClusterBlueprint, serve_batch_task
+from repro.serving.server import QUERY_TYPES, QueryServer, ServingStats, serve_queries
+
+__all__ = [
+    "QUERY_TYPES",
+    "ClusterBlueprint",
+    "QueryServer",
+    "ServingStats",
+    "serve_batch_task",
+    "serve_queries",
+]

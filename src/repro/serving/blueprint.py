@@ -1,0 +1,220 @@
+"""Shipping a cluster's per-machine query sources to serving workers.
+
+A :class:`~repro.distributed.cluster.DistributedCluster` holds one query
+source per machine — a personalized :class:`~repro.core.summary.SummaryGraph`
+or a budgeted :class:`~repro.graph.graph.Graph` subgraph.  Serving workers
+must answer against *exactly* those sources, for thousands of
+micro-batches, without re-pickling them per batch.
+
+:class:`ClusterBlueprint` solves this by reducing every source to the flat
+arrays that fully determine its query behavior:
+
+* summary source → ``(supernode_of, lo, hi[, weights])`` — the same
+  lexsorted columnar export that already makes query answers
+  backend-identical (``SummaryGraph.superedge_arrays``);
+* graph source → its CSR ``(indptr, indices)``.
+
+The arrays are packed once into a :class:`~repro.parallel.shm.SharedArrayPack`
+(zero-copy attach in each worker; set ``use_shared_memory=False`` to fall
+back to pickling the arrays once per worker through the pool initializer).
+Workers rebuild a :class:`~repro.distributed.cluster.Machine` per machine
+id on first use and cache it for the life of the process, so the
+reconstruction operator — the expensive part of RWR/PHP answering — is
+built **once per worker per machine**, not once per batch.
+
+Determinism: the rebuilt summary reproduces the original's
+``supernode_of`` and lexsorted superedge arrays bit for bit, and every
+query answer is a pure function of those arrays (pinned by the
+cross-backend equivalence suite), so served answers are byte-identical to
+``DistributedCluster.answer`` regardless of worker count, start method,
+or storage backend.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.summary import SummaryGraph
+from repro.distributed.cluster import DistributedCluster, Machine
+from repro.errors import ServingError
+from repro.graph.graph import Graph
+from repro.parallel.shm import SharedArrayPack, attach_arrays, detach_arrays
+
+
+def _export_machine(machine: Machine, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Reduce one machine's source to flat arrays plus a small spec."""
+    prefix = f"m{machine.machine_id}."
+    source = machine.source
+    if isinstance(source, SummaryGraph):
+        lo, hi, weights = source.superedge_arrays()
+        arrays[prefix + "supernode_of"] = source.supernode_of
+        arrays[prefix + "lo"] = lo
+        arrays[prefix + "hi"] = hi
+        if weights is not None:
+            arrays[prefix + "weights"] = weights
+        return {
+            "machine_id": machine.machine_id,
+            "kind": "summary",
+            "weighted": source.is_weighted,
+            "num_nodes": source.num_nodes,
+            "memory_bits": machine.memory_bits,
+        }
+    if isinstance(source, Graph):
+        arrays[prefix + "indptr"] = source.indptr
+        arrays[prefix + "indices"] = source.indices
+        return {
+            "machine_id": machine.machine_id,
+            "kind": "graph",
+            "num_nodes": source.num_nodes,
+            "memory_bits": machine.memory_bits,
+        }
+    raise ServingError(f"cannot serve source of type {type(source).__name__}")
+
+
+class ClusterBlueprint:
+    """Parent-side export of a cluster's machines for serving workers.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose machines will answer served queries.
+    use_shared_memory:
+        Pack the arrays into one ``multiprocessing.shared_memory`` block
+        (default; workers attach zero-copy).  ``False`` ships the arrays
+        by pickle once per worker instead — the answers are identical,
+        only the shipping cost differs.  If the platform cannot create
+        shared memory the pickle path is used automatically.
+
+    The :attr:`payload` is what the serving pool installs as its session
+    shared value.  Call :meth:`close` when the serving session ends to
+    unlink the shared-memory block.
+    """
+
+    def __init__(self, cluster: DistributedCluster, *, use_shared_memory: bool = True):
+        arrays: Dict[str, np.ndarray] = {}
+        specs = [_export_machine(machine, arrays) for machine in cluster.machines]
+        self._pack: "SharedArrayPack | None" = None
+        payload: Dict[str, Any] = {
+            # Workers cache attached clusters by token; uuid keeps two
+            # concurrent servers in one process from colliding.
+            "token": uuid.uuid4().hex,
+            "specs": specs,
+        }
+        if use_shared_memory:
+            try:
+                self._pack = SharedArrayPack(arrays)
+            except OSError:  # pragma: no cover - no /dev/shm on this platform
+                self._pack = None
+        if self._pack is not None:
+            payload["descriptor"] = self._pack.descriptor
+        else:
+            payload["arrays"] = {key: np.ascontiguousarray(a) for key, a in arrays.items()}
+        self.payload = payload
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether the arrays actually live in a shared-memory block."""
+        return self._pack is not None
+
+    def close(self) -> None:
+        """Unlink the shared-memory block (idempotent)."""
+        if self._pack is not None:
+            self._pack.close()
+
+    def __enter__(self) -> "ClusterBlueprint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _AttachedCluster:
+    """Worker-side lazily rebuilt machines for one serving session."""
+
+    def __init__(self, payload: Dict[str, Any]):
+        if "descriptor" in payload:
+            self._arrays: Any = attach_arrays(payload["descriptor"])
+        else:
+            self._arrays = payload["arrays"]
+        self._specs = {spec["machine_id"]: spec for spec in payload["specs"]}
+        self._machines: Dict[int, Machine] = {}
+
+    def _rebuild_source(self, spec: Dict[str, Any]):
+        prefix = f"m{spec['machine_id']}."
+        num_nodes = spec["num_nodes"]
+        if spec["kind"] == "graph":
+            return Graph(num_nodes, self._arrays[prefix + "indptr"], self._arrays[prefix + "indices"])
+        lo = self._arrays[prefix + "lo"]
+        hi = self._arrays[prefix + "hi"]
+        weighted = spec["weighted"]
+        if weighted:
+            weights = self._arrays[prefix + "weights"]
+            superedges = zip(lo.tolist(), hi.tolist(), weights.tolist())
+        else:
+            superedges = ((a, b, None) for a, b in zip(lo.tolist(), hi.tolist()))
+        # Query answering never reads the summary's input graph beyond its
+        # node count, so an edgeless stand-in keeps the rebuild cheap.
+        return SummaryGraph.from_parts(
+            Graph.empty(num_nodes),
+            self._arrays[prefix + "supernode_of"],
+            superedges,
+            weighted=weighted,
+        )
+
+    def machine(self, machine_id: int) -> Machine:
+        """The rebuilt machine (cached; its operator cache lives with it)."""
+        machine = self._machines.get(machine_id)
+        if machine is None:
+            spec = self._specs.get(machine_id)
+            if spec is None:
+                raise ServingError(f"machine {machine_id} is not part of this blueprint")
+            machine = Machine(
+                machine_id=machine_id,
+                part_nodes=np.empty(0, dtype=np.int64),  # routing stays in the parent
+                source=self._rebuild_source(spec),
+                memory_bits=spec["memory_bits"],
+            )
+            self._machines[machine_id] = machine
+        return machine
+
+
+#: Per-process cache of attached serving sessions, keyed by payload token.
+_SESSIONS: Dict[str, _AttachedCluster] = {}
+
+
+def attached_cluster(payload: Dict[str, Any]) -> _AttachedCluster:
+    """The (cached) worker-side view of a serving session's machines."""
+    session = _SESSIONS.get(payload["token"])
+    if session is None:
+        session = _AttachedCluster(payload)
+        _SESSIONS[payload["token"]] = session
+    return session
+
+
+def release_session(payload: Dict[str, Any]) -> None:
+    """Evict this process's cache for one serving session (no-op if absent).
+
+    Pool workers die with their pool, but the ``workers=1`` inline path
+    caches the rebuilt machines — and the shm mapping — in the *parent*;
+    ``QueryServer.stop`` calls this so repeated start/stop cycles in one
+    process do not accumulate dead sessions.
+    """
+    _SESSIONS.pop(payload["token"], None)
+    descriptor = payload.get("descriptor")
+    if descriptor is not None:
+        detach_arrays(descriptor.name)
+
+
+def serve_batch_task(shared: Dict[str, Any], task: Tuple[int, List[Tuple[int, str]]]) -> List[np.ndarray]:
+    """Answer one machine's micro-batch (runs in a pool worker).
+
+    ``task`` is ``(machine_id, [(node, query_type), ...])``; the answers
+    come back in batch order.  Mixed query types share the machine's
+    cached reconstruction operator.
+    """
+    machine_id, items = task
+    machine = attached_cluster(shared).machine(machine_id)
+    return [machine.answer(node, query_type) for node, query_type in items]

@@ -1,0 +1,383 @@
+"""The asyncio query-serving front end (the Sect. IV workload, online).
+
+:class:`QueryServer` turns the batch boundary of
+:meth:`~repro.distributed.cluster.DistributedCluster.answer_batch` into a
+continuously admitting service:
+
+* **Admission** — ``await submit(node, qt)`` routes the query to its
+  owning machine and parks it in a bounded queue.  A full queue makes
+  ``submit`` wait (backpressure) and ``submit_nowait`` raise
+  :class:`~repro.errors.ServingError` (load shedding); either way the
+  server's memory footprint is bounded.
+* **Micro-batching** — a dispatcher coroutine drains the queue and groups
+  requests per owning machine.  A machine's batch is flushed when it
+  reaches ``max_batch`` requests or when its oldest request has waited
+  ``max_wait_ms`` — the classic latency/throughput dial.
+* **Execution** — flushed batches go to a *session-mode*
+  :class:`~repro.parallel.ParallelExecutor` whose workers hold the
+  cluster's machines rebuilt from shared memory
+  (:mod:`repro.serving.blueprint`), so answering overlaps with admission
+  and nothing large is pickled per batch.  ``workers=1`` answers inline
+  in the event loop — the byte-identical reference path.
+* **Per-request futures** — every submission gets its own future, so
+  duplicate query nodes receive one answer *each* (``answer_batch``'s
+  dict return collapses duplicates; the serving layer must not).
+
+Every answer is byte-identical to ``cluster.answer(node, query_type)``,
+for any arrival interleaving, batch window, worker count, and storage
+backend, and serving is communication-free: a query only ever touches the
+machine that owns its node.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.cluster import DistributedCluster
+from repro.errors import QueryError, ServingError
+from repro.parallel import ParallelExecutor
+from repro.serving.blueprint import ClusterBlueprint, release_session, serve_batch_task
+
+QUERY_TYPES = ("rwr", "hop", "php")
+
+#: Queue sentinel that tells the dispatcher to flush everything and exit.
+_STOP = object()
+
+
+@dataclass
+class ServingStats:
+    """Counters exposed by :attr:`QueryServer.stats` (monotone per session)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    answered: int = 0
+    failed: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Answered-or-failed requests per flushed batch."""
+        done = self.answered + self.failed
+        return done / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Request:
+    node: int
+    query_type: str
+    machine_id: int
+    future: "asyncio.Future[np.ndarray]" = field(repr=False)
+
+
+class QueryServer:
+    """Micro-batched asyncio serving over a :class:`DistributedCluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to serve; its routing table and machines are used
+        as-is.  Answers match ``cluster.answer`` byte for byte.
+    workers:
+        Serving-pool size (:func:`~repro.parallel.executor.resolve_workers`
+        rules: ``1`` = inline reference path, ``0`` = all cores).
+    max_batch:
+        Flush a machine's batch at this many requests.
+    max_wait_ms:
+        Flush a machine's batch when its oldest request has waited this
+        long (the micro-batch arrival window).  ``0`` flushes every
+        dispatch cycle — minimum latency, minimum batching.
+    max_pending:
+        Bound on admitted-but-undispatched requests (the admission
+        queue).  Full queue ⇒ ``submit`` backpressures, ``submit_nowait``
+        raises.
+    use_shared_memory:
+        Ship machine arrays via ``multiprocessing.shared_memory``
+        (default) or by pickling once per worker (``False``).
+    mp_context:
+        Optional multiprocessing context for the serving pool.
+
+    Use as an async context manager::
+
+        async with QueryServer(cluster, workers=4) as server:
+            answer = await server.submit(node, "rwr")
+    """
+
+    def __init__(
+        self,
+        cluster: DistributedCluster,
+        *,
+        workers: "int | None" = 1,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+        use_shared_memory: bool = True,
+        mp_context=None,
+    ):
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_pending < 1:
+            raise ServingError(f"max_pending must be >= 1, got {max_pending}")
+        self._cluster = cluster
+        self._workers = workers
+        self._max_batch = int(max_batch)
+        self._max_wait = float(max_wait_ms) / 1000.0
+        self._max_pending = int(max_pending)
+        self._use_shared_memory = use_shared_memory
+        self._mp_context = mp_context
+        self.stats = ServingStats()
+        self._running = False
+        self._accepting = False
+        self._queue: "asyncio.Queue[object] | None" = None
+        self._dispatcher: "asyncio.Task | None" = None
+        self._executor: "ParallelExecutor | None" = None
+        self._blueprint: "ClusterBlueprint | None" = None
+        self._inflight: "set[asyncio.Future]" = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the server is started and accepting submissions."""
+        return self._running
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether machine arrays actually live in shared memory."""
+        return self._blueprint is not None and self._blueprint.uses_shared_memory
+
+    async def start(self) -> "QueryServer":
+        """Export the cluster, start the serving pool and the dispatcher."""
+        if self._running:
+            raise ServingError("server already started")
+        self._blueprint = ClusterBlueprint(
+            self._cluster, use_shared_memory=self._use_shared_memory
+        )
+        try:
+            self._executor = ParallelExecutor(
+                self._workers, mp_context=self._mp_context, shared=self._blueprint.payload
+            ).start()
+        except BaseException:
+            # A failed pool start must not leak the shared-memory block.
+            self._blueprint.close()
+            self._blueprint = None
+            raise
+        self._queue = asyncio.Queue(maxsize=self._max_pending)
+        self.stats = ServingStats()
+        self._running = True
+        self._accepting = True
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain in-flight work, stop the dispatcher, release the pool.
+
+        Teardown is unconditional: even if the dispatcher died on an
+        unexpected error, the pool is shut down, the shared-memory block
+        unlinked, and every unresolved request failed rather than left
+        hanging.
+        """
+        if not self._running:
+            return
+        self._accepting = False
+        try:
+            await self._queue.put(_STOP)
+            await asyncio.gather(self._dispatcher, return_exceptions=True)
+            # Submissions that slipped past the STOP sentinel (admission
+            # races resolve in queue order) — or that were stranded by a
+            # dispatcher crash — are rejected rather than left hanging.
+            while True:
+                try:
+                    leftover = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if leftover is not _STOP:
+                    self._fail_request(leftover, ServingError("server stopped"))
+            if self._inflight:
+                await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        finally:
+            self._executor.shutdown()
+            release_session(self._blueprint.payload)  # inline-path caches
+            self._blueprint.close()
+            self._running = False
+            self._dispatcher = None
+            self._queue = None
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _make_request(self, node: int, query_type: str) -> _Request:
+        if not self._accepting:
+            raise ServingError("server is not accepting queries")
+        if query_type not in QUERY_TYPES:
+            raise QueryError(f"unknown query type {query_type!r}")
+        machine = self._cluster.machine_for(int(node))  # validates the node
+        future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
+        return _Request(int(node), query_type, machine.machine_id, future)
+
+    def _note_admitted(self) -> None:
+        self.stats.admitted += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+
+    def submit_nowait(self, node: int, query_type: str) -> "asyncio.Future[np.ndarray]":
+        """Admit one query without waiting; returns its answer future.
+
+        Raises :class:`ServingError` when the admission queue is full
+        (load shedding) or the server is not running, and
+        :class:`~repro.errors.QueryError` for invalid nodes/query types —
+        the same validation surface as ``cluster.answer``.
+        """
+        request = self._make_request(node, query_type)
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise ServingError(
+                f"admission queue full ({self._max_pending} pending); retry or back off"
+            ) from None
+        self._note_admitted()
+        return request.future
+
+    async def submit(self, node: int, query_type: str) -> np.ndarray:
+        """Admit one query (waiting for queue space if needed) and await it.
+
+        This is the backpressure path: a saturated server slows its
+        clients down instead of growing without bound.
+        """
+        request = self._make_request(node, query_type)
+        await self._queue.put(request)
+        self._note_admitted()
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        pending: Dict[int, List[_Request]] = {}
+        try:
+            await self._dispatch(pending)
+        except BaseException as error:
+            # The dispatcher must never die silently with requests parked
+            # in its buffers: fail them so clients unblock, then let
+            # stop() handle teardown.
+            for batch in pending.values():
+                for request in batch:
+                    self._fail_request(request, error)
+            pending.clear()
+            raise
+
+    async def _dispatch(self, pending: Dict[int, List[_Request]]) -> None:
+        loop = asyncio.get_running_loop()
+        deadlines: Dict[int, float] = {}
+        stopping = False
+        while True:
+            timeout: "float | None" = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - loop.time())
+            try:
+                item = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                item = None
+            # Drain whatever arrived in the same wakeup: batches form from
+            # genuinely concurrent arrivals, not one queue item per cycle.
+            while item is not None:
+                if item is _STOP:
+                    stopping = True
+                else:
+                    request = item
+                    batch = pending.setdefault(request.machine_id, [])
+                    batch.append(request)
+                    if len(batch) == 1:
+                        deadlines[request.machine_id] = loop.time() + self._max_wait
+                    if len(batch) >= self._max_batch:
+                        self._flush(request.machine_id, pending, deadlines)
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            now = loop.time()
+            for machine_id in [m for m, d in deadlines.items() if d <= now or stopping]:
+                self._flush(machine_id, pending, deadlines)
+            if stopping:
+                for machine_id in list(pending):
+                    self._flush(machine_id, pending, deadlines)
+                return
+
+    def _flush(
+        self,
+        machine_id: int,
+        pending: Dict[int, List[_Request]],
+        deadlines: Dict[int, float],
+    ) -> None:
+        batch = pending.pop(machine_id, None)
+        deadlines.pop(machine_id, None)
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        task = (machine_id, [(request.node, request.query_type) for request in batch])
+        try:
+            pool_future = self._executor.submit(serve_batch_task, task)
+        except BaseException as error:  # e.g. BrokenProcessPool after a worker died
+            for request in batch:
+                self._fail_request(request, error)
+            return
+        wrapped = asyncio.ensure_future(asyncio.wrap_future(pool_future))
+        self._inflight.add(wrapped)
+        wrapped.add_done_callback(lambda done, batch=batch: self._deliver(done, batch))
+
+    def _deliver(self, done: "asyncio.Future", batch: List[_Request]) -> None:
+        self._inflight.discard(done)
+        error = done.exception()
+        if error is not None:
+            for request in batch:
+                self._fail_request(request, error)
+            return
+        for request, answer in zip(batch, done.result()):
+            if not request.future.done():
+                request.future.set_result(answer)
+            self.stats.answered += 1
+
+    def _fail_request(self, request: _Request, error: BaseException) -> None:
+        if not request.future.done():
+            request.future.set_exception(error)
+        self.stats.failed += 1
+
+
+def serve_queries(
+    cluster: DistributedCluster,
+    queries: Sequence[Tuple[int, str]],
+    *,
+    workers: "int | None" = 1,
+    **server_kwargs,
+) -> List[np.ndarray]:
+    """Serve a fixed query stream and return the answers in request order.
+
+    Synchronous convenience over :class:`QueryServer` for scripts and
+    tests: all queries are submitted concurrently (arrival order =
+    sequence order), duplicates included, and each gets its own answer.
+    """
+
+    async def _run() -> List[np.ndarray]:
+        async with QueryServer(cluster, workers=workers, **server_kwargs) as server:
+            return list(
+                await asyncio.gather(
+                    *(server.submit(node, query_type) for node, query_type in queries)
+                )
+            )
+
+    return asyncio.run(_run())

@@ -148,6 +148,17 @@ class TestAnswerBatch:
         assert set(batch) == {3, 7}
         assert np.array_equal(batch[3], sequential_cluster.answer(3, "hop"))
 
+    def test_dict_return_dedupes_duplicate_nodes(self, sequential_cluster):
+        """Documented contract: the dict-returning batch APIs collapse
+        repeated query nodes to one entry, so callers that need one
+        answer per *request* (the serving layer) must not route through
+        them.  ``repro.serving`` pins the per-request side."""
+        nodes = [5, 5, 5, 9]
+        for api in (sequential_cluster.answer_many, sequential_cluster.answer_batch):
+            answers = api(nodes, "rwr")
+            assert len(answers) == 2  # not 4: duplicates silently collapse
+            assert list(answers) == [5, 9]
+
     def test_empty_batch(self, sequential_cluster):
         assert sequential_cluster.answer_batch([], "rwr") == {}
 

@@ -1,0 +1,290 @@
+"""The serving determinism contract: async == synchronous, byte for byte.
+
+Pins the PR-3 guarantees: (a) every answer served by ``QueryServer`` is
+byte-identical to ``DistributedCluster.answer(node, query_type)`` for any
+arrival interleaving, worker count, batch window, and storage backend;
+(b) duplicate query nodes get one answer per *request* (unlike the
+dict-returning batch APIs); (c) admission control bounds memory —
+``submit`` backpressures and ``submit_nowait`` sheds load; (d) serving
+stays communication-free; (e) the server starts and stops cleanly,
+shared-memory segments included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import PegasusConfig
+from repro.distributed import build_subgraph_cluster, build_summary_cluster
+from repro.errors import QueryError, ServingError
+from repro.graph import planted_partition
+from repro.serving import QUERY_TYPES, QueryServer, serve_queries
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(160, 4, avg_degree_in=8.0, avg_degree_out=1.0, seed=2)
+
+
+@pytest.fixture(scope="module", params=["dict", "flat"])
+def summary_cluster(request, graph):
+    config = PegasusConfig(seed=1, t_max=8, backend=request.param)
+    return build_summary_cluster(graph, 4, 0.5 * graph.size_in_bits(), config=config)
+
+
+@pytest.fixture(scope="module")
+def subgraph_cluster(graph):
+    return build_subgraph_cluster(graph, 4, 0.4 * graph.size_in_bits())
+
+
+def _stream(graph, count=18, seed=5):
+    """A deterministic mixed stream with duplicates and all query types."""
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, graph.num_nodes, size=count).tolist()
+    nodes[3] = nodes[0]  # guaranteed duplicates, different positions
+    if count > 11:
+        nodes[11] = nodes[0]
+    return [(node, QUERY_TYPES[i % len(QUERY_TYPES)]) for i, node in enumerate(nodes)]
+
+
+def _assert_byte_identical(cluster, queries, answers):
+    assert len(answers) == len(queries)
+    for (node, query_type), answer in zip(queries, answers):
+        expected = cluster.answer(node, query_type)
+        assert answer.dtype == expected.dtype
+        assert answer.tobytes() == expected.tobytes(), (node, query_type)
+
+
+class TestServedAnswerEquivalence:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_summary_cluster_byte_identical(self, summary_cluster, workers):
+        queries = _stream(summary_cluster.graph)
+        answers = serve_queries(
+            summary_cluster, queries, workers=workers, max_batch=4, max_wait_ms=1.0
+        )
+        _assert_byte_identical(summary_cluster, queries, answers)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_subgraph_cluster_byte_identical(self, subgraph_cluster, workers):
+        queries = _stream(subgraph_cluster.graph)
+        answers = serve_queries(subgraph_cluster, queries, workers=workers)
+        _assert_byte_identical(subgraph_cluster, queries, answers)
+
+    @pytest.mark.parametrize("max_batch,max_wait_ms", [(1, 0.0), (3, 0.0), (64, 25.0)])
+    def test_batch_window_never_changes_answers(self, summary_cluster, max_batch, max_wait_ms):
+        queries = _stream(summary_cluster.graph, count=12)
+        answers = serve_queries(
+            summary_cluster, queries, workers=2, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+        _assert_byte_identical(summary_cluster, queries, answers)
+
+    def test_pickle_shipping_matches_shared_memory(self, summary_cluster):
+        queries = _stream(summary_cluster.graph, count=9)
+        via_shm = serve_queries(summary_cluster, queries, workers=2)
+        via_pickle = serve_queries(
+            summary_cluster, queries, workers=2, use_shared_memory=False
+        )
+        for a, b in zip(via_shm, via_pickle):
+            assert a.tobytes() == b.tobytes()
+        _assert_byte_identical(summary_cluster, queries, via_shm)
+
+    def test_out_of_order_arrivals(self, summary_cluster):
+        """Requests submitted in bursts with event-loop yields in between
+        (arbitrary interleaving) still each get their own exact answer."""
+        queries = _stream(summary_cluster.graph, count=15)
+
+        async def _run():
+            async with QueryServer(
+                summary_cluster, workers=2, max_batch=5, max_wait_ms=1.0
+            ) as server:
+                futures = []
+                for burst_start in range(0, len(queries), 4):
+                    for node, query_type in queries[burst_start : burst_start + 4]:
+                        futures.append(server.submit_nowait(node, query_type))
+                    await asyncio.sleep(0.003)
+                return await asyncio.gather(*futures)
+
+        answers = asyncio.run(_run())
+        _assert_byte_identical(summary_cluster, queries, answers)
+
+    def test_communication_free(self, summary_cluster):
+        serve_queries(summary_cluster, _stream(summary_cluster.graph, count=9), workers=2)
+        summary_cluster.assert_communication_free()
+
+
+class TestPerRequestSemantics:
+    def test_duplicates_get_one_answer_each(self, summary_cluster):
+        node = 7
+        queries = [(node, "rwr"), (node, "rwr"), (node, "rwr")]
+        answers = serve_queries(summary_cluster, queries, workers=1)
+        assert len(answers) == 3  # answer_many would collapse these to one
+        expected = summary_cluster.answer(node, "rwr")
+        for answer in answers:
+            assert answer.tobytes() == expected.tobytes()
+            assert answer is not expected
+
+    def test_mixed_types_share_one_batch(self, summary_cluster):
+        """One machine batch can mix rwr/hop/php; answers stay exact."""
+        machine = summary_cluster.machines[0]
+        node = int(machine.part_nodes[0])
+        queries = [(node, "rwr"), (node, "hop"), (node, "php")]
+
+        async def _run():
+            async with QueryServer(
+                summary_cluster, workers=2, max_batch=8, max_wait_ms=20.0
+            ) as server:
+                futures = [server.submit_nowait(n, t) for n, t in queries]
+                answers = await asyncio.gather(*futures)
+                return answers, server.stats
+
+        answers, stats = asyncio.run(_run())
+        assert stats.batches == 1 and stats.max_batch_size == 3
+        _assert_byte_identical(summary_cluster, queries, answers)
+
+
+class TestAdmissionControl:
+    def test_invalid_inputs_rejected_synchronously(self, summary_cluster):
+        async def _run():
+            async with QueryServer(summary_cluster) as server:
+                with pytest.raises(QueryError):
+                    server.submit_nowait(10_000, "rwr")
+                with pytest.raises(QueryError):
+                    server.submit_nowait(0, "pagerank")
+
+        asyncio.run(_run())
+
+    def test_submit_nowait_sheds_load_when_full(self, summary_cluster):
+        async def _run():
+            async with QueryServer(summary_cluster, max_pending=2) as server:
+                # No awaits between admissions: the dispatcher cannot drain,
+                # so the third submission must hit the bound.
+                server.submit_nowait(0, "rwr")
+                server.submit_nowait(1, "rwr")
+                with pytest.raises(ServingError, match="admission queue full"):
+                    server.submit_nowait(2, "rwr")
+                assert server.stats.rejected == 1
+
+        asyncio.run(_run())
+
+    def test_submit_backpressures_instead_of_failing(self, summary_cluster):
+        queries = _stream(summary_cluster.graph, count=12)
+        answers = serve_queries(summary_cluster, queries, workers=1, max_pending=1)
+        _assert_byte_identical(summary_cluster, queries, answers)
+
+    def test_queue_depth_is_tracked(self, summary_cluster):
+        async def _run():
+            async with QueryServer(summary_cluster, max_pending=8) as server:
+                futures = [server.submit_nowait(i, "hop") for i in range(5)]
+                await asyncio.gather(*futures)
+                return server.stats
+
+        stats = asyncio.run(_run())
+        assert stats.admitted == 5
+        assert stats.answered == 5
+        assert 1 <= stats.max_queue_depth <= 5
+
+
+class TestLifecycle:
+    def test_stop_rejects_new_submissions(self, summary_cluster):
+        async def _run():
+            server = QueryServer(summary_cluster)
+            await server.start()
+            await server.stop()
+            assert not server.running
+            with pytest.raises(ServingError, match="not accepting"):
+                server.submit_nowait(0, "rwr")
+            with pytest.raises(ServingError, match="not accepting"):
+                await server.submit(0, "rwr")
+
+        asyncio.run(_run())
+
+    def test_double_start_rejected(self, summary_cluster):
+        async def _run():
+            async with QueryServer(summary_cluster) as server:
+                with pytest.raises(ServingError, match="already started"):
+                    await server.start()
+
+        asyncio.run(_run())
+
+    def test_restart_after_stop(self, summary_cluster):
+        queries = _stream(summary_cluster.graph, count=6)
+
+        async def _session(server):
+            async with server:
+                return await asyncio.gather(
+                    *(server.submit(n, t) for n, t in queries)
+                )
+
+        server = QueryServer(summary_cluster, workers=2)
+        first = asyncio.run(_session(server))
+        second = asyncio.run(_session(server))
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+        _assert_byte_identical(summary_cluster, queries, first)
+
+    def test_stop_drains_pending_work(self, summary_cluster):
+        """Everything admitted before stop() is answered, not dropped."""
+
+        async def _run():
+            server = QueryServer(summary_cluster, workers=2, max_wait_ms=50.0, max_batch=64)
+            await server.start()
+            futures = [server.submit_nowait(i, "hop") for i in range(8)]
+            await server.stop()  # well before the 50ms window elapses
+            return await asyncio.gather(*futures), server.stats
+
+        answers, stats = asyncio.run(_run())
+        assert stats.answered == 8
+        _assert_byte_identical(
+            summary_cluster, [(i, "hop") for i in range(8)], answers
+        )
+
+    def test_inline_session_caches_evicted_on_stop(self, summary_cluster):
+        """workers=1 answers in the parent process; stopping must evict
+        the parent-side session cache and shm attachment, or repeated
+        start/stop cycles leak a rebuilt cluster per session."""
+        from repro.parallel import shm
+        from repro.serving import blueprint
+
+        sessions_before = set(blueprint._SESSIONS)
+        attached_before = set(shm._ATTACHED)
+        for _ in range(3):
+            serve_queries(summary_cluster, [(0, "rwr")], workers=1)
+        assert set(blueprint._SESSIONS) == sessions_before
+        assert set(shm._ATTACHED) == attached_before
+
+    def test_broken_pool_fails_requests_instead_of_hanging(self, summary_cluster):
+        """If the pool dies mid-session, pending requests get the error
+        delivered to their futures; clients never hang and stop() still
+        tears the server down."""
+
+        async def _run():
+            server = QueryServer(summary_cluster, workers=2, max_wait_ms=0.0)
+            await server.start()
+            answer = await server.submit(0, "rwr")
+            server._executor._pool.shutdown(wait=True)  # simulate pool death
+            with pytest.raises(RuntimeError):
+                await server.submit(1, "rwr")
+            await server.stop()
+            assert not server.running
+            return answer
+
+        answer = asyncio.run(_run())
+        assert answer.tobytes() == summary_cluster.answer(0, "rwr").tobytes()
+
+    def test_worker_pool_and_shared_memory_active(self, summary_cluster):
+        """With workers > 1 a persistent pool is up and the machine arrays
+        live in shared memory, and stopping releases both."""
+
+        async def _probe():
+            async with QueryServer(summary_cluster, workers=2) as server:
+                assert server._executor._pool is not None
+                assert server.uses_shared_memory
+                return await server.submit(0, "rwr")
+
+        answer = asyncio.run(_probe())
+        assert answer.tobytes() == summary_cluster.answer(0, "rwr").tobytes()

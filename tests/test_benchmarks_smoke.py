@@ -29,18 +29,28 @@ def _bench_path(monkeypatch, tmp_path):
 
 
 def test_all_bench_scripts_discovered():
-    # The repo ships 12 bench scripts; a disappearing file should fail
+    # The repo ships 13 bench scripts; a disappearing file should fail
     # loudly here rather than silently shrinking coverage.
-    assert len(BENCH_MODULES) >= 12
+    assert len(BENCH_MODULES) >= 13
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)
-def test_bench_main_smoke(module_name, capsys):
+def test_bench_main_smoke(module_name, capsys, tmp_path):
     module = importlib.import_module(module_name)
     assert hasattr(module, "main"), f"{module_name} lost its standalone main()"
     assert module.main(["--smoke"]) == 0
     out = capsys.readouterr().out
     assert "----" in out, f"{module_name} --smoke printed no table"
+    # Every emitted table has a machine-readable twin for perf tracking.
+    json_files = list(tmp_path.glob("*.json"))
+    assert json_files, f"{module_name} wrote no results JSON"
+    import json
+
+    for path in json_files:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["bench"] == path.stem
+        assert payload["headers"] and payload["rows"]
+        assert all(len(row) == len(payload["headers"]) for row in payload["rows"])
 
 
 @pytest.mark.parametrize("module_name", ["bench_fig8_runtime", "bench_fig6_scalability"])

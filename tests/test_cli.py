@@ -94,3 +94,74 @@ def test_experiment_workers_ignored_for_sequential_runner(capsys, monkeypatch):
     assert main(["experiment", "ablation-threshold", "--workers", "2"]) == 0
     captured = capsys.readouterr()
     assert "--workers ignored" in captured.err
+
+
+def test_experiment_workers_flag_leaves_env_default_live(capsys, monkeypatch):
+    """Without an explicit --workers the CLI must not override the
+    REPRO_WORKERS environment default read by ExperimentScale."""
+    from repro.cli import build_parser
+
+    assert build_parser().parse_args(["experiment", "fig9"]).workers is None
+    # And a sequential runner stays quiet when only the env var is set.
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert main(["experiment", "ablation-threshold"]) == 0
+    assert "--workers ignored" not in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("workers", ["1", "2"])
+def test_serve_command_verifies_answers(capsys, workers):
+    code = main(
+        [
+            "serve",
+            "--dataset",
+            "lastfm_asia",
+            "--scale",
+            "0.12",
+            "--queries",
+            "12",
+            "--workers",
+            workers,
+            "--machines",
+            "2",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "12/12 answers byte-identical" in output
+    assert "latency" in output and "batches" in output
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--queries", "0"],
+        ["--types", ","],
+        ["--types", "rwr,pagerank"],
+    ],
+)
+def test_serve_command_rejects_degenerate_flags(capsys, flags):
+    code = main(["serve", "--dataset", "lastfm_asia", "--scale", "0.12", *flags])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_command_subgraph_source_without_shm(capsys):
+    code = main(
+        [
+            "serve",
+            "--dataset",
+            "caida",
+            "--scale",
+            "0.12",
+            "--queries",
+            "9",
+            "--source",
+            "subgraph",
+            "--no-shared-memory",
+            "--types",
+            "rwr,hop",
+        ]
+    )
+    assert code == 0
+    assert "9/9 answers byte-identical" in capsys.readouterr().out
