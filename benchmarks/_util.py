@@ -82,13 +82,14 @@ def bench_main(
 
 
 def engine_arguments(parser: argparse.ArgumentParser) -> None:
-    """Add the summarization-engine axis (``--backend`` / ``--cost-cache``)."""
-    from repro.core import BACKENDS, COST_CACHES
+    """Add the summarization-engine axis (``--backend`` / ``--cost-cache`` /
+    ``--engine``)."""
+    from repro.core import BACKENDS, COST_CACHES, ENGINES
 
     parser.add_argument(
         "--backend",
         choices=BACKENDS,
-        default="dict",
+        default="flat",
         help="summary-graph storage backend (identical summaries either way)",
     )
     parser.add_argument(
@@ -96,6 +97,12 @@ def engine_arguments(parser: argparse.ArgumentParser) -> None:
         choices=COST_CACHES,
         default="incremental",
         help="cost-model strategy; 'rebuild' is the pre-cache reference engine",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batch",
+        help="merge-evaluation engine; 'scalar' is the per-pair reference loop",
     )
 
 

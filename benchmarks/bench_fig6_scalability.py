@@ -5,7 +5,7 @@ range, log(runtime) against log(|E|) has slope ≈ 1, regardless of whether
 |T| = 100 or |T| = |V|/2.
 
 Standalone, this bench exposes the summarization-engine axis
-(``--backend`` / ``--cost-cache``); the slope shape must hold on every
+(``--backend`` / ``--cost-cache`` / ``--engine``); the slope shape must hold on every
 engine.  Summaries are bit-identical across storage backends at a fixed
 cost-cache mode (the equivalence suite pins this); across cost-cache
 modes they are equivalent in quality but not bit-identical.
@@ -63,10 +63,16 @@ def _run_table(args) -> None:
         fig6_scalability.run,
         args.workers,
         backend=args.backend,
+        engine=args.engine,
         cost_cache=args.cost_cache,
         **kwargs,
     )
-    _emit(rows, title_suffix=f" [backend={args.backend}, cost_cache={args.cost_cache}]")
+    _emit(
+        rows,
+        title_suffix=(
+            f" [backend={args.backend}, cost_cache={args.cost_cache}, engine={args.engine}]"
+        ),
+    )
     _print_slopes(rows, check=False)
 
 

@@ -5,19 +5,21 @@ it adds superedges selectively, its summaries are *sparse* and queries on
 them run much faster than on the dense weighted summaries of SAAGs (and
 of k-Grass / S2L where those finish at all).
 
-Standalone, this bench exposes the summarization-engine axis:
-``python benchmarks/bench_fig8_runtime.py --backend flat`` times the flat
-array backend with the incremental cost cache and reports its
-summarization-phase speedup over the seed engine (dict storage + per-pair
-cost rebuild) per dataset.  Summaries are bit-identical across *storage
-backends* at a fixed cost-cache mode; across cost-cache modes the float
-arithmetic associates differently, so the two engines run the same
-algorithm on the same seed to equivalent-quality (not bit-identical)
-summaries — the speedup compares the same workload, not the same merge
-trajectory.
+Standalone, this bench exposes the summarization-engine axis
+(``--backend`` / ``--cost-cache`` / ``--engine``) and, when run at the
+fast defaults, emits a second table comparing the summarize phase across
+three engine generations per dataset: the seed engine (dict storage +
+per-pair cost rebuild), the PR-1 flat engine (flat storage + incremental
+cache, scalar pair loop), and the batched engine (flat + incremental +
+vectorized speculative windows).  Summaries are bit-identical across
+storage backends and merge engines at a fixed cost-cache mode; across
+cost-cache modes the float arithmetic associates differently, so those
+runs compare the same workload, not the same merge trajectory.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 from _util import bench_main, emit_table, engine_arguments, fmt, run_with_speedup, worker_arguments
@@ -28,6 +30,12 @@ from repro.experiments import fig8_runtime
 def _bench_arguments(parser) -> None:
     engine_arguments(parser)
     worker_arguments(parser)
+    parser.add_argument(
+        "--speedup-only",
+        action="store_true",
+        help="emit only the engine-generation speedup table (skips the slow "
+        "weighted-baseline sweep; useful with --scale full)",
+    )
 
 
 def _emit(rows, name="fig8_runtime", title_suffix=""):
@@ -67,7 +75,7 @@ def test_fig8_runtime(benchmark):
 
 
 def _engine_speedup_table(datasets, *, repeats: int = 3) -> None:
-    """Best-of-*repeats* summarization timing: new engine vs seed engine.
+    """Best-of-*repeats* summarization timing across engine generations.
 
     Timed in isolation (not inside the full Fig. 8 sweep) because the
     sub-second summarize phases are otherwise dominated by the cache/CPU
@@ -78,14 +86,18 @@ def _engine_speedup_table(datasets, *, repeats: int = 3) -> None:
     from repro.graph import load_dataset
 
     scale = ExperimentScale.from_env()
-    engines = {"seed": ("dict", "rebuild"), "flat": ("flat", "incremental")}
+    engines = {
+        "seed": ("dict", "rebuild", "scalar"),
+        "scalar": ("flat", "incremental", "scalar"),
+        "batch": ("flat", "incremental", "batch"),
+    }
     rows = []
     for name in datasets:
         graph = load_dataset(name, scale=scale.dataset_scale, seed=scale.seed).graph
         queries = sample_query_nodes(graph, scale.num_queries, seed=scale.seed)
         for method in ("pegasus", "ssumm"):
             best = {}
-            for label, (backend, cost_cache) in engines.items():
+            for label, (backend, cost_cache, engine) in engines.items():
                 best[label] = min(
                     build_summary_for_method(
                         method,
@@ -96,21 +108,54 @@ def _engine_speedup_table(datasets, *, repeats: int = 3) -> None:
                         seed=scale.seed,
                         backend=backend,
                         cost_cache=cost_cache,
+                        engine=engine,
                     )[2]
                     for _ in range(repeats)
                 )
             rows.append(
-                (name, method, best["seed"], best["flat"], best["seed"] / best["flat"])
+                (
+                    name,
+                    method,
+                    best["seed"],
+                    best["scalar"],
+                    best["batch"],
+                    best["scalar"] / best["batch"],
+                    best["seed"] / best["batch"],
+                )
             )
+    preset = os.environ.get("REPRO_SCALE", "default").lower()
     emit_table(
-        "fig8_runtime_speedup",
-        f"Summarization phase (best of {repeats}): flat+incremental engine vs seed engine (dict+rebuild)",
-        ["Dataset", "Method", "Seed engine (s)", "Flat engine (s)", "Speedup"],
-        [(d, m, fmt(a), fmt(b), f"{s:.2f}x") for d, m, a, b, s in rows],
+        "fig8_runtime_speedup" + ("" if preset == "default" else f"_{preset}"),
+        f"Summarization phase (best of {repeats}, REPRO_SCALE={preset}): seed engine"
+        " (dict+rebuild+scalar) vs PR-1 flat engine (flat+incremental+scalar) vs"
+        " batch engine (flat+incremental+batch)",
+        [
+            "Dataset",
+            "Method",
+            "Seed (s)",
+            "Scalar (s)",
+            "Batch (s)",
+            "Batch vs scalar",
+            "Batch vs seed",
+        ],
+        [
+            (d, m, fmt(a), fmt(b), fmt(c), f"{sb:.2f}x", f"{sa:.2f}x")
+            for d, m, a, b, c, sb, sa in rows
+        ],
     )
 
 
 def _run_table(args) -> None:
+    if getattr(args, "speedup_only", False):
+        from repro.graph import dataset_names
+
+        datasets = [
+            name
+            for name in ("lastfm_asia", "caida", "dblp", "synthetic_ba", "synthetic_dense")
+            if name in dataset_names()
+        ]
+        _engine_speedup_table(datasets, repeats=1 if args.smoke else 3)
+        return
     methods = ("pegasus", "ssumm") if args.smoke else None
     kwargs = {"methods": methods} if methods else {}
     rows = run_with_speedup(
@@ -118,11 +163,20 @@ def _run_table(args) -> None:
         args.workers,
         backend=args.backend,
         cost_cache=args.cost_cache,
+        engine=args.engine,
         **kwargs,
     )
-    _emit(rows, title_suffix=f" [backend={args.backend}, cost_cache={args.cost_cache}]")
-    if args.backend == "flat" and args.cost_cache == "incremental":
+    _emit(
+        rows,
+        title_suffix=(
+            f" [backend={args.backend}, cost_cache={args.cost_cache}, engine={args.engine}]"
+        ),
+    )
+    if args.backend == "flat" and args.cost_cache == "incremental" and args.engine == "batch":
         datasets = sorted({r.dataset for r in rows})
+        if not args.smoke and "synthetic_dense" not in datasets:
+            # The dense stand-in is where the engines differentiate most.
+            datasets.append("synthetic_dense")
         _engine_speedup_table(datasets, repeats=1 if args.smoke else 3)
 
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro._util import format_table
 from repro.baselines import ssumm_summarize
-from repro.core import BACKENDS, COST_CACHES, PegasusConfig, summarize
+from repro.core import BACKENDS, COST_CACHES, ENGINES, PegasusConfig, summarize
 from repro.core.summary_io import save_summary
 from repro.eval import smape, spearman_correlation
 from repro.graph import dataset_names, load_dataset, read_edgelist, table2_rows
@@ -75,6 +75,7 @@ def _cmd_summarize(args) -> int:
             seed=args.seed,
             backend=args.backend,
             cost_cache=args.cost_cache,
+            engine=args.engine,
         )
     else:
         config = PegasusConfig(
@@ -84,6 +85,7 @@ def _cmd_summarize(args) -> int:
             seed=args.seed,
             backend=args.backend,
             cost_cache=args.cost_cache,
+            engine=args.engine,
         )
         result = summarize(graph, targets=targets, compression_ratio=args.ratio, config=config)
     summary = result.summary
@@ -287,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_cmd.add_argument(
         "--backend",
         choices=BACKENDS,
-        default="dict",
+        default="flat",
         help="summary-graph storage backend (identical output either way)",
     )
     summarize_cmd.add_argument(
@@ -295,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=COST_CACHES,
         default="incremental",
         help="cost-model strategy; 'rebuild' is the pre-cache reference path",
+    )
+    summarize_cmd.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batch",
+        help="merge-evaluation engine; 'batch' vectorizes attempt windows "
+        "(byte-identical summaries either way)",
     )
     summarize_cmd.add_argument("--output", help="write the summary graph to this file")
     summarize_cmd.set_defaults(func=_cmd_summarize)
@@ -314,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument(
         "--backend",
         choices=BACKENDS,
-        default="dict",
+        default="flat",
         help="summary-graph storage backend for --compare-summary",
     )
     query_cmd.set_defaults(func=_cmd_query)
@@ -362,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--backend",
         choices=BACKENDS,
-        default="dict",
+        default="flat",
         help="summary storage backend for --source summary",
     )
     serve_cmd.add_argument("--queries", type=int, default=64, help="number of queries to fire")

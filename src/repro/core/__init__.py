@@ -12,10 +12,11 @@ Public entry points:
 from repro.core.weights import PersonalizedWeights
 from repro.core.summary import BACKENDS, FlatSummaryGraph, SummaryGraph
 from repro.core.costs import COST_CACHES, CostModel, personalized_error
+from repro.core.batch import BatchCostEvaluator
 from repro.core.corrections import CorrectionSet, compute_corrections, decode, lossless_size_in_bits
 from repro.core.shingle import candidate_groups, node_shingles
 from repro.core.threshold import AdaptiveThreshold, FixedSchedule
-from repro.core.pegasus import Pegasus, PegasusConfig, PegasusResult, summarize
+from repro.core.pegasus import ENGINES, Pegasus, PegasusConfig, PegasusResult, summarize
 from repro.core.summary_io import load_summary, save_summary
 
 __all__ = [
@@ -23,8 +24,10 @@ __all__ = [
     "SummaryGraph",
     "FlatSummaryGraph",
     "BACKENDS",
+    "BatchCostEvaluator",
     "CostModel",
     "COST_CACHES",
+    "ENGINES",
     "personalized_error",
     "CorrectionSet",
     "compute_corrections",

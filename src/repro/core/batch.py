@@ -1,0 +1,646 @@
+"""Batched (vectorized) merge evaluation for Alg. 2's inner loop.
+
+The scalar engine evaluates each sampled candidate pair with one
+:meth:`~repro.core.costs.CostModel.evaluate_merge` call — a fused Python
+pass over the two endpoints' block-edge-weight dicts.  That loop is the
+summarize phase's hot spot: thousands of pairs per PeGaSus iteration, each
+paying Python-level dict iteration and scalar float arithmetic.
+
+:class:`BatchCostEvaluator` computes **every sampled pair of one attempt in
+a handful of numpy passes** instead:
+
+1. *gather* — each endpoint's block-edge-weight row is exported once into
+   columnar ``(partner, weight, has_superedge)`` arrays (insertion order
+   preserved, plus a partner-sorted copy for lookups; cached until a merge
+   touches the supernode) and fancy-indexed into one flat element array
+   laid out ``[row_A(pair 0), row_B(pair 0), row_A(pair 1), ...]``;
+2. *join* — one ``searchsorted`` against the concatenated sorted rows
+   resolves, per element, the partner's weight on the *other* endpoint's
+   row (``ew_BX`` for A-side elements) and the duplicate-block skip
+   (``X ∈ acc_A`` for B-side elements);
+3. *elementwise pricing* — every block's before/after cost terms and the
+   superedge-vs-correction choice (Eq. 9/10) are computed with vectorized
+   float64 arithmetic mirroring the scalar expressions operation for
+   operation;
+4. *segment-reduce* — per-pair ``before`` / ``merged_cost`` sums come
+   from ``np.bincount`` over pair ids, whose accumulation is sequential
+   in element order.
+
+On top of per-pair scoring, :meth:`BatchCostEvaluator.evaluate_window`
+amortizes the fixed vectorization cost over a whole *speculative window*
+of attempts: failed attempts mutate nothing (the summary, the block rows,
+and the superedge bit price ``2·log2|S|`` are exactly as before), and
+>90% of attempts fail, so the merge loop draws up to the group's
+remaining consecutive-failure budget of attempts ahead and hands them
+over as one window.  The window is deduplicated per attempt (the scalar
+``seen``-set semantics, vectorized with ``np.unique`` on index-pair
+keys), the union of *ordered* candidate pairs across attempts is priced
+once (orientation matters: the scalar accumulation order, hence the low
+bits, depends on it), and each attempt's winner is selected with a
+vectorized first-wins maximum (``fmax.reduceat`` + ``minimum.reduceat``).
+The merge loop then resolves the attempts sequentially against the
+threshold; a committed merge invalidates the rest of the window, whose
+RNG draws are rewound by the caller.  Only a committing merge needs the
+winning pair's full :class:`~repro.core.costs.MergePlan`, rebuilt with
+one scalar ``evaluate_merge`` call (bit-identical by the
+shared-arithmetic contract).
+
+Byte-identical replay contract
+------------------------------
+
+The batch engine is not "close to" the scalar engine — it is pinned to
+replay **bit-identical** merge decisions for the same seed, on both
+storage backends, both objectives, and both threshold policies
+(``tests/core/test_engine_equivalence.py``).  Three properties make that
+possible:
+
+* every elementwise term is the same IEEE-754 double expression, in the
+  same association order, as the scalar code in
+  :meth:`CostModel.evaluate_merge`;
+* per-pair sums accumulate **in the same element order** as the scalar
+  ``+=`` sequence: rows are gathered in dict-insertion order and
+  ``np.bincount`` adds its weights strictly left to right (terms the
+  scalar code never adds are emitted as ``+0.0``, which is bitwise
+  neutral);
+* the RNG is consumed identically (one
+  :func:`~repro.core.merge._sample_pairs` draw per attempt; index-pair
+  dedup keeps first occurrences in sample order), so both engines see the
+  same candidate sequence.
+
+When the scalar engine is still used
+------------------------------------
+
+* ``cost_cache="rebuild"`` has no maintained block rows to gather, so
+  ``engine="batch"`` silently degrades to the scalar loop there;
+* windows touching a supernode with a superedge over an *edgeless*
+  block (only baseline-made summaries have those; a ``summarize()`` run
+  never does) fall back to the scalar loop, which prices those blocks
+  with its fixup scans.
+
+Either path yields the same bits, so both are purely performance /
+coverage knobs, not semantic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.costs import CostModel, MergePlan
+from repro.errors import GraphFormatError
+
+#: Default profitability gate: expected gathered elements per attempt
+#: (2 × the group's total row length) below which the scalar loop wins
+#: (tuned with ``benchmarks/bench_merge_micro.py``).
+DEFAULT_MIN_BATCH_ELEMENTS = 1024
+
+
+def _member(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Exact-membership mask of *queries* against a sorted key table."""
+    if sorted_keys.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_keys, queries), sorted_keys.size - 1)
+    return sorted_keys[pos] == queries
+
+
+def _segment_gather(
+    offsets: np.ndarray, lengths: np.ndarray, sel: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat gather indices for the concatenation of the rows named by *sel*.
+
+    Given per-row ``offsets``/``lengths`` into one concatenated buffer,
+    returns ``(flat_indices, seg_len)`` such that ``buffer[flat_indices]``
+    is ``row[sel[0]] ++ row[sel[1]] ++ ...`` and ``seg_len[k]`` is the
+    length of segment *k* (for ``np.repeat``-ing per-segment attributes).
+    """
+    seg_len = lengths[sel]
+    total = int(seg_len.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), seg_len
+    ends = np.cumsum(seg_len)
+    flat = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(ends - seg_len, seg_len)
+        + np.repeat(offsets[sel], seg_len)
+    )
+    return flat, seg_len
+
+
+class _RowStore:
+    """Append-only columnar store of block-edge-weight row exports.
+
+    Each live supernode's row is exported once into six parallel global
+    buffers — ``part``/``val``/``flag`` in dict-insertion order (the
+    scalar engine's accumulation order) and ``skey``/``sval``/``sflag``
+    partner-sorted, keyed by ``supernode · |V| + partner`` so that the
+    segments of any ascending supernode set concatenate to a globally
+    sorted lookup table.  ``flag`` marks partners that carry a superedge.
+    Rows whose supernode a merge touches are *invalidated* (length −1)
+    and lazily re-exported at the end of the buffers — log-structured, so
+    live offsets stay valid and window evaluation gathers rows with pure
+    numpy segment indexing, no per-window Python assembly.
+
+    ``clean[s]`` is False when some superedge of *s* spans an edgeless
+    (or zero-weight) block — the baseline-summary corner the vectorized
+    pricing does not model, forcing a scalar fallback.
+    """
+
+    __slots__ = (
+        "_n", "_cap", "_end", "off", "length", "clean",
+        "part", "val", "flag", "skey", "sval", "sflag",
+    )
+
+    def __init__(self, num_nodes: int, initial_capacity: int = 1024):
+        self._n = num_nodes
+        size = max(num_nodes, 1)
+        self.off = np.zeros(size, dtype=np.int64)
+        self.length = np.full(size, -1, dtype=np.int64)  # -1 = stale / unexported
+        self.clean = np.ones(size, dtype=bool)
+        cap = max(initial_capacity, 16)
+        self._cap = cap
+        self._end = 0
+        self.part = np.empty(cap, dtype=np.int64)
+        self.val = np.empty(cap, dtype=np.float64)
+        self.flag = np.empty(cap, dtype=bool)
+        self.skey = np.empty(cap, dtype=np.int64)
+        self.sval = np.empty(cap, dtype=np.float64)
+        self.sflag = np.empty(cap, dtype=bool)
+
+    def _reserve(self, extra: int) -> None:
+        need = self._end + extra
+        if need <= self._cap:
+            return
+        cap = max(self._cap * 2, need)
+        for name in ("part", "val", "flag", "skey", "sval", "sflag"):
+            old = getattr(self, name)
+            grown = np.empty(cap, dtype=old.dtype)
+            grown[: self._end] = old[: self._end]
+            setattr(self, name, grown)
+        self._cap = cap
+
+    def export(self, supernode: int, acc: Dict[int, float], neighbors) -> None:
+        """(Re-)export one supernode's row at the end of the buffers."""
+        count = len(acc)
+        self._reserve(count)
+        start = self._end
+        end = start + count
+        part = np.fromiter(acc.keys(), dtype=np.int64, count=count)
+        val = np.fromiter(acc.values(), dtype=np.float64, count=count)
+        order = np.argsort(part)
+        part_sorted = part[order]
+        val_sorted = val[order]
+        adj_sorted = np.sort(
+            np.fromiter(neighbors, dtype=np.int64, count=len(neighbors))
+        )
+        flag_sorted = _member(adj_sorted, part_sorted)
+        flag = np.empty(count, dtype=bool)
+        flag[order] = flag_sorted
+        self.part[start:end] = part
+        self.val[start:end] = val
+        self.flag[start:end] = flag
+        self.skey[start:end] = part_sorted + np.int64(supernode) * np.int64(self._n)
+        self.sval[start:end] = val_sorted
+        self.sflag[start:end] = flag_sorted
+        nonself = adj_sorted[adj_sorted != supernode] if adj_sorted.size else adj_sorted
+        if nonself.size == 0:
+            clean = True
+        elif count == 0:
+            clean = False
+        else:
+            pos = np.minimum(np.searchsorted(part_sorted, nonself), count - 1)
+            clean = bool(
+                np.all((part_sorted[pos] == nonself) & (val_sorted[pos] != 0.0))
+            )
+        self.off[supernode] = start
+        self.length[supernode] = count
+        self.clean[supernode] = clean
+        self._end = end
+
+
+class BatchCostEvaluator:
+    """Vectorized merge evaluation over a ``cache="incremental"`` cost model.
+
+    The evaluator owns numpy mirrors of the cost model's per-supernode
+    weight sums plus cached columnar exports of the block-edge-weight
+    rows.  All merges must flow through :meth:`apply_merge` (which wraps
+    :meth:`CostModel.apply_merge`) so the mirrors and caches stay
+    synchronized.
+
+    Parameters
+    ----------
+    cost_model:
+        The live cost model; must use the incremental block cache.
+    min_batch_elements:
+        Profitability gate: candidate groups whose expected per-attempt
+        gathered size (``2 ×`` the members' total row length) falls below
+        this run the scalar loop instead — numpy's fixed per-window
+        overhead beats Python dict loops only on long rows; the crossover
+        is measured by ``benchmarks/bench_merge_micro.py``.  ``0`` forces
+        the vectorized path everywhere (used by the equivalence tests).
+    """
+
+    def __init__(self, cost_model: CostModel, *, min_batch_elements: "int | None" = None):
+        if cost_model._blocks is None:
+            raise GraphFormatError(
+                "BatchCostEvaluator requires CostModel(cache='incremental')"
+            )
+        self._cm = cost_model
+        self._n = cost_model.summary.num_nodes
+        self._sw = np.asarray(cost_model._sw, dtype=np.float64)
+        self._sq = np.asarray(cost_model._sq, dtype=np.float64)
+        self.min_batch_elements = (
+            DEFAULT_MIN_BATCH_ELEMENTS
+            if min_batch_elements is None
+            else int(min_batch_elements)
+        )
+        size = max(self._n, 1)
+        # Eagerly maintained per-supernode scalars: row length (the
+        # profitability gate input) and the self block's weight /
+        # self-loop flag (the tail terms of every evaluation).
+        self._row_len = np.zeros(size, dtype=np.int64)
+        self._self_w = np.zeros(size, dtype=np.float64)
+        self._self_adj = np.zeros(size, dtype=bool)
+        summary = cost_model.summary
+        for s, acc in cost_model._blocks.items():
+            self._row_len[s] = len(acc)
+            self._self_w[s] = acc.get(s, 0.0)
+            self._self_adj[s] = s in summary.superedge_neighbors(s)
+        #: Global append-only columnar row store (see :class:`_RowStore`);
+        #: rows are exported lazily and invalidated by apply_merge.
+        self._store = _RowStore(self._n, initial_capacity=4 * summary.graph.num_edges + 16)
+        # Epoch score cache: (sorted ordered-pair keys, delta, relative)
+        # of every pair priced since the last merge.  Failed attempts
+        # mutate nothing, so these scores stay bit-exact until a merge
+        # commits (which changes 2·log2|S| and the touched rows) clears
+        # them.  Kept as parallel sorted arrays so the window evaluation
+        # joins against it with one searchsorted.
+        self._cache_key = np.empty(0, dtype=np.int64)
+        self._cache_delta = np.empty(0, dtype=np.float64)
+        self._cache_rel = np.empty(0, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # batching heuristics
+    # ------------------------------------------------------------------
+    def total_row_length(self, supernodes: "np.ndarray | List[int]") -> int:
+        """Total block-row length of *supernodes*.
+
+        An attempt over a group ``C`` gathers two rows per sampled pair
+        and samples ``|C|`` pairs, so its expected gathered size is twice
+        this total — the input of the merge loop's profitability gate.
+        """
+        return int(self._row_len[np.asarray(supernodes, dtype=np.int64)].sum())
+
+    # ------------------------------------------------------------------
+    # columnar exports
+    # ------------------------------------------------------------------
+    def _ensure_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Export any stale rows among *ids*; returns their lengths."""
+        store = self._store
+        lengths = store.length[ids]
+        if np.any(lengths < 0):
+            blocks = self._cm._blocks
+            summary = self._cm.summary
+            for s in ids[lengths < 0].tolist():
+                acc = blocks.get(s)
+                if acc is None:
+                    raise GraphFormatError(f"supernode {s} does not exist")
+                store.export(s, acc, summary.superedge_neighbors(s))
+            lengths = store.length[ids]
+        return lengths
+
+    # ------------------------------------------------------------------
+    # the vectorized attempt
+    # ------------------------------------------------------------------
+    def evaluate_scores(
+        self, a_ids: np.ndarray, b_ids: np.ndarray
+    ) -> "Tuple[np.ndarray, np.ndarray] | None":
+        """Per-pair ``(delta, relative_delta)`` for pairs ``(a_ids[k], b_ids[k])``.
+
+        Both columns are bit-identical to what
+        :meth:`CostModel.evaluate_merge` would report for each pair.
+        Returns ``None`` when some endpoint has a superedge over an
+        edgeless block (see the module docstring) — the caller then runs
+        the scalar loop.
+        """
+        n = self._n
+        cm = self._cm
+        price = cm._error_bit_price
+        se_bits = cm._se_bits
+        num_pairs = int(a_ids.size)
+
+        ids, inverse = np.unique(np.concatenate((a_ids, b_ids)), return_inverse=True)
+        a_idx = inverse[:num_pairs]
+        b_idx = inverse[num_pairs:]
+        num_ids = ids.size
+
+        store = self._store
+        row_len = self._ensure_rows(ids)
+        if not np.all(store.clean[ids]):
+            return None
+        row_off = store.off[ids]
+        # Lookup table keyed by (supernode id, partner): gathering the
+        # rows' sorted segments in ascending-id order yields an already
+        # sorted table — no per-attempt sort, no Python assembly.
+        tab_idx, _ = _segment_gather(
+            row_off, row_len, np.arange(num_ids, dtype=np.int64)
+        )
+        tab_key = store.skey[tab_idx]
+        tab_val = store.sval[tab_idx]
+        tab_flag = store.sflag[tab_idx]
+
+        p_sa = self._sw[a_ids]
+        p_sb = self._sw[b_ids]
+        p_sm = p_sa + p_sb
+        p_qm = self._sq[a_ids] + self._sq[b_ids]
+
+        # Element layout: per pair, row_A then row_B — the scalar engine's
+        # two fused loops.  Segments interleave [A_0, B_0, A_1, B_1, ...].
+        seg_sel = np.empty(2 * num_pairs, dtype=np.int64)
+        seg_sel[0::2] = a_idx
+        seg_sel[1::2] = b_idx
+        seg_own_id = np.empty(2 * num_pairs, dtype=np.int64)
+        seg_own_id[0::2] = a_ids
+        seg_own_id[1::2] = b_ids
+        seg_oth_id = np.empty(2 * num_pairs, dtype=np.int64)
+        seg_oth_id[0::2] = b_ids
+        seg_oth_id[1::2] = a_ids
+        seg_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), 2)
+        seg_is_a = np.zeros(2 * num_pairs, dtype=bool)
+        seg_is_a[0::2] = True
+
+        gidx, seg_len = _segment_gather(row_off, row_len, seg_sel)
+        x = store.part[gidx]
+        ew = store.val[gidx]
+        own_flag = store.flag[gidx]
+        e_pair = np.repeat(seg_pair, seg_len)
+        e_is_a = np.repeat(seg_is_a, seg_len)
+        e_own_id = np.repeat(seg_own_id, seg_len)
+        e_oth_id = np.repeat(seg_oth_id, seg_len)
+        e_own_s = self._sw[e_own_id]
+        e_oth_s = self._sw[e_oth_id]
+        e_sm = p_sm[e_pair]
+        sx = self._sw[x]
+
+        # The one big join: resolve every element's partner against the
+        # *other* endpoint's row (for A elements that is ew_BX and its
+        # superedge flag; for B elements it is the X-in-acc_A skip test).
+        query = e_oth_id * n + x
+        if tab_key.size:
+            pos = np.minimum(np.searchsorted(tab_key, query), tab_key.size - 1)
+            found = tab_key[pos] == query
+        else:
+            pos = np.zeros(query.shape, dtype=np.int64)
+            found = np.zeros(query.shape, dtype=bool)
+
+        # Self blocks {a,a}, {b,b} and the cross block {a,b} are priced in
+        # the tail, exactly as the scalar loops `continue` past them.
+        excl = (x == e_own_id) | (x == e_oth_id)
+        active = ~excl & (e_is_a | ~found)
+        a_active = active & e_is_a
+
+        # `before` slot 1: the element's own side of the block cost.
+        slot1 = np.where(
+            active,
+            np.where(own_flag, se_bits + price * (e_own_s * sx - ew), price * ew),
+            0.0,
+        )
+        # `before` slot 2 (A elements only): the partner side (s_B · s_X
+        # terms, with s_B = the *other* endpoint's weight sum for A-side
+        # elements), folded into the same loop iteration by the scalar
+        # engine.  Clean rows guarantee flagged partners carry nonzero
+        # weight, so the edgeless-superedge branch cannot fire here.
+        ewbx = np.where(a_active & found, tab_val[pos], 0.0)
+        oth_flag = found & tab_flag[pos]
+        slot2 = np.where(
+            a_active,
+            np.where(oth_flag, se_bits + price * (e_oth_s * sx - ewbx), price * ewbx),
+            0.0,
+        )
+
+        # Post-merge pricing with the optimal superedge choice (line 9).
+        ew_union = ew + ewbx
+        with_edge = se_bits + price * (e_sm * sx - ew_union)
+        without_edge = price * ew_union
+        merged_term = np.where(
+            active, np.where(with_edge < without_edge, with_edge, without_edge), 0.0
+        )
+
+        row_contrib = np.empty(2 * slot1.size, dtype=np.float64)
+        row_contrib[0::2] = slot1
+        row_contrib[1::2] = slot2
+        row_contrib_pair = np.repeat(e_pair, 2)
+
+        # Tail: the self blocks {a,a}, {b,b} and the cross block {a,b}.
+        ew_aa = self._self_w[a_ids]
+        ew_bb = self._self_w[b_ids]
+        a_self = self._self_adj[a_ids]
+        b_self = self._self_adj[b_ids]
+        ab_query = a_ids * n + b_ids
+        if tab_key.size:
+            ab_pos = np.minimum(np.searchsorted(tab_key, ab_query), tab_key.size - 1)
+            ab_found = tab_key[ab_pos] == ab_query
+            ew_ab = np.where(ab_found, tab_val[ab_pos], 0.0)
+            ab_edge = ab_found & tab_flag[ab_pos]
+        else:
+            ew_ab = np.zeros(num_pairs, dtype=np.float64)
+            ab_edge = np.zeros(num_pairs, dtype=bool)
+        pi_a = (p_sa * p_sa - self._sq[a_ids]) * 0.5
+        pi_b = (p_sb * p_sb - self._sq[b_ids]) * 0.5
+        tail = np.empty((num_pairs, 3), dtype=np.float64)
+        tail[:, 0] = np.where(a_self, se_bits + price * (pi_a - ew_aa), price * ew_aa)
+        tail[:, 1] = np.where(b_self, se_bits + price * (pi_b - ew_bb), price * ew_bb)
+        tail[:, 2] = np.where(ab_edge, se_bits + price * (p_sa * p_sb - ew_ab), price * ew_ab)
+        tail_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), 3)
+
+        before = np.bincount(
+            np.concatenate((row_contrib_pair, tail_pair)),
+            weights=np.concatenate((row_contrib, tail.ravel())),
+            minlength=num_pairs,
+        )
+
+        ew_self = (ew_aa + ew_bb) + ew_ab
+        pi_self = (p_sm * p_sm - p_qm) * 0.5
+        with_loop = se_bits + price * (pi_self - ew_self)
+        without_loop = price * ew_self
+        loop_term = np.where(with_loop < without_loop, with_loop, without_loop)
+        merged = np.bincount(
+            np.concatenate((e_pair, np.arange(num_pairs, dtype=np.int64))),
+            weights=np.concatenate((merged_term, loop_term)),
+            minlength=num_pairs,
+        )
+
+        delta = before - merged
+        relative = np.divide(delta, before, out=np.zeros_like(delta), where=before > 0.0)
+        return delta, relative
+
+    # ------------------------------------------------------------------
+    # the speculative window
+    # ------------------------------------------------------------------
+    def evaluate_window(
+        self,
+        attempts: "List[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
+        *,
+        use_relative: bool = True,
+    ):
+        """Score a speculative window of merge attempts.
+
+        Each attempt is ``(members, first, second)`` — its candidate
+        group's member array and its ``_sample_pairs`` index draw; every
+        attempt sees the current summary state (the caller guarantees no
+        merge separates them; attempts may span candidate groups, which
+        are disjoint).  Returns per-attempt
+        ``(best_scores, best_a, best_b, eval_counts)`` where
+        ``best_scores[k]`` / ``(best_a[k], best_b[k])`` reproduce the
+        scalar engine's first-wins maximum over attempt *k*'s deduplicated
+        pairs bit for bit, and ``eval_counts[k]`` is the number of
+        distinct pairs attempt *k* evaluates.  Returns ``None`` when some
+        touched row is unclean (see the module docstring) — the caller
+        then falls back to the scalar loop.
+        """
+        num_attempts = len(attempts)
+        if num_attempts == 1:
+            members, first, second = attempts[0]
+            mem_cat, f_cat, s_cat = members, first, second
+            counts = np.asarray([first.size], dtype=np.int64)
+        else:
+            mem_cat = np.concatenate([a[0] for a in attempts])
+            f_cat = np.concatenate([a[1] for a in attempts])
+            s_cat = np.concatenate([a[2] for a in attempts])
+            counts = np.fromiter(
+                (a[1].size for a in attempts), dtype=np.int64, count=num_attempts
+            )
+
+        # Per-attempt dedup with first-occurrence order — the scalar
+        # `seen`-set semantics, vectorized: key by (attempt, unordered
+        # index pair), keep each key's first sample position.  Each
+        # attempt draws exactly |C| samples over |C| members, so the
+        # sample offsets double as member-array offsets.
+        lo = np.minimum(f_cat, s_cat)
+        hi = np.maximum(f_cat, s_cat)
+        if num_attempts > 1:
+            offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+            space_off = np.concatenate(([0], np.cumsum(counts * counts)))[:-1]
+            count_rep = np.repeat(counts, counts)
+            pair_key = np.repeat(space_off, counts) + lo * count_rep + hi
+        else:
+            pair_key = lo * counts[0] + hi
+        _, first_pos = np.unique(pair_key, return_index=True)
+        retained = np.sort(first_pos)
+        if num_attempts > 1:
+            goff = np.repeat(offsets, counts)
+            ret_a = mem_cat[(f_cat + goff)[retained]]
+            ret_b = mem_cat[(s_cat + goff)[retained]]
+            eval_counts = np.bincount(
+                np.repeat(np.arange(num_attempts, dtype=np.int64), counts)[retained],
+                minlength=num_attempts,
+            )
+        else:
+            ret_a = mem_cat[f_cat[retained]]
+            ret_b = mem_cat[s_cat[retained]]
+            eval_counts = np.asarray([retained.size], dtype=np.int64)
+
+        # Price each distinct *ordered* pair once per merge epoch
+        # (orientation matters for the accumulation order, so (A, B) and
+        # (B, A) are distinct candidates, exactly as in the scalar loop).
+        # Pairs already priced since the last merge come from the sorted
+        # epoch cache; only the rest are evaluated.
+        ekey = ret_a * np.int64(self._n) + ret_b
+        uniq, inverse = np.unique(ekey, return_inverse=True)
+        cache_key = self._cache_key
+        if cache_key.size:
+            pos = np.minimum(np.searchsorted(cache_key, uniq), cache_key.size - 1)
+            hit = cache_key[pos] == uniq
+            missing = uniq[~hit]
+        else:
+            pos = hit = None
+            missing = uniq
+        if missing.size:
+            scored = self.evaluate_scores(missing // self._n, missing % self._n)
+            if scored is None:
+                return None
+            delta_m, rel_m = scored
+            if hit is None:
+                delta, relative = delta_m, rel_m
+                self._cache_key = missing
+                self._cache_delta = delta_m
+                self._cache_rel = rel_m
+            else:
+                delta = np.empty(uniq.size, dtype=np.float64)
+                relative = np.empty(uniq.size, dtype=np.float64)
+                hit_pos = pos[hit]
+                delta[hit] = self._cache_delta[hit_pos]
+                relative[hit] = self._cache_rel[hit_pos]
+                miss = ~hit
+                delta[miss] = delta_m
+                relative[miss] = rel_m
+                merged_key = np.concatenate((cache_key, missing))
+                order = np.argsort(merged_key)
+                self._cache_key = merged_key[order]
+                self._cache_delta = np.concatenate((self._cache_delta, delta_m))[order]
+                self._cache_rel = np.concatenate((self._cache_rel, rel_m))[order]
+        else:
+            delta = self._cache_delta[pos]
+            relative = self._cache_rel[pos]
+        ret_score = (relative if use_relative else delta)[inverse]
+
+        # First-wins maximum per attempt: fmax skips NaN like the scalar
+        # strict-> scan; the earliest position attaining the maximum wins
+        # ties, matching first-wins.
+        seg_starts = np.concatenate(([0], np.cumsum(eval_counts)[:-1]))
+        best_scores = np.fmax.reduceat(ret_score, seg_starts)
+        candidate = np.where(
+            ret_score == np.repeat(best_scores, eval_counts),
+            np.arange(ret_score.size, dtype=np.int64),
+            ret_score.size,
+        )
+        best_pos = np.minimum.reduceat(candidate, seg_starts)
+        best_pos = np.minimum(best_pos, ret_score.size - 1)  # all-NaN guard
+        return best_scores, ret_a[best_pos], ret_b[best_pos], eval_counts
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_merge(self, plan: MergePlan) -> int:
+        """Commit a plan through the cost model, keeping mirrors in sync.
+
+        Invalidates the columnar exports of every supernode whose row or
+        adjacency the merge can touch: the endpoints, their block
+        partners (re-keyed to the union id), and their former superedge
+        neighbors.
+        """
+        cm = self._cm
+        blocks = cm._blocks
+        summary = cm.summary
+        touched = set(blocks[plan.a])
+        touched.update(blocks[plan.b])
+        touched.update(summary.superedge_neighbors(plan.a))
+        touched.update(summary.superedge_neighbors(plan.b))
+        touched.add(plan.a)
+        touched.add(plan.b)
+        union = cm.apply_merge(plan)
+        # Every cached epoch score embeds the pre-merge superedge bit
+        # price 2·log2|S|, which this merge just changed — drop them all.
+        if self._cache_key.size:
+            self._cache_key = np.empty(0, dtype=np.int64)
+            self._cache_delta = np.empty(0, dtype=np.float64)
+            self._cache_rel = np.empty(0, dtype=np.float64)
+        dead = plan.b if union == plan.a else plan.a
+        self._sw[union] = cm._sw[union]
+        self._sq[union] = cm._sq[union]
+        self._sw[dead] = 0.0
+        self._sq[dead] = 0.0
+        length = self._store.length
+        row_len, self_w, self_adj = self._row_len, self._self_w, self._self_adj
+        for s in touched:
+            length[s] = -1  # lazy re-export at next use
+            acc = blocks.get(s)
+            if acc is None:
+                row_len[s] = 0
+                self_w[s] = 0.0
+                self_adj[s] = False
+            else:
+                row_len[s] = len(acc)
+                self_w[s] = acc.get(s, 0.0)
+                self_adj[s] = s in summary.superedge_neighbors(s)
+        return union

@@ -515,17 +515,48 @@ class CostModel:
 
         Ties on the cost are broken by the ``(A, B)`` endpoint pair, so the
         drop order is deterministic and identical across summary backends.
+
+        Vectorized: block costs are priced columnwise from the summary's
+        packed superedge export (:meth:`SummaryGraph.superedge_arrays`)
+        and ordered with one ``np.lexsort`` — same values, same total
+        order as the original per-edge Python sort (pinned by
+        ``tests/core/test_costs.py``).
         """
-        entries: List[Tuple[float, int, int]] = []
+        summary = self.summary
+        lo, hi, _weights = summary.superedge_arrays()
+        if lo.size == 0:
+            return []
         se_bits = self._superedge_bits()
-        edge_weights = _blockwise_edge_weights(self.summary, self.weights)
-        for a, b in self.summary.superedges():
-            key = (a, b) if a <= b else (b, a)
-            ew = edge_weights.get(key, 0.0)
-            cost = se_bits + self._error_bit_price * (self.potential_weight(a, b) - ew)
-            entries.append((cost, a, b))
-        entries.sort()
-        return entries
+        price = self._error_bit_price
+        n = summary.num_nodes
+        # ew_AB per superedge block, matching _blockwise_edge_weights'
+        # bincount arithmetic bit for bit.
+        ew = np.zeros(lo.size, dtype=np.float64)
+        edges = summary.graph.edge_array()
+        if edges.size:
+            sn = summary.supernode_of
+            w = self.weights.node_weight
+            z = self.weights.normalizer
+            end_a = sn[edges[:, 0]]
+            end_b = sn[edges[:, 1]]
+            key = np.minimum(end_a, end_b) * np.int64(n) + np.maximum(end_a, end_b)
+            contrib = w[edges[:, 0]] * w[edges[:, 1]] / z
+            uniq, inverse = np.unique(key, return_inverse=True)
+            sums = np.bincount(inverse, weights=contrib)
+            se_key = lo * np.int64(n) + hi
+            pos = np.minimum(np.searchsorted(uniq, se_key), uniq.size - 1)
+            ew = np.where(uniq[pos] == se_key, sums[pos], 0.0)
+        sw = np.asarray(self._sw, dtype=np.float64)
+        sq = np.asarray(self._sq, dtype=np.float64)
+        s_lo = sw[lo]
+        s_hi = sw[hi]
+        # potential_weight(), columnwise: self blocks use (s² − q)/2.
+        pi = np.where(lo == hi, (s_lo * s_lo - sq[lo]) * 0.5, s_lo * s_hi)
+        cost = se_bits + price * (pi - ew)
+        order = np.lexsort((hi, lo, cost))
+        return list(
+            zip(cost[order].tolist(), lo[order].tolist(), hi[order].tolist())
+        )
 
     def total_cost(self) -> float:
         """``Cost(G̅)`` (Eq. 5) computed exactly — O(|E| + |P|)."""

@@ -21,37 +21,139 @@ the same seed, the same candidate groups, and the same cost arithmetic,
 it therefore replays the same merges on the dict and flat backends —
 the property the cross-backend equivalence and determinism suites pin
 down (``tests/core/test_backend_equivalence.py``).
+
+Two evaluation engines drive step 2:
+
+* the **scalar** engine (:func:`merge_within_group` without an
+  evaluator) — one ``evaluate_merge`` call per sampled pair, with a
+  ``seen``-set skipping duplicate index pairs; and
+* the **batch** engine (:func:`merge_groups` with a
+  :class:`~repro.core.batch.BatchCostEvaluator`) — *speculative window*
+  evaluation.  A failed merge attempt mutates nothing, and candidate
+  groups are disjoint, so as long as no merge commits, the upcoming
+  attempts — across group boundaries — all see exactly the current
+  summary state and the threshold value (which only changes between
+  iterations).  The engine therefore draws a whole window of future
+  attempts up front (snapshotting the RNG before each draw), prices the
+  union of their candidate pairs in one vectorized pass
+  (:meth:`~repro.core.batch.BatchCostEvaluator.evaluate_window`), and
+  resolves the attempts sequentially.  The first committed merge
+  invalidates the rest of the window: its RNG draws are rewound to the
+  exact post-merge state and speculation restarts.  The window size
+  ramps exponentially (``WINDOW_MIN_SAMPLES`` → ``WINDOW_MAX_SAMPLES``),
+  so merge-heavy phases waste little speculative work while stalled
+  phases amortize the vectorization overhead over thousands of pairs.
+
+Both engines replay byte-identical merges for the same seed: the batch
+path consumes the RNG in the same order (rewinding un-consumed
+speculative draws), dedups index pairs to the same first-occurrence
+order the ``seen`` set produces, evaluates with bit-identical
+arithmetic, selects per attempt with the same first-wins maximum, and
+records the same rejected scores on the threshold
+(``tests/core/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchCostEvaluator
 from repro.core.costs import CostModel, MergePlan
 from repro.core.threshold import ThresholdPolicy
 
 OBJECTIVES = ("relative", "absolute")
 
+#: Speculative-window ramp (in attempts): each window that resolves
+#: without a merge doubles the next one, a committed merge halves it —
+#: merge-dense phases speculate almost nothing while stalled phases
+#: amortize the vectorization overhead over thousands of pairs.  The
+#: sample cap bounds a single window's memory and wasted work.
+WINDOW_MAX_ATTEMPTS = 32
+WINDOW_MAX_SAMPLES = 16384
+
 
 @dataclass
 class GroupMergeStats:
-    """Counters from processing one candidate group."""
+    """Counters from processing one candidate group (or one iteration)."""
 
     merges: int = 0
     attempts: int = 0
     evaluations: int = 0
 
 
-def _sample_pairs(size: int, count: int, rng: np.random.Generator) -> "zip":
+def _sample_pairs(
+    size: int, count: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
     """*count* uniform pairs of distinct indices below *size* (with repeats)."""
     first = rng.integers(0, size, size=count)
     second = rng.integers(0, size - 1, size=count)
     second = second + (second >= first)
-    return zip(first.tolist(), second.tolist())
+    return first, second
+
+
+def _scalar_attempt(
+    cost_model: CostModel,
+    members: List[int],
+    first: np.ndarray,
+    second: np.ndarray,
+    use_relative: bool,
+    stats: GroupMergeStats,
+) -> "Tuple[MergePlan, float] | None":
+    """One attempt's scalar evaluation: dedup, evaluate, first-wins max."""
+    best_plan: "MergePlan | None" = None
+    best_score = -math.inf
+    seen = set()
+    for i, j in zip(first.tolist(), second.tolist()):
+        key = (i, j) if i < j else (j, i)
+        if key in seen:
+            continue
+        seen.add(key)
+        plan = cost_model.evaluate_merge(members[i], members[j])
+        stats.evaluations += 1
+        score = plan.relative_delta if use_relative else plan.delta
+        if score > best_score:
+            best_score = score
+            best_plan = plan
+    if best_plan is None:  # all scores NaN: impossible, but guard
+        return None
+    return best_plan, best_score
+
+
+def _resolve_scalar_attempt(
+    cost_model: CostModel,
+    evaluator: "BatchCostEvaluator",
+    members: List[int],
+    first: np.ndarray,
+    second: np.ndarray,
+    use_relative: bool,
+    threshold: ThresholdPolicy,
+    stats: GroupMergeStats,
+) -> str:
+    """Evaluate one drawn attempt with the scalar loop and resolve it.
+
+    The batch engine's shared commit-or-record protocol for
+    scalar-evaluated attempts (the profitability-gate path and the
+    unclean-row fallback): returns ``"merged"``, ``"failed"``, or
+    ``"abort"`` (the NaN guard, mirroring the scalar engine's group
+    break).  Merges flow through the evaluator so its mirrors stay
+    coherent.
+    """
+    evaluated = _scalar_attempt(cost_model, members, first, second, use_relative, stats)
+    if evaluated is None:
+        return "abort"
+    best_plan, best_score = evaluated
+    if best_score >= threshold.value:
+        union = evaluator.apply_merge(best_plan)
+        dead = best_plan.b if union == best_plan.a else best_plan.a
+        members.remove(dead)
+        stats.merges += 1
+        return "merged"
+    threshold.record(best_score)
+    return "failed"
 
 
 def merge_within_group(
@@ -61,6 +163,7 @@ def merge_within_group(
     rng: np.random.Generator,
     *,
     objective: str = "relative",
+    evaluator: "BatchCostEvaluator | None" = None,
 ) -> GroupMergeStats:
     """Run Alg. 2 on one candidate group; mutates the summary via *cost_model*.
 
@@ -78,7 +181,16 @@ def merge_within_group(
     objective:
         ``"relative"`` (Eq. 11, the paper's choice) or ``"absolute"``
         (Eq. 10, the ablation).
+    evaluator:
+        Optional :class:`~repro.core.batch.BatchCostEvaluator` built on
+        *cost_model*; when given, delegates to :func:`merge_groups` for
+        speculative vectorized evaluation (byte-identical to the scalar
+        loop).
     """
+    if evaluator is not None:
+        return merge_groups(
+            cost_model, [group], threshold, rng, objective=objective, evaluator=evaluator
+        )
     if objective not in OBJECTIVES:
         raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
     use_relative = objective == "relative"
@@ -88,22 +200,11 @@ def merge_within_group(
     while len(members) > 1 and failures <= math.log2(len(members)):
         stats.attempts += 1
         count = len(members)
-        best_plan: "MergePlan | None" = None
-        best_score = -math.inf
-        seen = set()
-        for i, j in _sample_pairs(count, count, rng):
-            key = (i, j) if i < j else (j, i)
-            if key in seen:
-                continue
-            seen.add(key)
-            plan = cost_model.evaluate_merge(members[i], members[j])
-            stats.evaluations += 1
-            score = plan.relative_delta if use_relative else plan.delta
-            if score > best_score:
-                best_score = score
-                best_plan = plan
-        if best_plan is None:  # all samples collided on one pair: impossible, but guard
+        first, second = _sample_pairs(count, count, rng)
+        evaluated = _scalar_attempt(cost_model, members, first, second, use_relative, stats)
+        if evaluated is None:
             break
+        best_plan, best_score = evaluated
         if best_score >= threshold.value:
             union = cost_model.apply_merge(best_plan)
             dead = best_plan.b if union == best_plan.a else best_plan.a
@@ -113,4 +214,166 @@ def merge_within_group(
         else:
             threshold.record(best_score)
             failures += 1
+    return stats
+
+
+def merge_groups(
+    cost_model: CostModel,
+    groups: "Iterable[np.ndarray | List[int]]",
+    threshold: ThresholdPolicy,
+    rng: np.random.Generator,
+    *,
+    objective: str = "relative",
+    evaluator: "BatchCostEvaluator | None" = None,
+) -> GroupMergeStats:
+    """Run Alg. 2 over one iteration's candidate groups.
+
+    Without an *evaluator* this is exactly the sequential
+    ``for group: merge_within_group(...)`` loop.  With one, attempts are
+    evaluated in speculative cross-group windows (see the module
+    docstring) — byte-identical outputs, vectorized throughput.
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+    stats = GroupMergeStats()
+    if evaluator is None:
+        for group in groups:
+            one = merge_within_group(
+                cost_model, group, threshold, rng, objective=objective
+            )
+            stats.merges += one.merges
+            stats.attempts += one.attempts
+            stats.evaluations += one.evaluations
+        return stats
+
+    use_relative = objective == "relative"
+    glists: List[List[int]] = [[int(x) for x in group] for group in groups]
+    member_arrays: Dict[int, np.ndarray] = {}
+    gate = evaluator.min_batch_elements
+    gpos = 0  # current group index
+    failures = 0  # current group's consecutive-failure count
+    est = -1  # current group's expected gathered elements per attempt
+    window_attempts = 1
+
+    def members_array(index: int) -> np.ndarray:
+        arr = member_arrays.get(index)
+        if arr is None:
+            member_arrays[index] = arr = np.asarray(glists[index], dtype=np.int64)
+        return arr
+
+    while gpos < len(glists):
+        members = glists[gpos]
+        count = len(members)
+        if count < 2 or failures > math.log2(count):
+            gpos += 1
+            failures = 0
+            est = -1
+            continue
+        if est < 0:
+            est = 2 * evaluator.total_row_length(members_array(gpos))
+        if est < gate:
+            # Profitability gate: short rows — one plain scalar attempt
+            # (numpy's fixed per-window overhead would dominate here).
+            stats.attempts += 1
+            first, second = _sample_pairs(count, count, rng)
+            outcome = _resolve_scalar_attempt(
+                cost_model, evaluator, members, first, second, use_relative, threshold, stats
+            )
+            if outcome == "abort":
+                gpos, failures, est = gpos + 1, 0, -1
+            elif outcome == "merged":
+                member_arrays.pop(gpos, None)
+                failures, est = 0, -1
+            else:
+                failures += 1
+            continue
+
+        # ---- construct a speculative window (assume every attempt
+        # fails), spanning consecutive gate-passing groups
+        specs: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        states: List[object] = []
+        p, fail, p_est = gpos, failures, est
+        drawn = 0
+        while p < len(glists):
+            p_members = glists[p]
+            p_count = len(p_members)
+            if p_count < 2 or fail > math.log2(p_count):
+                p += 1
+                fail = 0
+                p_est = -1
+                continue
+            if p_est < 0:
+                p_est = 2 * evaluator.total_row_length(members_array(p))
+            if p_est < gate:
+                break  # the scalar fast path picks this group up next
+            if len(specs) >= window_attempts or drawn >= WINDOW_MAX_SAMPLES:
+                break
+            states.append(rng.bit_generator.state)
+            first, second = _sample_pairs(p_count, p_count, rng)
+            specs.append((p, members_array(p), first, second))
+            drawn += p_count
+            fail += 1
+        end_state = (p, fail, p_est)
+
+        resolved = evaluator.evaluate_window(
+            [spec[1:] for spec in specs], use_relative=use_relative
+        )
+        if resolved is None:
+            # Unclean rows (baseline-made summary): rewind the speculative
+            # draws and process the first attempt with the scalar loop.
+            if len(states) > 1:
+                rng.bit_generator.state = states[1]
+            p, _arr, first, second = specs[0]
+            stats.attempts += 1
+            outcome = _resolve_scalar_attempt(
+                cost_model, evaluator, glists[p], first, second, use_relative, threshold, stats
+            )
+            if outcome == "abort":
+                gpos, failures, est = p + 1, 0, -1
+            elif outcome == "merged":
+                member_arrays.pop(p, None)
+                gpos, failures, est = p, 0, -1
+            else:
+                gpos = p
+                failures += 1
+            continue
+
+        # ---- resolve the window sequentially against the threshold
+        best_scores, best_a, best_b, eval_counts = resolved
+        outcome = 0  # 0 = all failed, 1 = merged, 2 = aborted (NaN guard)
+        k = 0
+        for k in range(len(specs)):
+            p = specs[k][0]
+            stats.attempts += 1
+            stats.evaluations += int(eval_counts[k])
+            best_score = float(best_scores[k])
+            if best_score != best_score:  # all-NaN: impossible, but guard
+                outcome = 2
+                break
+            if best_score >= threshold.value:
+                # Only a committing merge needs the full plan (chosen
+                # superedges); rebuild it with one scalar evaluation —
+                # bit-identical by the shared-arithmetic contract.
+                plan = cost_model.evaluate_merge(int(best_a[k]), int(best_b[k]))
+                union = evaluator.apply_merge(plan)
+                dead = plan.b if union == plan.a else plan.a
+                glists[p].remove(dead)
+                member_arrays.pop(p, None)
+                stats.merges += 1
+                outcome = 1
+                break
+            threshold.record(best_score)
+        if outcome == 0:
+            gpos, failures, est = end_state
+            window_attempts = min(window_attempts * 2, WINDOW_MAX_ATTEMPTS)
+        else:
+            # Rewind the RNG to just after the last resolved attempt's
+            # draw: the speculative draws beyond it never happened.
+            if k + 1 < len(specs):
+                rng.bit_generator.state = states[k + 1]
+            if outcome == 1:
+                gpos, failures, est = specs[k][0], 0, -1
+                window_attempts = max(window_attempts // 2, 1)
+            else:  # aborted: mirror the scalar engine's per-group break
+                gpos, failures, est = specs[k][0] + 1, 0, -1
     return stats

@@ -28,8 +28,9 @@ from typing import Iterable, List
 import numpy as np
 
 from repro._util import ensure_rng
+from repro.core.batch import BatchCostEvaluator
 from repro.core.costs import COST_CACHES, CostModel
-from repro.core.merge import OBJECTIVES, merge_within_group
+from repro.core.merge import OBJECTIVES, merge_groups
 from repro.core.shingle import candidate_groups
 from repro.core.summary import BACKENDS, SummaryGraph
 from repro.core.threshold import AdaptiveThreshold, FixedSchedule, ThresholdPolicy
@@ -38,6 +39,9 @@ from repro.errors import BudgetError
 from repro.graph.graph import Graph
 
 THRESHOLD_POLICIES = ("adaptive", "fixed")
+
+#: Available merge-evaluation engines (see :mod:`repro.core.batch`).
+ENGINES = ("scalar", "batch")
 
 
 @dataclass(frozen=True)
@@ -65,12 +69,19 @@ class PegasusConfig:
     seed:
         RNG seed; ``None`` draws fresh entropy.
     backend:
-        Summary-graph storage backend, ``"dict"`` or ``"flat"`` (see
-        :mod:`repro.core.summary`).  Both produce identical summaries for
-        the same seed; ``"flat"`` is the array-native layout.
+        Summary-graph storage backend, ``"flat"`` (default, the
+        array-native layout) or ``"dict"`` (the original reference
+        layout; see :mod:`repro.core.summary`).  Both produce identical
+        summaries for the same seed.
     cost_cache:
         Cost-model strategy, ``"incremental"`` (default) or ``"rebuild"``
         (the pre-cache reference path; see :mod:`repro.core.costs`).
+    engine:
+        Merge-evaluation engine, ``"batch"`` (default; vectorized attempt
+        evaluation, see :mod:`repro.core.batch`) or ``"scalar"`` (one
+        ``evaluate_merge`` call per pair).  Both replay byte-identical
+        merges for the same seed; ``"batch"`` silently runs the scalar
+        loop when ``cost_cache="rebuild"`` (no block rows to gather).
     """
 
     alpha: float = 1.25
@@ -82,8 +93,9 @@ class PegasusConfig:
     threshold: str = "adaptive"
     objective: str = "relative"
     seed: "int | None" = None
-    backend: str = "dict"
+    backend: str = "flat"
     cost_cache: str = "incremental"
+    engine: str = "batch"
 
     def __post_init__(self):
         if self.alpha < 1.0:
@@ -100,6 +112,8 @@ class PegasusConfig:
             raise ValueError(f"backend must be one of {BACKENDS}")
         if self.cost_cache not in COST_CACHES:
             raise ValueError(f"cost_cache must be one of {COST_CACHES}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
 
 
 @dataclass
@@ -210,6 +224,11 @@ def summarize(
     started = time.perf_counter()
     summary = SummaryGraph(graph, backend=config.backend)
     cost_model = CostModel(summary, weights, cache=config.cost_cache)
+    evaluator = (
+        BatchCostEvaluator(cost_model)
+        if config.engine == "batch" and config.cost_cache == "incremental"
+        else None
+    )
     threshold = _make_threshold(config)
 
     iterations = 0
@@ -227,11 +246,15 @@ def summarize(
             max_group_size=config.max_group_size,
             recursive_splits=config.recursive_splits,
         )
-        for group in groups:
-            stats = merge_within_group(
-                cost_model, group, threshold, rng, objective=config.objective
-            )
-            total_merges += stats.merges
+        stats = merge_groups(
+            cost_model,
+            groups,
+            threshold,
+            rng,
+            objective=config.objective,
+            evaluator=evaluator,
+        )
+        total_merges += stats.merges
         threshold.advance(t + 1)
         size_trajectory.append(summary.size_in_bits())
 

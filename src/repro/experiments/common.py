@@ -32,6 +32,7 @@ from repro.baselines import (
 from repro.core import PegasusConfig, SummaryGraph, summarize
 from repro.graph.graph import Graph
 from repro.parallel import ParallelExecutor
+from repro.parallel.graphship import GraphShipment, restore_graphs
 
 #: Method names in the paper's plotting order.
 METHODS = ("pegasus", "ssumm", "saags", "s2l", "kgrass")
@@ -82,7 +83,20 @@ class ExperimentScale:
         )
 
 
-def sweep(point_fn, points, *, workers: "int | None" = 1, shared=None) -> list:
+def _shipped_point(shared, task):
+    """Trampoline restoring shm-shipped graphs before running a point."""
+    point_fn, inner_shared = shared
+    return point_fn(restore_graphs(inner_shared), restore_graphs(task))
+
+
+def sweep(
+    point_fn,
+    points,
+    *,
+    workers: "int | None" = 1,
+    shared=None,
+    use_shared_memory: bool = True,
+) -> list:
     """Fan independent experiment points out over the worker pool.
 
     The parallel sweep runner behind the Fig. 5/6/8/9/11/12 drivers: each
@@ -93,8 +107,27 @@ def sweep(point_fn, points, *, workers: "int | None" = 1, shared=None) -> list:
     come back in point order, so a driver that (a) consumes all of its RNG
     while *planning* the point list and (b) assembles rows from the
     ordered results produces identical output at any worker count.
+
+    With ``workers > 1`` every :class:`~repro.graph.graph.Graph` in
+    *shared* or in the point payloads is packed once into shared memory
+    and attached zero-copy per worker
+    (:class:`~repro.parallel.graphship.GraphShipment`) — without this the
+    ``spawn`` start method pickles the shared graphs once per worker and
+    per-point graphs (the Fig. 6 subgraphs) once per task.  Results are
+    identical either way; ``use_shared_memory=False`` forces the pickle
+    path and ``workers=1`` runs inline with no shipping at all.
     """
-    return ParallelExecutor(workers).map(point_fn, points, shared=shared)
+    executor = ParallelExecutor(workers)
+    points = list(points)
+    if executor.workers > 1 and points:
+        with GraphShipment(
+            (shared, points), use_shared_memory=use_shared_memory
+        ) as shipment:
+            shipped_shared, shipped_points = shipment.payload
+            return executor.map(
+                _shipped_point, shipped_points, shared=(point_fn, shipped_shared)
+            )
+    return executor.map(point_fn, points, shared=shared)
 
 
 def _calibrated_baseline(builder, graph: Graph, ratio: float, seed: int, probes: int = 4):
@@ -132,8 +165,9 @@ def build_summary_for_method(
     alpha: float = 1.25,
     t_max: int = 20,
     seed: int = 0,
-    backend: str = "dict",
+    backend: str = "flat",
     cost_cache: str = "incremental",
+    engine: str = "batch",
 ) -> Tuple[SummaryGraph, float, float]:
     """Summarize *graph* with *method* at requested compression *ratio*.
 
@@ -145,9 +179,10 @@ def build_summary_for_method(
     :func:`_calibrated_baseline`).  Raises :class:`MethodSkipped` for
     baselines above their o.o.t node budget.
 
-    *backend* / *cost_cache* select the shared merge engine's storage
-    backend and cost-model strategy for PeGaSus and SSumM (the weighted
-    baselines do not run the merge engine and ignore them).
+    *backend* / *cost_cache* / *engine* select the shared merge engine's
+    storage backend, cost-model strategy, and merge-evaluation engine for
+    PeGaSus and SSumM (the weighted baselines do not run the merge engine
+    and ignore them).
     """
     limit = OOT_NODE_LIMITS.get(method)
     if limit is not None and graph.num_nodes > limit:
@@ -155,7 +190,12 @@ def build_summary_for_method(
     started = time.perf_counter()
     if method == "pegasus":
         config = PegasusConfig(
-            alpha=alpha, t_max=t_max, seed=seed, backend=backend, cost_cache=cost_cache
+            alpha=alpha,
+            t_max=t_max,
+            seed=seed,
+            backend=backend,
+            cost_cache=cost_cache,
+            engine=engine,
         )
         summary = summarize(
             graph, targets=targets, compression_ratio=ratio, config=config
@@ -168,6 +208,7 @@ def build_summary_for_method(
             seed=seed,
             backend=backend,
             cost_cache=cost_cache,
+            engine=engine,
         ).summary
     elif method == "saags":
         summary = _calibrated_baseline(saags_summarize, graph, ratio, seed)

@@ -56,13 +56,14 @@ def run(
     ratio: float = 0.5,
     base_nodes: "int | None" = None,
     scale: "ExperimentScale | None" = None,
-    backend: str = "dict",
+    backend: str = "flat",
     cost_cache: str = "incremental",
+    engine: str = "batch",
     workers: "int | None" = None,
 ) -> List[ScalabilityRow]:
     """Run the scalability sweep; returns one row per (graph, |T|, fraction).
 
-    *backend* / *cost_cache* select the merge engine (the bench wrapper's
+    *backend* / *cost_cache* / *engine* select the merge engine (the bench wrapper's
     ``--backend`` axis); the timing shape is the point, so the same seed is
     used for every engine and the summaries are identical across backends.
     All subgraph/target sampling happens while planning the point list, so
@@ -95,7 +96,11 @@ def run(
                     size = max(subgraph.num_nodes // 2, 1)
                 targets = rng.choice(subgraph.num_nodes, size=size, replace=False)
                 config = PegasusConfig(
-                    t_max=scale.t_max, seed=scale.seed, backend=backend, cost_cache=cost_cache
+                    t_max=scale.t_max,
+                    seed=scale.seed,
+                    backend=backend,
+                    cost_cache=cost_cache,
+                    engine=engine,
                 )
                 labels.append((graph_name, mode, subgraph.num_nodes, subgraph.num_edges))
                 points.append((subgraph, targets, config))

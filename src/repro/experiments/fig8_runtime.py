@@ -41,7 +41,7 @@ class RuntimeRow:
 
 def _runtime_point(shared, point) -> RuntimeRow:
     """Build and time one (dataset, method) group (runs in a pool worker)."""
-    per_dataset, ratio, scale, backend, cost_cache = shared
+    per_dataset, ratio, scale, backend, cost_cache, engine = shared
     name, method = point
     graph, queries = per_dataset[name]
     try:
@@ -54,6 +54,7 @@ def _runtime_point(shared, point) -> RuntimeRow:
             seed=scale.seed,
             backend=backend,
             cost_cache=cost_cache,
+            engine=engine,
         )
     except MethodSkipped:
         return RuntimeRow(name, method, float("nan"), float("nan"), float("nan"), 0, True)
@@ -84,13 +85,14 @@ def run(
     methods: Sequence[str] = METHODS,
     ratio: float = 0.5,
     scale: "ExperimentScale | None" = None,
-    backend: str = "dict",
+    backend: str = "flat",
     cost_cache: str = "incremental",
+    engine: str = "batch",
     workers: "int | None" = None,
 ) -> List[RuntimeRow]:
     """Time summarization plus HOP/RWR query answering per method.
 
-    *backend* / *cost_cache* select the merge engine for PeGaSus and SSumM
+    *backend* / *cost_cache* / *engine* select the merge engine for PeGaSus and SSumM
     (see :mod:`repro.core.summary` / :mod:`repro.core.costs`); the bench
     wrapper exposes them as its ``--backend`` axis.  The (dataset, method)
     groups are independent and fan out over *workers* processes (default:
@@ -110,5 +112,5 @@ def run(
         _runtime_point,
         points,
         workers=workers,
-        shared=(per_dataset, ratio, scale, backend, cost_cache),
+        shared=(per_dataset, ratio, scale, backend, cost_cache, engine),
     )

@@ -15,15 +15,22 @@ runs inline and is the reference path).  Consumers:
 * :class:`repro.serving.QueryServer` — the asyncio serving front end
   holds a *session* pool (``with executor: ...``) and ships the
   per-machine arrays once per worker via :mod:`repro.parallel.shm`.
+
+The build-path consumers additionally ship the immutable input graph
+zero-copy through :mod:`repro.parallel.graphship`, so ``spawn`` workers
+attach one shared CSR instead of unpickling their own copy.
 """
 
 from repro.parallel.executor import ParallelExecutor, derive_seed, resolve_workers
+from repro.parallel.graphship import GraphShipment, ShippedGraph, restore_graphs
 from repro.parallel.shm import AttachedArrays, SharedArrayPack, ShmDescriptor, attach_arrays
 
 __all__ = [
     "AttachedArrays",
+    "GraphShipment",
     "ParallelExecutor",
     "SharedArrayPack",
+    "ShippedGraph",
     "ShmDescriptor",
     "attach_arrays",
     "derive_seed",

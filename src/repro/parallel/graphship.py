@@ -1,0 +1,185 @@
+"""Zero-copy input-graph shipping for build-path fan-outs.
+
+The cluster builders (:func:`repro.distributed.pipeline.build_summary_cluster`
+/ ``build_subgraph_cluster``) and the experiment sweep runner
+(:func:`repro.experiments.common.sweep`) fan independent tasks out over a
+:class:`~repro.parallel.ParallelExecutor`.  Under the ``spawn`` start
+method every worker used to receive its own pickled copy of the input
+:class:`~repro.graph.graph.Graph` — the largest object in the payload by
+orders of magnitude — through the pool initializer (and the Fig. 6 sweep
+even pickled one subgraph *per task*).
+
+:class:`GraphShipment` removes that copy: a :class:`Graph` is immutable
+and fully determined by its CSR arrays, so the parent packs every graph
+found in a payload into **one** :class:`~repro.parallel.shm.SharedArrayPack`
+and substitutes a tiny picklable :class:`ShippedGraph` placeholder.
+Workers call :func:`restore_graphs` on whatever payload they receive;
+placeholders are resolved by attaching the shared block (zero-copy,
+cached per process) and rebuilding the graph around read-only views,
+while any other value passes through untouched — so task functions can
+apply :func:`restore_graphs` unconditionally, whether or not the caller
+shipped through shared memory.
+
+The replacement walks tuples, lists, and dict values; other objects ship
+as before.  Where shared memory is unavailable the payload is left
+untouched (the pickle fallback, mirroring
+:mod:`repro.serving.blueprint`), and callers keep the ``workers=1``
+inline path entirely shipment-free.
+
+Determinism: an attached graph is ``==`` to the original (same node
+count, byte-identical CSR), so builds and sweeps remain byte-identical at
+any worker count, start method, or shipping mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.parallel.shm import ShmDescriptor, SharedArrayPack, attach_arrays
+
+
+@dataclass(frozen=True)
+class ShippedGraph:
+    """Picklable placeholder for one graph inside a shared-memory pack.
+
+    ``descriptor`` names the pack; the graph's CSR lives at entries
+    ``g{index}.indptr`` / ``g{index}.indices``.
+    """
+
+    descriptor: ShmDescriptor
+    index: int
+    num_nodes: int
+
+
+def _walk_replace(value: Any, replace) -> Any:
+    """Structurally copy tuples/lists/dicts, mapping leaves through *replace*."""
+    swapped = replace(value)
+    if swapped is not None:
+        return swapped
+    if isinstance(value, tuple):
+        return tuple(_walk_replace(item, replace) for item in value)
+    if isinstance(value, list):
+        return [_walk_replace(item, replace) for item in value]
+    if isinstance(value, dict):
+        return {key: _walk_replace(item, replace) for key, item in value.items()}
+    return value
+
+
+class GraphShipment:
+    """Parent-side substitution of payload graphs with shm placeholders.
+
+    Parameters
+    ----------
+    payload:
+        Arbitrary task/shared payload; every :class:`Graph` reachable
+        through tuples, lists, and dict values is packed (each distinct
+        graph object once) and replaced in :attr:`payload`.
+    use_shared_memory:
+        ``False`` skips the substitution entirely — :attr:`payload` is
+        the original object and workers receive pickled graphs as before.
+        If the platform cannot create shared memory the same fallback is
+        chosen automatically.
+
+    Keep the shipment open until every worker has finished its tasks
+    (workers attach lazily, on first task), then :meth:`close` it —
+    typically via ``with GraphShipment(...) as shipment:`` around the
+    ``executor.map`` call.
+    """
+
+    def __init__(self, payload: Any, *, use_shared_memory: bool = True):
+        self.payload = payload
+        self._pack: "SharedArrayPack | None" = None
+        self.num_graphs = 0
+        if not use_shared_memory:
+            return
+        graphs: List[Graph] = []
+        indices: Dict[int, int] = {}
+        arrays: Dict[str, np.ndarray] = {}
+
+        def collect(value: Any):
+            if isinstance(value, Graph) and id(value) not in indices:
+                index = len(graphs)
+                indices[id(value)] = index
+                graphs.append(value)
+                arrays[f"g{index}.indptr"] = value.indptr
+                arrays[f"g{index}.indices"] = value.indices
+            return None  # first pass only collects; nothing is replaced
+
+        _walk_replace(payload, collect)
+        if not graphs:
+            return
+        try:
+            pack = SharedArrayPack(arrays)
+        except OSError:  # pragma: no cover - no /dev/shm on this platform
+            return
+        self._pack = pack
+        self.num_graphs = len(graphs)
+
+        def materialize(value: Any):
+            if isinstance(value, Graph):
+                return ShippedGraph(
+                    descriptor=pack.descriptor,
+                    index=indices[id(value)],
+                    num_nodes=value.num_nodes,
+                )
+            return None
+
+        self.payload = _walk_replace(payload, materialize)
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether payload graphs actually live in a shared-memory block."""
+        return self._pack is not None
+
+    def close(self) -> None:
+        """Unlink the shared-memory block (idempotent)."""
+        if self._pack is not None:
+            self._pack.close()
+
+    def __enter__(self) -> "GraphShipment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+#: Per-process cache of graphs rebuilt from shared memory, keyed by
+#: (segment name, index) — a worker building many machines/sweep points
+#: attaches and validates each shipped graph once.
+_ATTACHED_GRAPHS: Dict[Tuple[str, int], Graph] = {}
+
+
+def _attach_graph(ref: ShippedGraph) -> Graph:
+    key = (ref.descriptor.name, ref.index)
+    graph = _ATTACHED_GRAPHS.get(key)
+    if graph is None:
+        arrays = attach_arrays(ref.descriptor)
+        graph = Graph(
+            ref.num_nodes,
+            arrays[f"g{ref.index}.indptr"],
+            arrays[f"g{ref.index}.indices"],
+        )
+        _ATTACHED_GRAPHS[key] = graph
+    return graph
+
+
+def restore_graphs(payload: Any) -> Any:
+    """Resolve every :class:`ShippedGraph` placeholder in *payload*.
+
+    The inverse of :class:`GraphShipment`: placeholders become live
+    :class:`Graph` objects backed by zero-copy shared-memory views
+    (attached once per process); everything else — including payloads
+    that were never shipped — passes through structurally unchanged, so
+    worker task functions call this unconditionally.
+    """
+
+    def resolve(value: Any):
+        if isinstance(value, ShippedGraph):
+            return _attach_graph(value)
+        return None
+
+    return _walk_replace(payload, resolve)

@@ -231,3 +231,68 @@ class TestPersonalizedError:
         costs = [cost for cost, _, _ in order]
         assert costs == sorted(costs)
         assert len(order) == summary.num_superedges
+
+
+def _reference_drop_order(model):
+    """The original per-edge Python implementation of Sect. III-F's order,
+    kept verbatim as the pin for the vectorized ``superedge_drop_order``."""
+    from repro.core.costs import _blockwise_edge_weights
+
+    entries = []
+    se_bits = model._superedge_bits()
+    edge_weights = _blockwise_edge_weights(model.summary, model.weights)
+    for a, b in model.summary.superedges():
+        key = (a, b) if a <= b else (b, a)
+        ew = edge_weights.get(key, 0.0)
+        cost = se_bits + model._error_bit_price * (model.potential_weight(a, b) - ew)
+        entries.append((cost, a, b))
+    entries.sort()
+    return entries
+
+
+class TestDropOrderVectorized:
+    """The lexsort drop order is pinned bit-for-bit to the Python sort."""
+
+    @pytest.mark.parametrize("backend", ["dict", "flat"])
+    def test_matches_reference_identity_summary(self, sbm_medium, backend):
+        weights = PersonalizedWeights(sbm_medium, [0, 3], alpha=1.5)
+        summary = SummaryGraph(sbm_medium, backend=backend)
+        model = CostModel(summary, weights)
+        assert model.superedge_drop_order() == _reference_drop_order(model)
+
+    @pytest.mark.parametrize("backend", ["dict", "flat"])
+    def test_matches_reference_after_merges(self, backend):
+        from repro.core import PegasusConfig, summarize
+        from repro.graph import barabasi_albert
+
+        graph = barabasi_albert(150, 3, seed=2)
+        result = summarize(
+            graph,
+            targets=[0],
+            compression_ratio=0.6,
+            config=PegasusConfig(seed=1, t_max=4, backend=backend),
+        )
+        model = CostModel(result.summary, result.weights)
+        order = model.superedge_drop_order()
+        assert order == _reference_drop_order(model)
+        assert [c for c, _, _ in order] == sorted(c for c, _, _ in order)
+
+    def test_matches_reference_with_edgeless_superedge(self, path4):
+        """Baseline-made summaries can hold superedges over edgeless
+        blocks; both implementations price them identically (ew = 0)."""
+        weights = PersonalizedWeights.uniform(path4)
+        summary = SummaryGraph(path4)
+        summary.add_superedge(0, 3)
+        model = CostModel(summary, weights)
+        assert model.superedge_drop_order() == _reference_drop_order(model)
+
+    def test_empty_summary(self):
+        graph = Graph.empty(4)
+        model = CostModel(SummaryGraph(graph), PersonalizedWeights.uniform(graph))
+        assert model.superedge_drop_order() == []
+
+    def test_types_are_python_scalars(self, path4):
+        model, _, _ = make_model(path4)
+        for cost, a, b in model.superedge_drop_order():
+            assert isinstance(cost, float)
+            assert isinstance(a, int) and isinstance(b, int)

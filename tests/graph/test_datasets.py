@@ -37,11 +37,20 @@ def test_scale_grows_graph():
 
 def test_table2_rows_order_and_shape():
     rows = table2_rows(scale=0.2, seed=0)
-    assert len(rows) == 7
+    assert len(rows) == 8
     assert rows[0][0].startswith("LastFM")
     assert rows[-1][3] == "BA Model"
+    assert rows[-1][0].startswith("Synthetic-dense")
     for _, nodes, edges, _ in rows:
         assert nodes > 0 and edges > 0
+
+
+def test_synthetic_dense_is_dense():
+    """The dense stand-in restores the paper's ST density class: its
+    average degree must clearly exceed the laptop-scale synthetic_ba's."""
+    ba = load_dataset("synthetic_ba", scale=0.3, seed=0).graph
+    dense = load_dataset("synthetic_dense", scale=0.3, seed=0).graph
+    assert 2 * dense.num_edges / dense.num_nodes > 2 * (2 * ba.num_edges / ba.num_nodes)
 
 
 def test_unknown_name_rejected():
@@ -57,6 +66,7 @@ def test_bad_scale_rejected():
 def test_exclude_synthetic():
     names = dataset_names(include_synthetic=False)
     assert "synthetic_ba" not in names
+    assert "synthetic_dense" not in names
     assert len(names) == 6
 
 

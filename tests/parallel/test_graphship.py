@@ -1,0 +1,179 @@
+"""Zero-copy graph shipping for the build path (``parallel/graphship.py``).
+
+Pins the two halves of the contract:
+
+* **equivalence** — spawn-mode cluster builds and experiment sweeps that
+  attach the input graph via shared memory produce byte-identical results
+  to the inline ``workers=1`` path (and to the pickle fallback);
+* **payload size** — once shipped, neither the shared payload nor any
+  per-task payload contains a pickled :class:`Graph`; their pickled sizes
+  stay bounded regardless of graph size, guarding against the
+  graph-per-worker (and, for Fig. 6 sweeps, graph-per-task) re-pickling
+  this subsystem removed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import PegasusConfig
+from repro.distributed import build_subgraph_cluster, build_summary_cluster
+from repro.experiments.common import sweep
+from repro.graph import barabasi_albert
+from repro.parallel import GraphShipment, ShippedGraph, restore_graphs
+from repro.parallel.graphship import _walk_replace
+
+
+def _spawn_context():
+    return multiprocessing.get_context("spawn")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert(300, 3, seed=5)
+
+
+class TestShipmentRoundTrip:
+    def test_graph_replaced_and_restored(self, graph):
+        payload = (graph, 1.5, {"nested": [graph, "other"]})
+        with GraphShipment(payload) as shipment:
+            assert shipment.uses_shared_memory
+            assert shipment.num_graphs == 1  # same object packed once
+            shipped = shipment.payload
+            assert isinstance(shipped[0], ShippedGraph)
+            assert isinstance(shipped[2]["nested"][0], ShippedGraph)
+            assert shipped[1] == 1.5
+            restored = restore_graphs(shipped)
+            assert restored[0] == graph
+            assert restored[2]["nested"][0] == graph
+            assert restored[1] == 1.5
+            # Attached views are zero-copy and read-only.
+            assert not restored[0].indices.flags.writeable
+
+    def test_distinct_graphs_get_distinct_slots(self, graph):
+        other = barabasi_albert(50, 2, seed=9)
+        with GraphShipment([graph, other, graph]) as shipment:
+            assert shipment.num_graphs == 2
+            restored = restore_graphs(shipment.payload)
+            assert restored[0] == graph
+            assert restored[1] == other
+            assert restored[2] == graph
+
+    def test_pickle_fallback_leaves_payload_untouched(self, graph):
+        payload = (graph, "x")
+        shipment = GraphShipment(payload, use_shared_memory=False)
+        assert shipment.payload is payload
+        assert not shipment.uses_shared_memory
+        assert restore_graphs(payload)[0] is graph
+        shipment.close()  # no-op
+
+    def test_graphless_payload_untouched(self):
+        payload = {"a": [1, 2], "b": (3,)}
+        with GraphShipment(payload) as shipment:
+            assert not shipment.uses_shared_memory
+            assert shipment.payload is payload
+
+    def test_restore_is_identity_for_plain_payloads(self, graph):
+        payload = (graph, [1, {"k": (2, 3)}])
+        restored = restore_graphs(payload)
+        assert restored[0] is graph
+        assert restored[1] == [1, {"k": (2, 3)}]
+
+    def test_walk_preserves_structure_types(self):
+        value = {"t": (1, [2, {"d": 3}])}
+        assert _walk_replace(value, lambda v: None) == value
+
+
+class TestPayloadBounded:
+    """The re-pickling regression guard (the Fig. 6 sweep shipped one
+    subgraph per task; the cluster builders one graph per spawn worker)."""
+
+    def test_shipped_payload_contains_no_graph_bytes(self):
+        big = barabasi_albert(4000, 8, seed=1)
+        baseline = len(pickle.dumps((big, 0.5)))
+        with GraphShipment((big, 0.5)) as shipment:
+            shipped_size = len(pickle.dumps(shipment.payload))
+        assert baseline > 100_000  # the graph dominates the raw payload
+        assert shipped_size < 2_000  # the placeholder does not grow with |E|
+
+    def test_sweep_task_payloads_bounded(self):
+        graphs = [barabasi_albert(2000, 6, seed=s) for s in range(3)]
+        points = [(g, np.arange(4), "config") for g in graphs]
+        with GraphShipment((None, points)) as shipment:
+            _shared, shipped_points = shipment.payload
+            for point in shipped_points:
+                assert isinstance(point[0], ShippedGraph)
+                assert len(pickle.dumps(point)) < 2_000
+
+
+def _sweep_point(shared, point):
+    ratio = shared
+    subgraph, targets = point
+    # A cheap deterministic function of the shipped graph's structure.
+    return float(subgraph.num_edges) * ratio + float(np.sum(targets)) + float(
+        subgraph.degree(0)
+    )
+
+
+class TestEquivalence:
+    def test_summary_cluster_spawn_shm_matches_inline(self, graph):
+        budget = 0.4 * graph.size_in_bits()
+        config = PegasusConfig(seed=3, t_max=4)
+        kwargs = dict(config=config, seed=3)
+        inline = build_summary_cluster(graph, 2, budget, workers=1, **kwargs)
+        spawned = build_summary_cluster(graph, 2, budget, workers=2, **kwargs)
+        pickled = build_summary_cluster(
+            graph, 2, budget, workers=2, use_shared_memory=False, **kwargs
+        )
+        for other in (spawned, pickled):
+            for left, right in zip(inline.machines, other.machines):
+                assert np.array_equal(left.part_nodes, right.part_nodes)
+                assert np.array_equal(
+                    left.source.supernode_of, right.source.supernode_of
+                )
+                assert sorted(left.source.superedges()) == sorted(
+                    right.source.superedges()
+                )
+                assert left.memory_bits == right.memory_bits
+
+    def test_summary_cluster_under_true_spawn(self, monkeypatch, graph):
+        """Force the spawn start method: workers inherit nothing, so the
+        graph genuinely arrives via the shared-memory attach."""
+        import repro.parallel.executor as executor_module
+
+        budget = 0.45 * graph.size_in_bits()
+        config = PegasusConfig(seed=2, t_max=3)
+        inline = build_summary_cluster(graph, 2, budget, config=config, seed=2, workers=1)
+        monkeypatch.setattr(
+            executor_module.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        spawned = build_summary_cluster(graph, 2, budget, config=config, seed=2, workers=2)
+        for left, right in zip(inline.machines, spawned.machines):
+            assert np.array_equal(left.source.supernode_of, right.source.supernode_of)
+            assert sorted(left.source.superedges()) == sorted(right.source.superedges())
+
+    def test_subgraph_cluster_spawn_shm_matches_inline(self, graph):
+        budget = 0.4 * graph.size_in_bits()
+        inline = build_subgraph_cluster(graph, 2, budget, workers=1, seed=1)
+        spawned = build_subgraph_cluster(graph, 2, budget, workers=2, seed=1)
+        for left, right in zip(inline.machines, spawned.machines):
+            assert left.source == right.source
+            assert left.memory_bits == right.memory_bits
+
+    def test_sweep_with_graphs_in_points_matches_inline(self, graph):
+        rng = np.random.default_rng(0)
+        points = []
+        for _ in range(4):
+            nodes = rng.choice(graph.num_nodes, size=80, replace=False)
+            subgraph, _ = graph.induced_subgraph(nodes)
+            points.append((subgraph, rng.integers(0, 50, size=3)))
+        inline = sweep(_sweep_point, points, workers=1, shared=0.25)
+        parallel = sweep(_sweep_point, points, workers=2, shared=0.25)
+        fallback = sweep(
+            _sweep_point, points, workers=2, shared=0.25, use_shared_memory=False
+        )
+        assert inline == parallel == fallback
