@@ -18,6 +18,12 @@ Subcommands
     through the async micro-batching front end, reporting throughput,
     latency percentiles, and (by default) byte-identical verification
     against the synchronous answering path.
+``stream``
+    Hold out a fraction of a dataset's edges, stream them back in
+    micro-batches through the online re-summarization layer while
+    serving queries between batches, and (by default) verify that the
+    final refreshed cluster is byte-identical to a from-scratch build on
+    the materialized graph.
 """
 
 from __future__ import annotations
@@ -266,6 +272,123 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import asyncio
+    import time
+
+    from repro.distributed import build_summary_cluster
+    from repro.graph import Graph
+    from repro.serving import QUERY_TYPES, QueryServer
+    from repro.streaming import StreamingSummarizer
+
+    if not 0.0 < args.stream_fraction < 1.0:
+        print(
+            f"error: --stream-fraction must be in (0, 1), got {args.stream_fraction}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batches < 1:
+        print(f"error: --batches must be >= 1, got {args.batches}", file=sys.stderr)
+        return 2
+
+    graph, name = _load_graph(args)
+    rng = np.random.default_rng(args.seed)
+    edges = graph.edge_array()
+    order = rng.permutation(edges.shape[0])
+    held_out = max(1, int(round(args.stream_fraction * edges.shape[0])))
+    base = Graph.from_edges(graph.num_nodes, edges[order[:-held_out]])
+    stream = edges[order[-held_out:]]
+    budget = args.ratio * base.size_in_bits()
+
+    config = PegasusConfig(seed=args.seed, backend=args.backend)
+    summarizer = StreamingSummarizer(
+        base,
+        args.machines,
+        budget,
+        config=config,
+        seed=args.seed,
+        drift_threshold=args.drift_threshold,
+        workers=args.workers,
+    )
+    print(f"graph           {name}: |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    print(
+        f"stream          base |E|={base.num_edges}, streaming {stream.shape[0]} edges "
+        f"in {args.batches} batches (m={args.machines}, drift threshold {args.drift_threshold})"
+    )
+
+    batches = np.array_split(stream, args.batches)
+    query_nodes = rng.integers(0, graph.num_nodes, size=args.queries_per_batch * args.batches)
+    served = 0
+    ingest_seconds = 0.0
+    refresh_events = 0
+
+    async def _run() -> None:
+        nonlocal served, ingest_seconds, refresh_events
+        async with QueryServer(
+            summarizer.cluster, workers=args.workers, max_batch=8, max_wait_ms=1.0
+        ) as server:
+            summarizer.attach(server)
+            try:
+                for index, batch in enumerate(batches):
+                    lo = index * args.queries_per_batch
+                    queries = [
+                        (int(node), QUERY_TYPES[i % len(QUERY_TYPES)])
+                        for i, node in enumerate(query_nodes[lo : lo + args.queries_per_batch])
+                    ]
+                    answers = await asyncio.gather(
+                        *(server.submit(node, qt) for node, qt in queries)
+                    )
+                    served += len(answers)
+                    report = summarizer.ingest(batch)
+                    ingest_seconds += report.seconds
+                    refresh_events += len(report.refreshed)
+            finally:
+                summarizer.detach()
+
+    started = time.perf_counter()
+    asyncio.run(_run())
+    elapsed = time.perf_counter() - started
+    summarizer.cluster.assert_communication_free()
+
+    pending_rate = stream.shape[0] / ingest_seconds if ingest_seconds > 0 else float("inf")
+    print(
+        f"ingested        {summarizer.delta.num_pending} novel edges "
+        f"({pending_rate:.0f} edges/s ingest+maintenance), {served} queries served in-stream"
+    )
+    print(
+        f"refreshes       {refresh_events} machine re-summarizations "
+        f"(per machine: {summarizer.refresh_counts()})"
+    )
+    print(f"elapsed         {elapsed:.2f}s")
+    if args.no_verify:
+        return 0
+    summarizer.refresh()  # bring every machine to the final prefix
+    materialized = summarizer.delta.materialize()
+    reference = build_summary_cluster(
+        materialized,
+        args.machines,
+        budget,
+        assignment=summarizer.assignment,
+        config=config,
+    )
+    probes = rng.integers(0, graph.num_nodes, size=max(8, args.queries_per_batch))
+    mismatches = sum(
+        1
+        for i, node in enumerate(probes)
+        for qt in [QUERY_TYPES[i % len(QUERY_TYPES)]]
+        if summarizer.cluster.answer(int(node), qt).tobytes()
+        != reference.answer(int(node), qt).tobytes()
+    )
+    print(
+        f"verified        {probes.size - mismatches}/{probes.size} refreshed answers "
+        "byte-identical to a from-scratch cluster on the materialized graph"
+    )
+    if mismatches:
+        print(f"error: {mismatches} streamed answer(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pegasus",
@@ -404,6 +527,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the byte-identical comparison against the synchronous path",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="stream held-out edges through online re-summarization while serving",
+    )
+    _add_graph_arguments(stream_cmd)
+    stream_cmd.add_argument("--machines", type=int, default=2, help="number of simulated machines m")
+    stream_cmd.add_argument(
+        "--ratio", type=float, default=0.5, help="per-machine budget as a fraction of Size(G₀)"
+    )
+    stream_cmd.add_argument(
+        "--stream-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of the dataset's edges held out and streamed back in",
+    )
+    stream_cmd.add_argument("--batches", type=int, default=8, help="number of ingest micro-batches")
+    stream_cmd.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.1,
+        help="re-summarize a machine when its residual correction bits exceed "
+        "this fraction of the budget (0 = refresh every batch)",
+    )
+    stream_cmd.add_argument(
+        "--queries-per-batch",
+        type=int,
+        default=6,
+        help="queries served between consecutive ingest batches",
+    )
+    stream_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pool size for serving and refresh fan-outs (identical output at any count)",
+    )
+    stream_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="flat",
+        help="summary storage backend for the per-machine summaries",
+    )
+    stream_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the final byte-identical comparison against a from-scratch cluster",
+    )
+    stream_cmd.set_defaults(func=_cmd_stream)
     return parser
 
 

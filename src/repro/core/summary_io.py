@@ -43,6 +43,25 @@ def save_summary(summary: SummaryGraph, path: "str | os.PathLike[str]") -> None:
                 handle.write(f"P {a} {b}\n")
 
 
+def _parse_id(token: str, num_nodes: int, path, lineno: int, what: str) -> int:
+    """Parse a node/supernode id and range-check it against ``num_nodes``.
+
+    Ids outside ``[0, num_nodes)`` must be rejected here: a *negative*
+    member id fed straight into ``assignment[int(member)]`` would wrap
+    around via numpy's negative indexing and silently corrupt the
+    partition instead of failing.
+    """
+    try:
+        value = int(token)
+    except ValueError:
+        raise GraphFormatError(f"{path}:{lineno}: {what} {token!r} is not an integer") from None
+    if not 0 <= value < num_nodes:
+        raise GraphFormatError(
+            f"{path}:{lineno}: {what} {value} out of range [0, {num_nodes})"
+        )
+    return value
+
+
 def load_summary(
     path: "str | os.PathLike[str]", graph: Graph, *, backend: str = "dict"
 ) -> SummaryGraph:
@@ -53,6 +72,12 @@ def load_summary(
     *backend* keyword selects the storage backend of the loaded summary;
     the on-disk format is backend-agnostic, so a summary saved from either
     backend loads into either.
+
+    The file is untrusted input: malformed headers, non-numeric tokens,
+    out-of-range or negative ids, and doubly-assigned nodes all raise
+    :class:`~repro.errors.GraphFormatError` with the offending line
+    number — never a raw ``ValueError``/``IndexError``, and never a
+    silently wrong partition.
     """
     with open(path, "r", encoding="utf-8") as handle:
         lines = [line.rstrip("\n") for line in handle]
@@ -60,9 +85,24 @@ def load_summary(
         raise GraphFormatError(f"{path}: not a repro summary file")
     if len(lines) < 2 or not lines[1].startswith("G "):
         raise GraphFormatError(f"{path}: missing G header line")
-    _, num_nodes_str, weighted_str = lines[1].split()
-    num_nodes = int(num_nodes_str)
-    weighted = weighted_str == "1"
+    header_parts = lines[1].split()
+    if len(header_parts) != 3:
+        raise GraphFormatError(
+            f"{path}:2: G header must be 'G <num_nodes> <weighted:0|1>', got {lines[1]!r}"
+        )
+    try:
+        num_nodes = int(header_parts[1])
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:2: node count {header_parts[1]!r} is not an integer"
+        ) from None
+    if num_nodes < 0:
+        raise GraphFormatError(f"{path}:2: node count must be >= 0, got {num_nodes}")
+    if header_parts[2] not in ("0", "1"):
+        raise GraphFormatError(
+            f"{path}:2: weighted flag must be 0 or 1, got {header_parts[2]!r}"
+        )
+    weighted = header_parts[2] == "1"
     if num_nodes != graph.num_nodes:
         raise GraphFormatError(
             f"{path}: summary is for {num_nodes} nodes, graph has {graph.num_nodes}"
@@ -75,12 +115,32 @@ def load_summary(
             continue
         parts = line.split()
         if parts[0] == "S":
-            supernode = int(parts[1])
-            for member in parts[2:]:
-                assignment[int(member)] = supernode
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: S record without a supernode id")
+            supernode = _parse_id(parts[1], num_nodes, path, lineno, "supernode id")
+            for token in parts[2:]:
+                member = _parse_id(token, num_nodes, path, lineno, "member id")
+                if assignment[member] >= 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: node {member} assigned to more than one supernode"
+                    )
+                assignment[member] = supernode
         elif parts[0] == "P":
-            weight = float(parts[3]) if len(parts) > 3 else None
-            superedges.append((int(parts[1]), int(parts[2]), weight))
+            if len(parts) not in (3, 4):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: P record must be 'P <a> <b> [weight]', got {line!r}"
+                )
+            a = _parse_id(parts[1], num_nodes, path, lineno, "superedge endpoint")
+            b = _parse_id(parts[2], num_nodes, path, lineno, "superedge endpoint")
+            weight = None
+            if len(parts) > 3:
+                try:
+                    weight = float(parts[3])
+                except ValueError:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: superedge weight {parts[3]!r} is not a number"
+                    ) from None
+            superedges.append((a, b, weight))
         else:
             raise GraphFormatError(f"{path}:{lineno}: unknown record {parts[0]!r}")
     if np.any(assignment < 0):

@@ -55,6 +55,20 @@ class Machine:
             self._operator = ReconstructedOperator(self.source)
         return self._operator
 
+    def replace_source(self, source: QuerySource, *, memory_bits: "float | None" = None) -> None:
+        """Swap in a new query source (the streaming layer's refresh path).
+
+        Drops the cached reconstruction operator — it encodes the old
+        source's arrays — and updates the memory accounting.  Routing
+        (``part_nodes``) is untouched: the streaming layer pins the
+        partition, so a swapped machine keeps answering the same nodes.
+        """
+        self.source = source
+        self.memory_bits = float(
+            memory_bits if memory_bits is not None else source.size_in_bits()
+        )
+        self._operator = None
+
     def answer(self, node: int, query_type: str) -> np.ndarray:
         """Answer one query locally (no communication)."""
         if query_type == "rwr":

@@ -35,3 +35,7 @@ class ServingError(ReproError):
     submitting to a server that is not running, and on attempts to serve
     an unsupported source type.
     """
+
+
+class StreamingError(ReproError):
+    """The streaming layer was misused (bad refresh target, bad threshold)."""

@@ -23,6 +23,36 @@ import numpy as np
 from repro._util import log2_capped
 from repro.errors import GraphFormatError
 
+#: Largest node count for which the packed dedup key ``u * num_nodes + v``
+#: is exact in int64: with ``num_nodes <= 2**31`` the key is bounded by
+#: ``2**62``, comfortably inside int64.  Beyond it the multiplication can
+#: wrap, so dedup falls back to the overflow-safe lexsort path.
+_PACKED_KEY_MAX_NODES = np.int64(2) ** 31
+
+
+def dedup_canonical_edges(u: np.ndarray, v: np.ndarray, num_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicate canonical edge endpoints (``u < v``), sorted lexicographically.
+
+    For ``num_nodes <= 2**31`` the pair is packed into one int64 key
+    (``u * num_nodes + v``), which a single :func:`numpy.unique` both
+    dedups and sorts.  Larger node counts would overflow the key and
+    silently merge distinct edges, so they take an overflow-safe lexsort
+    with consecutive-duplicate elimination instead.  Both paths return
+    identical arrays for any input where the packed key is exact.
+    """
+    if u.size == 0:
+        return u, v
+    if num_nodes <= _PACKED_KEY_MAX_NODES:
+        key = u * np.int64(num_nodes) + v
+        _, unique_idx = np.unique(key, return_index=True)
+        return u[unique_idx], v[unique_idx]
+    order = np.lexsort((v, u))
+    u, v = u[order], v[order]
+    keep = np.empty(u.shape[0], dtype=bool)
+    keep[0] = True
+    np.logical_or(u[1:] != u[:-1], v[1:] != v[:-1], out=keep[1:])
+    return u[keep], v[keep]
+
 
 class Graph:
     """An immutable undirected simple graph on nodes ``0..num_nodes-1``.
@@ -90,11 +120,7 @@ class Graph:
         v = np.maximum(arr[:, 0], arr[:, 1])
         keep = u != v  # drop self-loops
         u, v = u[keep], v[keep]
-        if u.size:
-            # Deduplicate via a packed key; num_nodes <= 2**31 keeps this exact.
-            key = u * np.int64(num_nodes) + v
-            _, unique_idx = np.unique(key, return_index=True)
-            u, v = u[unique_idx], v[unique_idx]
+        u, v = dedup_canonical_edges(u, v, num_nodes)
         return cls._from_canonical_edges(num_nodes, u, v)
 
     @classmethod

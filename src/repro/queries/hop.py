@@ -78,6 +78,58 @@ def _summary_bfs(summary: SummaryGraph, query: int) -> np.ndarray:
     return dist
 
 
+def _residual_bfs(source, query: int) -> np.ndarray:
+    """BFS distances in ``Ĝ_residual`` (summary quotient plus residual edges).
+
+    Runs the quotient-space expansion of :func:`_summary_bfs` — a
+    supernode expands at most once, assigning a whole member block per
+    superedge — interleaved with node-level expansion along the residual
+    correction edges.  With no residual edges the produced distances are
+    exactly those of :func:`_summary_bfs` (pinned by a regression test):
+    the level sets of a BFS depend only on the reachability structure,
+    which is identical.
+    """
+    summary = source.summary
+    dist = np.full(summary.num_nodes, -1, dtype=np.int64)
+    dist[query] = 0
+    supernode_of = summary.supernode_of
+    weighted = summary.is_weighted
+
+    def present(a: int, b: int) -> bool:
+        return summary.superedge_density(a, b) > 0.0 if weighted else True
+
+    expanded = set()  # supernodes whose superedge neighborhood was applied
+    frontier = [query]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        reached = set()
+        for u in frontier:
+            home = int(supernode_of[u])
+            if home not in expanded:
+                expanded.add(home)
+                for b in summary.superedge_neighbors(home):
+                    if present(home, b):
+                        reached.add(b)
+        for b in reached:
+            # Every member of an adjacent supernode is a reconstructed
+            # neighbor of every frontier member of the expanding one; the
+            # per-node self-exclusion of Alg. 4 is moot here because the
+            # expanding node already has a distance.
+            for v in summary.member_list(b):
+                if dist[v] < 0:
+                    dist[v] = level
+                    next_frontier.append(v)
+        for u in frontier:
+            for v in source.extra_neighbors(u).tolist():
+                if dist[v] < 0:
+                    dist[v] = level
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return dist
+
+
 def hop_distances_reference(
     source: QuerySource, query: int, *, unreachable: str = "longest"
 ) -> np.ndarray:
@@ -135,5 +187,12 @@ def hop_distances(source: QuerySource, query: int, *, unreachable: str = "longes
             raise QueryError(f"query node {query} out of range")
         dist = _summary_bfs(source, query)
     else:
-        raise QueryError(f"unsupported query source: {type(source).__name__}")
+        from repro.queries.operator import as_residual_source
+
+        residual = as_residual_source(source)
+        if residual is None:
+            raise QueryError(f"unsupported query source: {type(source).__name__}")
+        if not 0 <= query < residual.num_nodes:
+            raise QueryError(f"query node {query} out of range")
+        dist = _residual_bfs(residual, query)
     return _fill_unreachable(dist, unreachable)

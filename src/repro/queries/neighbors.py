@@ -27,4 +27,9 @@ def approximate_neighbors(source: QuerySource, node: int) -> np.ndarray:
         return np.asarray(source.neighbors(node))
     if isinstance(source, SummaryGraph):
         return source.reconstructed_neighbors(node)
+    from repro.queries.operator import as_residual_source
+
+    residual = as_residual_source(source)
+    if residual is not None:
+        return residual.reconstructed_neighbors(node)
     raise QueryError(f"unsupported query source: {type(source).__name__}")

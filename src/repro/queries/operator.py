@@ -15,7 +15,7 @@ dense baseline summaries are not.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -23,16 +23,36 @@ from repro.core.summary import SummaryGraph
 from repro.errors import QueryError
 from repro.graph.graph import Graph
 
-QuerySource = Union[Graph, SummaryGraph]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.streaming.residual import ResidualSource
+
+#: Query sources the operator (and every query) accepts; the streaming
+#: layer's ``ResidualSource`` joins as a forward reference so the module
+#: never imports it at runtime (no import cycle).
+QuerySource = Union[Graph, SummaryGraph, "ResidualSource"]
+
+
+def as_residual_source(source: object):
+    """The source as a :class:`~repro.streaming.residual.ResidualSource`, or ``None``.
+
+    Imported lazily: by the time a residual source reaches a query, the
+    streaming package is necessarily loaded, so this never triggers a
+    circular import at module-load time.
+    """
+    from repro.streaming.residual import ResidualSource
+
+    return source if isinstance(source, ResidualSource) else None
 
 
 class ReconstructedOperator:
-    """Linear operator for ``Â`` of a graph or summary graph.
+    """Linear operator for ``Â`` of a graph, summary graph, or residual source.
 
     Parameters
     ----------
     source:
-        A :class:`Graph` (``Â = A``, exact) or :class:`SummaryGraph`.
+        A :class:`Graph` (``Â = A``, exact), a :class:`SummaryGraph`, or a
+        :class:`~repro.streaming.residual.ResidualSource` (summary plus
+        residual correction edges, ``Â = Â_summary + A_residual``).
     use_weights:
         For weighted summaries, decode superedges as densities; with
         ``False`` any superedge is treated as a full block (presence-only).
@@ -47,7 +67,10 @@ class ReconstructedOperator:
         elif isinstance(source, SummaryGraph):
             self._init_summary(source)
         else:
-            raise QueryError(f"unsupported query source: {type(source).__name__}")
+            residual = as_residual_source(source)
+            if residual is None:
+                raise QueryError(f"unsupported query source: {type(source).__name__}")
+            self._init_residual(residual)
 
     # ------------------------------------------------------------------
     # construction
@@ -105,6 +128,27 @@ class ReconstructedOperator:
         self._degrees = super_total[self._compact] - self._self_density[self._compact]
         self._degrees = np.maximum(self._degrees, 0.0)
 
+    def _init_residual(self, residual) -> None:
+        """Summary operator plus the residual adjacency (``Â_s + A_r``).
+
+        The residual edges are disjoint from the summary's reconstruction
+        by construction, so the sum never double-counts a pair.  With an
+        empty correction list the built operator *is* the summary
+        operator — same mode, same arrays, same bytes — which is what
+        makes a just-refreshed machine's answers indistinguishable from a
+        never-streamed one's.
+        """
+        self._init_summary(residual.summary)
+        if residual.num_extra == 0:
+            return
+        self._mode = "residual"
+        heads, tails = residual.extra_directed()
+        self._extra_heads = heads
+        self._extra_tails = tails
+        self._degrees = self._degrees + np.bincount(
+            heads, minlength=self.num_nodes
+        ).astype(np.float64)
+
     # ------------------------------------------------------------------
     # operator interface
     # ------------------------------------------------------------------
@@ -126,4 +170,9 @@ class ReconstructedOperator:
         if self._cross_a.size:
             np.add.at(contrib, self._cross_a, self._cross_m * block_sums[self._cross_b])
             np.add.at(contrib, self._cross_b, self._cross_m * block_sums[self._cross_a])
-        return contrib[self._compact] - self._self_density[self._compact] * x
+        result = contrib[self._compact] - self._self_density[self._compact] * x
+        if self._mode == "residual":
+            result += np.bincount(
+                self._extra_heads, weights=x[self._extra_tails], minlength=self.num_nodes
+            )
+        return result

@@ -42,6 +42,16 @@ from repro.distributed.cluster import DistributedCluster, Machine
 from repro.errors import ServingError
 from repro.graph.graph import Graph
 from repro.parallel.shm import SharedArrayPack, attach_arrays, detach_arrays
+from repro.queries.operator import as_residual_source
+
+
+def _export_summary(summary: SummaryGraph, prefix: str, arrays: Dict[str, np.ndarray]) -> None:
+    lo, hi, weights = summary.superedge_arrays()
+    arrays[prefix + "supernode_of"] = summary.supernode_of
+    arrays[prefix + "lo"] = lo
+    arrays[prefix + "hi"] = hi
+    if weights is not None:
+        arrays[prefix + "weights"] = weights
 
 
 def _export_machine(machine: Machine, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
@@ -49,12 +59,7 @@ def _export_machine(machine: Machine, arrays: Dict[str, np.ndarray]) -> Dict[str
     prefix = f"m{machine.machine_id}."
     source = machine.source
     if isinstance(source, SummaryGraph):
-        lo, hi, weights = source.superedge_arrays()
-        arrays[prefix + "supernode_of"] = source.supernode_of
-        arrays[prefix + "lo"] = lo
-        arrays[prefix + "hi"] = hi
-        if weights is not None:
-            arrays[prefix + "weights"] = weights
+        _export_summary(source, prefix, arrays)
         return {
             "machine_id": machine.machine_id,
             "kind": "summary",
@@ -69,6 +74,17 @@ def _export_machine(machine: Machine, arrays: Dict[str, np.ndarray]) -> Dict[str
             "machine_id": machine.machine_id,
             "kind": "graph",
             "num_nodes": source.num_nodes,
+            "memory_bits": machine.memory_bits,
+        }
+    residual = as_residual_source(source)
+    if residual is not None:
+        _export_summary(residual.summary, prefix, arrays)
+        arrays[prefix + "extra"] = residual.extra_edge_array()
+        return {
+            "machine_id": machine.machine_id,
+            "kind": "residual",
+            "weighted": residual.summary.is_weighted,
+            "num_nodes": residual.num_nodes,
             "memory_bits": machine.memory_bits,
         }
     raise ServingError(f"cannot serve source of type {type(source).__name__}")
@@ -97,6 +113,10 @@ class ClusterBlueprint:
         arrays: Dict[str, np.ndarray] = {}
         specs = [_export_machine(machine, arrays) for machine in cluster.machines]
         self._pack: "SharedArrayPack | None" = None
+        self._use_shared_memory = use_shared_memory
+        self._update_packs: Dict[Tuple[int, int], SharedArrayPack] = {}
+        self._latest_version: Dict[int, int] = {}
+        self._next_version = 1
         payload: Dict[str, Any] = {
             # Workers cache attached clusters by token; uuid keeps two
             # concurrent servers in one process from colliding.
@@ -119,10 +139,65 @@ class ClusterBlueprint:
         """Whether the arrays actually live in a shared-memory block."""
         return self._pack is not None
 
+    def export_update(self, machine: Machine) -> Dict[str, Any]:
+        """Export one machine's *current* source as a hot-swap update.
+
+        Returns a small picklable payload ``{"version", "spec",
+        "descriptor" | "arrays"}`` that rides along with every subsequent
+        batch task for this machine.  Versions are monotone per
+        blueprint, so a worker serves each batch against exactly the
+        source generation that was live when the batch was flushed —
+        in-flight batches keep their pre-swap version, later ones the new
+        one.  The backing shared-memory block (when used) stays alive
+        until the version is superseded *and* no in-flight batch still
+        references it (:meth:`retire_update`, driven by the server's
+        per-batch refcounts), or until :meth:`close`.  Without shared
+        memory the arrays ride inside the update payload itself, i.e.
+        they are re-pickled per batch for a swapped machine — correct but
+        heavier; prefer shared memory for long hot-swapping streams.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        spec = _export_machine(machine, arrays)
+        version = self._next_version
+        self._next_version += 1
+        update: Dict[str, Any] = {"version": version, "spec": spec}
+        pack: "SharedArrayPack | None" = None
+        if self._use_shared_memory and self._pack is not None:
+            try:
+                pack = SharedArrayPack(arrays)
+            except OSError:  # pragma: no cover - no /dev/shm on this platform
+                pack = None
+        if pack is not None:
+            self._update_packs[(machine.machine_id, version)] = pack
+            update["descriptor"] = pack.descriptor
+        else:
+            update["arrays"] = {key: np.ascontiguousarray(a) for key, a in arrays.items()}
+        self._latest_version[machine.machine_id] = version
+        return update
+
+    def retire_update(self, machine_id: int, version: int) -> None:
+        """Unlink a *superseded* update's shared-memory block (idempotent).
+
+        No-op while the version is still the machine's latest (future
+        batches will carry it) and for pickle-shipped updates.  Safe even
+        if some process still maps the block — unlinking only prevents
+        *new* attaches, and the refcounting caller guarantees none will
+        come.
+        """
+        if self._latest_version.get(machine_id) == version:
+            return
+        pack = self._update_packs.pop((machine_id, version), None)
+        if pack is not None:
+            pack.close()
+
     def close(self) -> None:
-        """Unlink the shared-memory block (idempotent)."""
+        """Unlink the shared-memory blocks (idempotent)."""
         if self._pack is not None:
             self._pack.close()
+        for pack in self._update_packs.values():
+            pack.close()
+        self._update_packs = {}
+        self._latest_version = {}
 
     def __enter__(self) -> "ClusterBlueprint":
         return self
@@ -132,53 +207,97 @@ class ClusterBlueprint:
 
 
 class _AttachedCluster:
-    """Worker-side lazily rebuilt machines for one serving session."""
+    """Worker-side lazily rebuilt machines for one serving session.
+
+    Machines are cached per *version*: version 0 is the session's start
+    blueprint; hot-swap updates (:meth:`ClusterBlueprint.export_update`)
+    ride along with batch tasks and carry their own version plus array
+    source, so any worker — regardless of which batches it happened to
+    execute — can rebuild exactly the generation a batch was flushed
+    against.  Per machine only the most recently used version is kept;
+    rebuilding an evicted one from its update payload is always possible.
+    """
 
     def __init__(self, payload: Dict[str, Any]):
+        self._attached_names: List[str] = []
         if "descriptor" in payload:
-            self._arrays: Any = attach_arrays(payload["descriptor"])
+            self._arrays: Any = self._attach(payload["descriptor"])
         else:
             self._arrays = payload["arrays"]
         self._specs = {spec["machine_id"]: spec for spec in payload["specs"]}
-        self._machines: Dict[int, Machine] = {}
+        self._machines: Dict[int, Tuple[int, Machine]] = {}
 
-    def _rebuild_source(self, spec: Dict[str, Any]):
+    def _attach(self, descriptor) -> Any:
+        arrays = attach_arrays(descriptor)
+        if descriptor.name not in self._attached_names:
+            self._attached_names.append(descriptor.name)
+        return arrays
+
+    def _rebuild_source(self, spec: Dict[str, Any], arrays: Any):
         prefix = f"m{spec['machine_id']}."
         num_nodes = spec["num_nodes"]
         if spec["kind"] == "graph":
-            return Graph(num_nodes, self._arrays[prefix + "indptr"], self._arrays[prefix + "indices"])
-        lo = self._arrays[prefix + "lo"]
-        hi = self._arrays[prefix + "hi"]
+            return Graph(num_nodes, arrays[prefix + "indptr"], arrays[prefix + "indices"])
+        lo = arrays[prefix + "lo"]
+        hi = arrays[prefix + "hi"]
         weighted = spec["weighted"]
         if weighted:
-            weights = self._arrays[prefix + "weights"]
+            weights = arrays[prefix + "weights"]
             superedges = zip(lo.tolist(), hi.tolist(), weights.tolist())
         else:
             superedges = ((a, b, None) for a, b in zip(lo.tolist(), hi.tolist()))
         # Query answering never reads the summary's input graph beyond its
         # node count, so an edgeless stand-in keeps the rebuild cheap.
-        return SummaryGraph.from_parts(
+        summary = SummaryGraph.from_parts(
             Graph.empty(num_nodes),
-            self._arrays[prefix + "supernode_of"],
+            arrays[prefix + "supernode_of"],
             superedges,
             weighted=weighted,
         )
+        if spec["kind"] == "residual":
+            from repro.streaming.residual import ResidualSource
 
-    def machine(self, machine_id: int) -> Machine:
-        """The rebuilt machine (cached; its operator cache lives with it)."""
-        machine = self._machines.get(machine_id)
-        if machine is None:
+            return ResidualSource(
+                summary, arrays[prefix + "extra"], assume_filtered=True
+            )
+        return summary
+
+    def machine(self, machine_id: int, update: "Dict[str, Any] | None" = None) -> Machine:
+        """The rebuilt machine for one batch (cached; operator cache included).
+
+        *update* names the source generation the batch was flushed
+        against; ``None`` means the session's start blueprint (version 0).
+        """
+        version = 0 if update is None else update["version"]
+        cached = self._machines.get(machine_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        if update is None:
             spec = self._specs.get(machine_id)
             if spec is None:
                 raise ServingError(f"machine {machine_id} is not part of this blueprint")
-            machine = Machine(
-                machine_id=machine_id,
-                part_nodes=np.empty(0, dtype=np.int64),  # routing stays in the parent
-                source=self._rebuild_source(spec),
-                memory_bits=spec["memory_bits"],
-            )
-            self._machines[machine_id] = machine
+            arrays = self._arrays
+        else:
+            spec = update["spec"]
+            if "descriptor" in update:
+                arrays = self._attach(update["descriptor"])
+            else:
+                arrays = update["arrays"]
+        machine = Machine(
+            machine_id=machine_id,
+            part_nodes=np.empty(0, dtype=np.int64),  # routing stays in the parent
+            source=self._rebuild_source(spec, arrays),
+            memory_bits=spec["memory_bits"],
+        )
+        self._machines[machine_id] = (version, machine)
         return machine
+
+    def detach(self) -> None:
+        """Unmap every shared-memory block this session ever attached."""
+        self._machines.clear()
+        for name in self._attached_names:
+            detach_arrays(name)
+        self._attached_names = []
 
 
 #: Per-process cache of attached serving sessions, keyed by payload token.
@@ -198,23 +317,31 @@ def release_session(payload: Dict[str, Any]) -> None:
     """Evict this process's cache for one serving session (no-op if absent).
 
     Pool workers die with their pool, but the ``workers=1`` inline path
-    caches the rebuilt machines — and the shm mapping — in the *parent*;
-    ``QueryServer.stop`` calls this so repeated start/stop cycles in one
-    process do not accumulate dead sessions.
+    caches the rebuilt machines — and the shm mappings, hot-swap updates
+    included — in the *parent*; ``QueryServer.stop`` calls this so
+    repeated start/stop cycles in one process do not accumulate dead
+    sessions.
     """
-    _SESSIONS.pop(payload["token"], None)
+    session = _SESSIONS.pop(payload["token"], None)
+    if session is not None:
+        session.detach()
+        return
     descriptor = payload.get("descriptor")
     if descriptor is not None:
         detach_arrays(descriptor.name)
 
 
-def serve_batch_task(shared: Dict[str, Any], task: Tuple[int, List[Tuple[int, str]]]) -> List[np.ndarray]:
+def serve_batch_task(shared: Dict[str, Any], task) -> List[np.ndarray]:
     """Answer one machine's micro-batch (runs in a pool worker).
 
-    ``task`` is ``(machine_id, [(node, query_type), ...])``; the answers
-    come back in batch order.  Mixed query types share the machine's
-    cached reconstruction operator.
+    ``task`` is ``(machine_id, [(node, query_type), ...])`` or, when the
+    machine's source was hot-swapped mid-session, ``(machine_id, items,
+    update)`` with the swap payload from
+    :meth:`ClusterBlueprint.export_update`.  Answers come back in batch
+    order; mixed query types share the machine's cached reconstruction
+    operator.
     """
-    machine_id, items = task
-    machine = attached_cluster(shared).machine(machine_id)
+    machine_id, items = task[0], task[1]
+    update = task[2] if len(task) > 2 else None
+    machine = attached_cluster(shared).machine(machine_id, update)
     return [machine.answer(node, query_type) for node, query_type in items]

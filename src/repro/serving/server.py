@@ -23,6 +23,11 @@ continuously admitting service:
   duplicate query nodes receive one answer *each* (``answer_batch``'s
   dict return collapses duplicates; the serving layer must not).
 
+* **Hot swap** — :meth:`QueryServer.swap_machine` replaces one machine's
+  query source between micro-batches (the streaming layer's refresh
+  path): updates are versioned, in-flight batches keep the generation
+  they were flushed against, and nothing restarts.
+
 Every answer is byte-identical to ``cluster.answer(node, query_type)``,
 for any arrival interleaving, batch window, worker count, and storage
 backend, and serving is communication-free: a query only ever touches the
@@ -37,7 +42,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.distributed.cluster import DistributedCluster
+from repro.distributed.cluster import DistributedCluster, Machine
 from repro.errors import QueryError, ServingError
 from repro.parallel import ParallelExecutor
 from repro.serving.blueprint import ClusterBlueprint, release_session, serve_batch_task
@@ -50,20 +55,33 @@ _STOP = object()
 
 @dataclass
 class ServingStats:
-    """Counters exposed by :attr:`QueryServer.stats` (monotone per session)."""
+    """Counters exposed by :attr:`QueryServer.stats` (monotone per session).
+
+    ``answered`` and ``failed`` count **actual resolutions** — requests
+    whose future this server resolved with a result or an error.  A future
+    the client already cancelled (or otherwise resolved) before delivery
+    is counted under ``cancelled`` instead, so the admission ledger
+    balances exactly::
+
+        admitted == answered + failed + cancelled + still-pending
+
+    (``still-pending`` being requests admitted but not yet resolved).
+    """
 
     admitted: int = 0
     rejected: int = 0
     answered: int = 0
     failed: int = 0
+    cancelled: int = 0
     batches: int = 0
     max_batch_size: int = 0
     max_queue_depth: int = 0
+    swaps: int = 0
 
     @property
     def mean_batch_size(self) -> float:
-        """Answered-or-failed requests per flushed batch."""
-        done = self.answered + self.failed
+        """Delivered-or-failed requests per flushed batch."""
+        done = self.answered + self.failed + self.cancelled
         return done / self.batches if self.batches else 0.0
 
 
@@ -140,6 +158,10 @@ class QueryServer:
         self._executor: "ParallelExecutor | None" = None
         self._blueprint: "ClusterBlueprint | None" = None
         self._inflight: "set[asyncio.Future]" = set()
+        self._updates: Dict[int, Dict] = {}
+        # In-flight batches per (machine_id, version): a superseded
+        # update's shm block is retired when its count returns to zero.
+        self._update_refs: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -172,10 +194,36 @@ class QueryServer:
             raise
         self._queue = asyncio.Queue(maxsize=self._max_pending)
         self.stats = ServingStats()
+        self._updates = {}
+        self._update_refs = {}
         self._running = True
         self._accepting = True
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return self
+
+    def swap_machine(self, machine: Machine) -> None:
+        """Hot-swap one machine's query source without a restart.
+
+        Exports the machine's *current* source (typically just refreshed
+        or residual-extended by the streaming layer) as a versioned
+        update that rides along with every subsequent batch flushed for
+        that machine.  In-flight batches are untouched — they carry the
+        version that was live when they were flushed, so no request is
+        dropped or re-answered — and batches flushed from now on are
+        answered against the new source, byte-identically to
+        ``cluster.answer`` after the same swap.
+        """
+        if not self._running:
+            raise ServingError("server is not running")
+        previous = self._updates.get(machine.machine_id)
+        self._updates[machine.machine_id] = self._blueprint.export_update(machine)
+        self.stats.swaps += 1
+        if previous is not None:
+            # The superseded generation can be reclaimed as soon as no
+            # in-flight batch carries it (possibly right now).
+            key = (machine.machine_id, previous["version"])
+            if self._update_refs.get(key, 0) == 0:
+                self._blueprint.retire_update(*key)
 
     async def stop(self) -> None:
         """Drain in-flight work, stop the dispatcher, release the pool.
@@ -189,7 +237,21 @@ class QueryServer:
             return
         self._accepting = False
         try:
-            await self._queue.put(_STOP)
+            # A plain ``await queue.put(_STOP)`` deadlocks when the
+            # admission queue is full and the dispatcher has already
+            # crashed: nothing will ever drain the queue, so the put —
+            # and with it the whole teardown — blocks forever.  Race the
+            # put against dispatcher completion instead: a live
+            # dispatcher makes room and receives the sentinel; a dead
+            # one completes the wait immediately and the sentinel is
+            # abandoned (the drain below rejects the stranded requests).
+            put_stop = asyncio.ensure_future(self._queue.put(_STOP))
+            await asyncio.wait(
+                {put_stop, self._dispatcher}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not put_stop.done():
+                put_stop.cancel()
+            await asyncio.gather(put_stop, return_exceptions=True)
             await asyncio.gather(self._dispatcher, return_exceptions=True)
             # Submissions that slipped past the STOP sentinel (admission
             # races resolve in queue order) — or that were stranded by a
@@ -329,18 +391,48 @@ class QueryServer:
             return
         self.stats.batches += 1
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
-        task = (machine_id, [(request.node, request.query_type) for request in batch])
+        items = [(request.node, request.query_type) for request in batch]
+        update = self._updates.get(machine_id)
+        task = (machine_id, items) if update is None else (machine_id, items, update)
+        key = None if update is None else (machine_id, update["version"])
+        if key is not None:
+            self._update_refs[key] = self._update_refs.get(key, 0) + 1
         try:
             pool_future = self._executor.submit(serve_batch_task, task)
         except BaseException as error:  # e.g. BrokenProcessPool after a worker died
+            self._release_update(key)
             for request in batch:
                 self._fail_request(request, error)
             return
         wrapped = asyncio.ensure_future(asyncio.wrap_future(pool_future))
         self._inflight.add(wrapped)
-        wrapped.add_done_callback(lambda done, batch=batch: self._deliver(done, batch))
+        wrapped.add_done_callback(
+            lambda done, batch=batch, key=key: self._deliver(done, batch, key)
+        )
 
-    def _deliver(self, done: "asyncio.Future", batch: List[_Request]) -> None:
+    def _release_update(self, key: "Tuple[int, int] | None") -> None:
+        """Drop one in-flight reference; retire superseded generations."""
+        if key is None:
+            return
+        remaining = self._update_refs.get(key, 0) - 1
+        if remaining > 0:
+            self._update_refs[key] = remaining
+            return
+        self._update_refs.pop(key, None)
+        machine_id, version = key
+        current = self._updates.get(machine_id)
+        if self._blueprint is not None and (
+            current is None or current["version"] != version
+        ):
+            self._blueprint.retire_update(machine_id, version)
+
+    def _deliver(
+        self,
+        done: "asyncio.Future",
+        batch: List[_Request],
+        key: "Tuple[int, int] | None" = None,
+    ) -> None:
+        self._release_update(key)
         self._inflight.discard(done)
         error = done.exception()
         if error is not None:
@@ -348,14 +440,22 @@ class QueryServer:
                 self._fail_request(request, error)
             return
         for request, answer in zip(batch, done.result()):
-            if not request.future.done():
+            # Count only futures this server actually resolves: a client
+            # may have cancelled (or timed out) its request while the
+            # batch was in flight, and blindly bumping ``answered`` for
+            # those would drift the counters away from answers delivered.
+            if request.future.done():
+                self.stats.cancelled += 1
+            else:
                 request.future.set_result(answer)
-            self.stats.answered += 1
+                self.stats.answered += 1
 
     def _fail_request(self, request: _Request, error: BaseException) -> None:
-        if not request.future.done():
+        if request.future.done():
+            self.stats.cancelled += 1
+        else:
             request.future.set_exception(error)
-        self.stats.failed += 1
+            self.stats.failed += 1
 
 
 def serve_queries(

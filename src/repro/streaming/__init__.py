@@ -1,0 +1,28 @@
+"""Streaming edge updates with online re-summarization.
+
+The write path of the reproduction: an append-only edge stream over the
+static graphs of the paper, served without ever going offline.
+
+* :class:`~repro.streaming.delta.GraphDelta` — append-only edge buffer
+  over the immutable CSR graph, with a vectorized ``materialize()``;
+* :class:`~repro.streaming.residual.ResidualSource` — a stale summary
+  plus the exact correction list of streamed edges (topology never
+  stale);
+* :class:`~repro.streaming.summarizer.StreamingSummarizer` — cost-drift
+  triggered re-summarization of affected machines, hot-swapped into the
+  cluster and any attached :class:`~repro.serving.QueryServer`.
+"""
+
+from repro.streaming.delta import GraphDelta
+from repro.streaming.residual import ResidualSource, correction_bits_per_edge, uncovered_edges
+from repro.streaming.summarizer import IngestReport, RefreshReport, StreamingSummarizer
+
+__all__ = [
+    "GraphDelta",
+    "ResidualSource",
+    "correction_bits_per_edge",
+    "uncovered_edges",
+    "IngestReport",
+    "RefreshReport",
+    "StreamingSummarizer",
+]

@@ -78,3 +78,75 @@ def test_unknown_record_rejected(tmp_path, triangle):
     path.write_text("# repro summary graph v1\nG 3 0\nS 0 0 1 2\nX 1 2\n")
     with pytest.raises(GraphFormatError):
         load_summary(path, triangle)
+
+
+class TestMalformedFilesRejected:
+    """Regressions: untrusted summary files must fail loudly as
+    GraphFormatError — never a raw ValueError/IndexError, and never a
+    silently corrupted partition."""
+
+    def _load(self, tmp_path, triangle, body):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro summary graph v1\n" + body)
+        return load_summary(path, triangle)
+
+    def test_negative_member_id_rejected_not_wrapped(self, tmp_path, triangle):
+        """The worst pre-fix case: ``assignment[int('-1')]`` wrapped via
+        numpy negative indexing and silently assigned the *last* node,
+        producing a structurally valid but wrong partition."""
+        with pytest.raises(GraphFormatError, match="member id -1 out of range"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1\nS 2 -1\nP 0 0\n")
+
+    def test_out_of_range_member_rejected(self, tmp_path, triangle):
+        # Pre-fix: raw IndexError from the assignment array.
+        with pytest.raises(GraphFormatError, match="member id 5 out of range"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1 5\n")
+
+    def test_truncated_g_header_rejected(self, tmp_path, triangle):
+        # Pre-fix: raw ValueError from tuple unpacking.
+        with pytest.raises(GraphFormatError, match="G header"):
+            self._load(tmp_path, triangle, "G 3\nS 0 0 1 2\n")
+
+    def test_overlong_g_header_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="G header"):
+            self._load(tmp_path, triangle, "G 3 0 7\nS 0 0 1 2\n")
+
+    def test_non_numeric_node_count_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="not an integer"):
+            self._load(tmp_path, triangle, "G three 0\nS 0 0 1 2\n")
+
+    def test_bad_weighted_flag_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="weighted flag"):
+            self._load(tmp_path, triangle, "G 3 2\nS 0 0 1 2\n")
+
+    def test_negative_supernode_id_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="supernode id -1 out of range"):
+            self._load(tmp_path, triangle, "G 3 0\nS -1 0 1 2\n")
+
+    def test_non_numeric_member_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="not an integer"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 zero 1 2\n")
+
+    def test_bare_s_record_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="S record"):
+            self._load(tmp_path, triangle, "G 3 0\nS\n")
+
+    def test_duplicate_membership_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="more than one supernode"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1\nS 2 1 2\n")
+
+    def test_p_record_arity_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="P record"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1 2\nP 0\n")
+
+    def test_p_record_out_of_range_endpoint_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="superedge endpoint"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1 2\nP 0 9\n")
+
+    def test_p_record_non_numeric_weight_rejected(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match="not a number"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1 2\nP 0 0 heavy\n")
+
+    def test_error_messages_carry_line_numbers(self, tmp_path, triangle):
+        with pytest.raises(GraphFormatError, match=r":4:"):
+            self._load(tmp_path, triangle, "G 3 0\nS 0 0 1\nS 2 -1\n")

@@ -137,3 +137,63 @@ class TestEqualityAndHash:
 
     def test_eq_other_type(self, triangle):
         assert triangle != "graph"
+
+
+class TestDedupOverflowSafety:
+    """Regression: ``from_edges`` dedups via the packed key
+    ``u * num_nodes + v``, which silently wraps in int64 once
+    ``num_nodes > 2**31`` — distinct edges could collapse into one.  The
+    guard routes oversized node counts through an overflow-safe lexsort."""
+
+    def _random_canonical(self, rng, num_nodes, count):
+        arr = rng.integers(0, num_nodes, size=(count, 2))
+        u = np.minimum(arr[:, 0], arr[:, 1])
+        v = np.maximum(arr[:, 0], arr[:, 1])
+        keep = u != v
+        return u[keep], v[keep]
+
+    def test_lexsort_path_matches_packed_path(self):
+        from repro.graph.graph import dedup_canonical_edges
+
+        rng = np.random.default_rng(0)
+        u, v = self._random_canonical(rng, 500, 400)
+        packed_u, packed_v = dedup_canonical_edges(u, v, 500)
+        # Same pairs, but num_nodes forced past the packed-key bound so
+        # the lexsort fallback runs; results must be identical.
+        safe_u, safe_v = dedup_canonical_edges(u, v, 2**31 + 1)
+        assert np.array_equal(packed_u, safe_u)
+        assert np.array_equal(packed_v, safe_v)
+
+    def test_wrapped_key_collision_no_longer_merges_distinct_edges(self):
+        from repro.graph.graph import dedup_canonical_edges
+
+        # With num_nodes = 2**62 the packed keys of (0, 8) and (4, 8)
+        # both wrap to 8 (4 * 2**62 ≡ 0 mod 2**64): the pre-guard dedup
+        # would have collapsed two distinct edges into one.
+        num_nodes = 2**62
+        u = np.asarray([0, 4], dtype=np.int64)
+        v = np.asarray([8, 8], dtype=np.int64)
+        with np.errstate(over="ignore"):
+            wrapped = u * np.int64(num_nodes) + v
+        assert wrapped[0] == wrapped[1], "collision premise broke"
+        safe_u, safe_v = dedup_canonical_edges(u, v, num_nodes)
+        assert safe_u.tolist() == [0, 4]
+        assert safe_v.tolist() == [8, 8]
+
+    def test_duplicates_still_collapse_on_the_safe_path(self):
+        from repro.graph.graph import dedup_canonical_edges
+
+        u = np.asarray([3, 1, 3, 1, 1], dtype=np.int64)
+        v = np.asarray([9, 2, 9, 2, 5], dtype=np.int64)
+        safe_u, safe_v = dedup_canonical_edges(u, v, 2**31 + 7)
+        assert list(zip(safe_u.tolist(), safe_v.tolist())) == [(1, 2), (1, 5), (3, 9)]
+
+    def test_from_edges_still_exact_below_the_bound(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 200, size=(300, 2))
+        graph = Graph.from_edges(200, arr)
+        expected = {
+            (min(a, b), max(a, b)) for a, b in arr.tolist() if a != b
+        }
+        assert graph.num_edges == len(expected)
+        assert {tuple(e) for e in graph.edge_array().tolist()} == expected

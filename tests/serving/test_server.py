@@ -276,6 +276,86 @@ class TestLifecycle:
         answer = asyncio.run(_run())
         assert answer.tobytes() == summary_cluster.answer(0, "rwr").tobytes()
 
+    def test_stop_completes_with_crashed_dispatcher_and_full_queue(self, summary_cluster):
+        """Regression: stop() used to ``await queue.put(_STOP)`` — with the
+        dispatcher dead and the admission queue full, nothing ever drains
+        the queue, so teardown deadlocked forever."""
+
+        async def _run():
+            server = QueryServer(summary_cluster, max_pending=3, max_wait_ms=0.0)
+            await server.start()
+
+            def _boom(*args, **kwargs):
+                raise RuntimeError("injected dispatcher crash")
+
+            server._flush = _boom
+            doomed = server.submit_nowait(0, "rwr")
+            # Let the dispatcher pick the request up and die on the flush.
+            for _ in range(50):
+                if server._dispatcher.done():
+                    break
+                await asyncio.sleep(0.005)
+            assert server._dispatcher.done(), "dispatcher did not crash"
+            # Saturate the admission queue; nobody is draining it now.
+            stranded = [server.submit_nowait(i, "rwr") for i in range(1, 4)]
+            with pytest.raises(ServingError, match="admission queue full"):
+                server.submit_nowait(9, "rwr")
+            # The regression: this used to hang forever.
+            await asyncio.wait_for(server.stop(), timeout=5.0)
+            assert not server.running
+            results = await asyncio.gather(
+                doomed, *stranded, return_exceptions=True
+            )
+            assert all(isinstance(r, Exception) for r in results)
+            return server.stats
+
+        stats = asyncio.run(_run())
+        # Every admitted request was resolved (failed), none left hanging.
+        assert stats.admitted == stats.failed == 4
+
+    def test_stats_count_only_real_resolutions(self, summary_cluster):
+        """Regression: ``answered`` used to increment even when the client
+        had already cancelled the request's future, so the admission
+        ledger drifted away from answers actually delivered."""
+
+        async def _run():
+            async with QueryServer(
+                summary_cluster, workers=1, max_batch=64, max_wait_ms=20.0
+            ) as server:
+                futures = [server.submit_nowait(i, "hop") for i in range(6)]
+                futures[1].cancel()
+                futures[4].cancel()
+                kept = [f for i, f in enumerate(futures) if i not in (1, 4)]
+                answers = await asyncio.gather(*kept)
+                return answers, server.stats
+
+        answers, stats = asyncio.run(_run())
+        assert len(answers) == 4
+        assert stats.admitted == 6
+        assert stats.answered == 4  # pre-fix this counted all 6
+        assert stats.cancelled == 2
+        assert stats.failed == 0
+        # The ledger balances: nothing is pending after the drain.
+        assert stats.admitted == stats.answered + stats.failed + stats.cancelled
+
+    def test_ledger_balances_mid_session(self, summary_cluster):
+        """admitted == answered + failed + cancelled + still-pending holds
+        at any instant, not just after a drain."""
+
+        async def _run():
+            async with QueryServer(
+                summary_cluster, workers=1, max_batch=64, max_wait_ms=50.0
+            ) as server:
+                futures = [server.submit_nowait(i, "hop") for i in range(5)]
+                still_pending = sum(1 for f in futures if not f.done())
+                stats = server.stats
+                assert stats.admitted == (
+                    stats.answered + stats.failed + stats.cancelled + still_pending
+                )
+                await asyncio.gather(*futures)
+
+        asyncio.run(_run())
+
     def test_worker_pool_and_shared_memory_active(self, summary_cluster):
         """With workers > 1 a persistent pool is up and the machine arrays
         live in shared memory, and stopping releases both."""

@@ -1,0 +1,124 @@
+"""GraphDelta: exact dedup, vectorized materialization, monotone buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, barabasi_albert
+from repro.streaming import GraphDelta
+
+
+class TestAddEdges:
+    def test_novel_edges_are_buffered_in_insertion_order(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        assert delta.add_edges([(0, 5), (1, 6)]) == 2
+        assert delta.num_pending == 2
+        assert delta.pending_edges().tolist() == [[0, 5], [1, 6]]
+        assert delta.add_edges([(2, 7)]) == 1
+        assert delta.pending_edges().tolist() == [[0, 5], [1, 6], [2, 7]]
+
+    def test_edges_already_in_base_are_dropped(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        # (0, 1) and (3, 4) exist in the base graph, in both orientations.
+        assert delta.add_edges([(0, 1), (1, 0), (4, 3), (0, 5)]) == 1
+        assert delta.pending_edges().tolist() == [[0, 5]]
+
+    def test_within_batch_and_cross_batch_duplicates_collapse(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        assert delta.add_edges([(0, 5), (5, 0), (0, 5)]) == 1
+        assert delta.add_edges([(0, 5), (5, 0)]) == 0
+        assert delta.num_pending == 1
+
+    def test_self_loops_dropped(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        assert delta.add_edges([(3, 3), (5, 5)]) == 0
+        assert delta.num_pending == 0
+
+    def test_out_of_range_rejected(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        with pytest.raises(GraphFormatError):
+            delta.add_edges([(0, 8)])
+        with pytest.raises(GraphFormatError):
+            delta.add_edges([(-1, 2)])
+        with pytest.raises(GraphFormatError):
+            delta.add_edges(np.asarray([[0, 1, 2]]))
+
+    def test_empty_batch_is_a_noop(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        assert delta.add_edges([]) == 0
+        assert delta.add_edges(np.empty((0, 2), dtype=np.int64)) == 0
+
+    def test_pending_array_is_read_only(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        delta.add_edges([(0, 5)])
+        with pytest.raises(ValueError):
+            delta.pending_edges()[0, 0] = 7
+
+
+class TestMaterialize:
+    def test_empty_delta_returns_the_base_graph(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        assert delta.materialize() is two_cliques
+
+    def test_materialize_equals_from_edges_union(self, sbm_medium):
+        rng = np.random.default_rng(3)
+        delta = GraphDelta(sbm_medium)
+        extra = rng.integers(0, sbm_medium.num_nodes, size=(60, 2))
+        delta.add_edges(extra)
+        merged = delta.materialize()
+        expected = Graph.from_edges(
+            sbm_medium.num_nodes,
+            np.concatenate([sbm_medium.edge_array(), extra]),
+        )
+        assert merged == expected
+
+    def test_cache_invalidated_by_new_edges(self, two_cliques):
+        delta = GraphDelta(two_cliques)
+        delta.add_edges([(0, 5)])
+        first = delta.materialize()
+        assert delta.materialize() is first  # cached
+        delta.add_edges([(1, 6)])
+        second = delta.materialize()
+        assert second is not first
+        assert second.num_edges == first.num_edges + 1
+
+    def test_incremental_prefixes_match_batch_builds(self, ba_small):
+        """Any stream prefix materializes to the same graph a batch build
+        on that prefix's edges produces."""
+        rng = np.random.default_rng(9)
+        stream = rng.integers(0, ba_small.num_nodes, size=(40, 2))
+        delta = GraphDelta(ba_small)
+        all_edges = [ba_small.edge_array()]
+        for lo in range(0, len(stream), 10):
+            chunk = stream[lo : lo + 10]
+            delta.add_edges(chunk)
+            all_edges.append(chunk)
+            expected = Graph.from_edges(ba_small.num_nodes, np.concatenate(all_edges))
+            assert delta.materialize() == expected
+
+
+def test_num_pending_is_monotone_and_prefix_stable(two_cliques):
+    """Cursors into the pending buffer stay valid: earlier prefixes are
+    never reordered or dropped by later insertions."""
+    delta = GraphDelta(two_cliques)
+    delta.add_edges([(0, 5), (1, 6)])
+    prefix = delta.pending_edges().copy()
+    delta.add_edges([(2, 7), (0, 5)])
+    assert delta.num_pending == 3
+    assert np.array_equal(delta.pending_edges()[:2], prefix)
+
+
+def test_dense_stream_on_larger_graph():
+    graph = barabasi_albert(150, 2, seed=0)
+    delta = GraphDelta(graph)
+    rng = np.random.default_rng(1)
+    total = 0
+    for _ in range(5):
+        batch = rng.integers(0, 150, size=(80, 2))
+        total += delta.add_edges(batch)
+    assert delta.num_pending == total
+    merged = delta.materialize()
+    # Every pending edge is genuinely new w.r.t. the base.
+    assert merged.num_edges == graph.num_edges + total

@@ -1,0 +1,375 @@
+"""The streaming contract: streamed-then-refreshed ≡ from-scratch, always.
+
+Pins the tentpole guarantees of the streaming subsystem:
+
+* **Refresh equivalence** — after refreshing its stale machines at *any*
+  stream prefix, under *any* earlier refresh cadence and worker count,
+  the streaming cluster is byte-identical to a from-scratch
+  ``build_summary_cluster`` on the materialized graph with the same
+  pinned assignment, config, and seed: same saved summaries, same
+  machine memory accounting, same answers for every query type.
+* **Path independence** — interleaving partial refreshes of arbitrary
+  machine subsets never changes the final refreshed state.
+* **Determinism** — at every prefix (refreshed or residual-corrected),
+  answers are identical across runs, worker counts, and storage
+  backends.
+* **Hot-swap serving** — a live ``QueryServer`` tracks every swap:
+  served answers stay byte-identical to the synchronous
+  ``cluster.answer`` path between arbitrary ingests/refreshes, in-flight
+  requests are never dropped, and serving stays communication-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import PegasusConfig
+from repro.core.summary_io import save_summary
+from repro.distributed import build_summary_cluster
+from repro.graph import Graph, planted_partition
+from repro.serving import QueryServer
+from repro.streaming import StreamingSummarizer
+
+QUERY_TYPES = ("rwr", "hop", "php")
+
+
+def _split(graph, fraction, seed):
+    rng = np.random.default_rng(seed)
+    edges = graph.edge_array()
+    order = rng.permutation(edges.shape[0])
+    held_out = max(1, int(round(fraction * edges.shape[0])))
+    base = Graph.from_edges(graph.num_nodes, edges[order[:-held_out]])
+    return base, edges[order[-held_out:]]
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    graph = planted_partition(120, 4, avg_degree_in=8.0, avg_degree_out=1.0, seed=2)
+    base, stream = _split(graph, 0.25, seed=0)
+    return graph, base, stream
+
+
+def _probe_nodes(graph, count=8, seed=3):
+    rng = np.random.default_rng(seed)
+    return [int(n) for n in rng.integers(0, graph.num_nodes, size=count)]
+
+
+def _answers(cluster, nodes):
+    return [
+        cluster.answer(node, qt).tobytes() for node in nodes for qt in QUERY_TYPES
+    ]
+
+
+def _assert_cluster_equals_reference(streaming, reference, tmp_path, tag):
+    for machine, ref_machine in zip(streaming.cluster.machines, reference.machines):
+        assert machine.memory_bits == ref_machine.memory_bits
+        got, want = tmp_path / f"{tag}_got.txt", tmp_path / f"{tag}_want.txt"
+        save_summary(machine.source, got)
+        save_summary(ref_machine.source, want)
+        assert got.read_bytes() == want.read_bytes(), (
+            f"machine {machine.machine_id} summary differs from from-scratch build"
+        )
+    nodes = _probe_nodes(streaming.cluster.graph)
+    assert _answers(streaming.cluster, nodes) == _answers(reference, nodes)
+
+
+class TestRefreshEquivalence:
+    @pytest.mark.parametrize("backend", ["dict", "flat"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize(
+        "cadence",
+        ["every-batch", "drift-auto", "final-only"],
+    )
+    def test_streamed_then_refreshed_equals_from_scratch(
+        self, stream_setup, tmp_path, backend, workers, cadence
+    ):
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=1, t_max=5, backend=backend)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base,
+            3,
+            budget,
+            config=config,
+            seed=1,
+            workers=workers,
+            drift_threshold=0.0 if cadence == "every-batch" else 0.05,
+        )
+        mode = "none" if cadence == "final-only" else "auto"
+        for lo in range(0, stream.shape[0], 40):
+            streaming.ingest(stream[lo : lo + 40], refresh=mode)
+        streaming.refresh()  # bring every machine to the final prefix
+        reference = build_summary_cluster(
+            streaming.delta.materialize(),
+            3,
+            budget,
+            assignment=streaming.assignment,
+            config=config,
+            workers=1,
+        )
+        _assert_cluster_equals_reference(streaming, reference, tmp_path, cadence)
+        streaming.cluster.assert_communication_free()
+
+    def test_equivalence_at_every_prefix_with_zero_threshold(
+        self, stream_setup, tmp_path
+    ):
+        """drift_threshold=0: after every ingest the cluster *is* the
+        from-scratch cluster on that prefix's materialized graph."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=4, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base, 2, budget, config=config, seed=4, drift_threshold=0.0
+        )
+        for index, lo in enumerate(range(0, stream.shape[0], 60)):
+            streaming.ingest(stream[lo : lo + 60])
+            reference = build_summary_cluster(
+                streaming.delta.materialize(),
+                2,
+                budget,
+                assignment=streaming.assignment,
+                config=config,
+            )
+            _assert_cluster_equals_reference(
+                streaming, reference, tmp_path, f"prefix{index}"
+            )
+
+    def test_partial_refresh_order_is_path_independent(self, stream_setup, tmp_path):
+        """Refreshing arbitrary machine subsets mid-stream never changes
+        the final refreshed state."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=7, t_max=5)
+        budget = 0.5 * base.size_in_bits()
+        chunks = np.array_split(stream, 3)
+
+        scrambled = StreamingSummarizer(
+            base, 3, budget, config=config, seed=7, drift_threshold=1e9
+        )
+        scrambled.ingest(chunks[0], refresh="none")
+        scrambled.refresh([0])
+        scrambled.ingest(chunks[1], refresh="none")
+        scrambled.refresh([2, 1])
+        scrambled.ingest(chunks[2], refresh="none")
+        scrambled.refresh([1])
+        scrambled.refresh()
+
+        direct = StreamingSummarizer(
+            base, 3, budget, config=config, seed=7, drift_threshold=1e9
+        )
+        for chunk in chunks:
+            direct.ingest(chunk, refresh="none")
+        direct.refresh()
+
+        nodes = _probe_nodes(base)
+        assert _answers(scrambled.cluster, nodes) == _answers(direct.cluster, nodes)
+        reference = build_summary_cluster(
+            direct.delta.materialize(),
+            3,
+            budget,
+            assignment=direct.assignment,
+            config=config,
+        )
+        _assert_cluster_equals_reference(scrambled, reference, tmp_path, "scrambled")
+
+
+class TestDeterminism:
+    def test_residual_answers_identical_across_runs_and_workers(self, stream_setup):
+        """Between refreshes (the residual-corrected regime) answers are a
+        pure function of the stream prefix: same bytes at any worker
+        count, twice in a row."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=5, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        nodes = _probe_nodes(base, count=5)
+
+        def run(workers):
+            streaming = StreamingSummarizer(
+                base, 2, budget, config=config, seed=5,
+                workers=workers, drift_threshold=0.08,
+            )
+            trace = []
+            for lo in range(0, stream.shape[0], 50):
+                streaming.ingest(stream[lo : lo + 50])
+                trace.append(_answers(streaming.cluster, nodes))
+            return trace
+
+        first = run(1)
+        again = run(1)
+        parallel = run(4)
+        assert first == again
+        assert first == parallel
+
+    def test_backends_agree_at_every_prefix(self, stream_setup):
+        _, base, stream = stream_setup
+        budget = 0.5 * base.size_in_bits()
+        nodes = _probe_nodes(base, count=5)
+
+        def run(backend):
+            config = PegasusConfig(seed=6, t_max=4, backend=backend)
+            streaming = StreamingSummarizer(
+                base, 2, budget, config=config, seed=6, drift_threshold=0.08
+            )
+            trace = []
+            for lo in range(0, stream.shape[0], 50):
+                streaming.ingest(stream[lo : lo + 50])
+                trace.append(_answers(streaming.cluster, nodes))
+            return trace
+
+        assert run("dict") == run("flat")
+
+
+class TestHotSwapServing:
+    @pytest.mark.parametrize("workers,use_shm", [(1, True), (2, True), (2, False)])
+    def test_served_answers_track_swaps_byte_identically(
+        self, stream_setup, workers, use_shm
+    ):
+        """Queries served between arbitrary ingest/refresh points match
+        the synchronous cluster.answer path, request for request."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=8, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base, 3, budget, config=config, seed=8, drift_threshold=0.05
+        )
+        nodes = _probe_nodes(base, count=4)
+        chunks = np.array_split(stream, 3)
+
+        async def run():
+            async with QueryServer(
+                streaming.cluster,
+                workers=workers,
+                max_batch=4,
+                max_wait_ms=1.0,
+                use_shared_memory=use_shm,
+            ) as server:
+                streaming.attach(server)
+                try:
+                    for chunk in chunks:
+                        served = await asyncio.gather(
+                            *(
+                                server.submit(node, qt)
+                                for node in nodes
+                                for qt in QUERY_TYPES
+                            )
+                        )
+                        expected = [
+                            streaming.cluster.answer(node, qt)
+                            for node in nodes
+                            for qt in QUERY_TYPES
+                        ]
+                        for got, want in zip(served, expected):
+                            assert got.tobytes() == want.tobytes()
+                        streaming.ingest(chunk)
+                    # Post-stream: served answers reflect the final swaps.
+                    served = await asyncio.gather(
+                        *(server.submit(node, "rwr") for node in nodes)
+                    )
+                    for node, got in zip(nodes, served):
+                        assert (
+                            got.tobytes()
+                            == streaming.cluster.answer(node, "rwr").tobytes()
+                        )
+                    return server.stats
+                finally:
+                    streaming.detach()
+
+        stats = asyncio.run(run())
+        assert stats.swaps > 0, "the stream never hot-swapped a machine"
+        assert stats.failed == 0 and stats.cancelled == 0
+        assert stats.admitted == stats.answered
+        streaming.cluster.assert_communication_free()
+
+    def test_inflight_requests_survive_a_swap(self, stream_setup):
+        """Requests admitted before a swap complete with valid answers —
+        nothing is dropped or errored by the hot swap."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=9, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base, 2, budget, config=config, seed=9, drift_threshold=0.0
+        )
+        nodes = _probe_nodes(base, count=6)
+
+        async def run():
+            async with QueryServer(
+                streaming.cluster, workers=2, max_batch=64, max_wait_ms=30.0
+            ) as server:
+                streaming.attach(server)
+                try:
+                    # Admitted but still batching when the swap lands.
+                    futures = [server.submit_nowait(node, "hop") for node in nodes]
+                    streaming.ingest(stream[:50])
+                    answers = await asyncio.gather(*futures)
+                    return answers, server.stats
+                finally:
+                    streaming.detach()
+
+        answers, stats = asyncio.run(run())
+        assert len(answers) == len(nodes)
+        assert stats.failed == 0
+        for answer in answers:
+            assert isinstance(answer, np.ndarray) and answer.size == base.num_nodes
+
+    def test_superseded_update_blocks_are_retired_during_the_stream(self, stream_setup):
+        """Hot-swap shm blocks must not accumulate for the life of the
+        server: once a machine's update is superseded and no batch is in
+        flight, its block is unlinked — a long stream holds at most one
+        live update pack per machine."""
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=11, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base, 2, budget, config=config, seed=11, drift_threshold=0.0
+        )
+        chunks = np.array_split(stream, 4)
+
+        async def run():
+            async with QueryServer(streaming.cluster, workers=1) as server:
+                streaming.attach(server)
+                try:
+                    for chunk in chunks:
+                        await server.submit(0, "rwr")
+                        streaming.ingest(chunk)
+                    assert server.stats.swaps >= len(chunks) * 2
+                    live_packs = len(server._blueprint._update_packs)
+                    assert live_packs <= streaming.num_machines, (
+                        f"{live_packs} update packs alive; superseded blocks leaked"
+                    )
+                    assert not server._update_refs, "refcounts did not drain"
+                finally:
+                    streaming.detach()
+
+        asyncio.run(run())
+
+    def test_sessions_and_shm_released_after_swapped_serving(self, stream_setup):
+        """Hot-swap update blocks must not leak parent-side sessions or
+        shared-memory attachments across server lifecycles."""
+        from repro.parallel import shm
+        from repro.serving import blueprint
+
+        _, base, stream = stream_setup
+        config = PegasusConfig(seed=10, t_max=4)
+        budget = 0.5 * base.size_in_bits()
+        streaming = StreamingSummarizer(
+            base, 2, budget, config=config, seed=10, drift_threshold=0.0
+        )
+        sessions_before = set(blueprint._SESSIONS)
+        attached_before = set(shm._ATTACHED)
+
+        async def run():
+            async with QueryServer(streaming.cluster, workers=1) as server:
+                streaming.attach(server)
+                try:
+                    await server.submit(0, "rwr")
+                    streaming.ingest(stream[:40])
+                    await server.submit(0, "rwr")
+                finally:
+                    streaming.detach()
+
+        for _ in range(2):
+            asyncio.run(run())
+        assert set(blueprint._SESSIONS) == sessions_before
+        assert set(shm._ATTACHED) == attached_before

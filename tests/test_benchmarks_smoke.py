@@ -29,9 +29,10 @@ def _bench_path(monkeypatch, tmp_path):
 
 
 def test_all_bench_scripts_discovered():
-    # The repo ships 13 bench scripts; a disappearing file should fail
+    # The repo ships 14 bench scripts; a disappearing file should fail
     # loudly here rather than silently shrinking coverage.
-    assert len(BENCH_MODULES) >= 13
+    assert len(BENCH_MODULES) >= 14
+    assert "bench_streaming" in BENCH_MODULES
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)
