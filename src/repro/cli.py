@@ -24,6 +24,10 @@ Subcommands
     serving queries between batches, and (by default) verify that the
     final refreshed cluster is byte-identical to a from-scratch build on
     the materialized graph.
+``convert``
+    Translate a summary graph (or an edge list) between the v1 text
+    format and the checksummed binary store format, with an optional
+    post-write ``--verify`` round trip.
 """
 
 from __future__ import annotations
@@ -389,6 +393,97 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _summaries_equivalent(a, b) -> bool:
+    """Structural equality of two summaries: partition + superedge columns."""
+    lo_a, hi_a, w_a = a.superedge_arrays()
+    lo_b, hi_b, w_b = b.superedge_arrays()
+    return (
+        a.num_nodes == b.num_nodes
+        and a.is_weighted == b.is_weighted
+        and np.array_equal(np.asarray(a.supernode_of), np.asarray(b.supernode_of))
+        and np.array_equal(lo_a, lo_b)
+        and np.array_equal(hi_a, hi_b)
+        and (w_a is None) == (w_b is None)
+        and (w_a is None or np.array_equal(w_a, w_b))
+    )
+
+
+def _cmd_convert(args) -> int:
+    from repro.core.summary_io import load_summary
+    from repro.graph import write_edgelist
+    from repro.store import (
+        MAGIC,
+        load_graph,
+        load_summary_binary,
+        save_graph,
+        save_summary_binary,
+    )
+
+    try:
+        with open(args.src, "rb") as handle:
+            src_is_binary = handle.read(len(MAGIC)) == MAGIC
+    except OSError as exc:
+        print(f"error: cannot read {args.src}: {exc}", file=sys.stderr)
+        return 2
+    direction = args.to or ("text" if src_is_binary else "binary")
+    if (direction == "binary") == src_is_binary:
+        print(
+            f"error: {args.src} is already in the {direction} format",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.kind == "graph":
+        if direction == "binary":
+            graph, _labels = read_edgelist(args.src)
+            save_graph(graph, args.dst)
+        else:
+            graph = load_graph(args.src)
+            write_edgelist(graph, args.dst)
+        print(
+            f"converted       {args.src} -> {args.dst} "
+            f"(graph, {direction}; |V|={graph.num_nodes}, |E|={graph.num_edges})"
+        )
+        if args.verify:
+            if direction == "binary":
+                reloaded = load_graph(args.dst)
+            else:
+                reloaded, _labels = read_edgelist(args.dst)
+            same = (
+                reloaded.num_nodes == graph.num_nodes
+                and reloaded.edge_array().tobytes() == graph.edge_array().tobytes()
+            )
+            print(f"verified        round trip {'OK' if same else 'FAILED'}")
+            if not same:
+                return 1
+        return 0
+
+    if direction == "binary":
+        graph, name = _load_graph(args)
+        summary = load_summary(args.src, graph, backend="flat")
+        save_summary_binary(summary, args.dst, include_graph=not args.no_embed_graph)
+    else:
+        summary = load_summary_binary(args.src)
+        save_summary(summary, args.dst)
+    print(
+        f"converted       {args.src} -> {args.dst} "
+        f"(summary, {direction}; |S|={summary.num_supernodes}, |P|={summary.num_superedges})"
+    )
+    if args.verify:
+        if direction == "binary":
+            reloaded = load_summary_binary(args.dst)
+        else:
+            graph = summary.graph
+            if graph is None:
+                graph, _name = _load_graph(args)
+            reloaded = load_summary(args.dst, graph, backend="flat")
+        same = _summaries_equivalent(summary, reloaded)
+        print(f"verified        round trip {'OK' if same else 'FAILED'}")
+        if not same:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pegasus",
@@ -575,6 +670,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the final byte-identical comparison against a from-scratch cluster",
     )
     stream_cmd.set_defaults(func=_cmd_stream)
+
+    convert_cmd = sub.add_parser(
+        "convert",
+        help="convert a summary (or edge list) between the text and binary store formats",
+    )
+    _add_graph_arguments(convert_cmd)
+    convert_cmd.add_argument("src", help="source file (format auto-detected from its bytes)")
+    convert_cmd.add_argument("dst", help="destination file")
+    convert_cmd.add_argument(
+        "--kind",
+        choices=("summary", "graph"),
+        default="summary",
+        help="what the source file holds (default: summary)",
+    )
+    convert_cmd.add_argument(
+        "--to",
+        choices=("binary", "text"),
+        default=None,
+        help="target format (default: the opposite of the source's format)",
+    )
+    convert_cmd.add_argument(
+        "--no-embed-graph",
+        action="store_true",
+        help="text→binary summaries: do not embed the input graph's CSR in the store",
+    )
+    convert_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="reload the written file and check it is equivalent to the source",
+    )
+    convert_cmd.set_defaults(func=_cmd_convert)
     return parser
 
 

@@ -1,23 +1,39 @@
 """Save and load summary graphs.
 
 A summary graph is what actually gets shipped to a machine's memory in the
-distributed application, so it needs a serialization format.  The format
-is a plain text file:
+distributed application, so it needs a serialization format.  Two formats
+live side by side:
 
-.. code-block:: text
+* the **v1 text format** (this module) — human-readable, line-oriented:
 
-    # repro summary graph v1
-    G <num_nodes> <weighted:0|1>
-    S <supernode_id> <member> <member> ...
-    P <a> <b> [weight]
+  .. code-block:: text
 
-One ``S`` line per supernode, one ``P`` line per superedge (self-loops as
-``a == b``).  Node order inside an ``S`` line is irrelevant.
+      # repro summary graph v1
+      G <num_nodes> <weighted:0|1>
+      S <supernode_id> <member> <member> ...
+      P <a> <b> [weight]
+
+  One ``S`` line per supernode, one ``P`` line per superedge (self-loops
+  as ``a == b``).  Node order inside an ``S`` line is irrelevant.
+
+* the **binary store format** (:mod:`repro.store`) — checksummed,
+  memory-mappable columnar sections; :func:`save_summary_binary` /
+  :func:`load_summary_binary` here are thin conveniences over it so
+  callers that already import ``summary_io`` get both formats from one
+  place.  The two are round-trip equivalent (pinned by
+  ``tests/store/test_roundtrip.py``); ``repro convert`` translates
+  between them.
+
+Both writers are **crash-atomic**: they write to a temporary file in the
+destination directory and publish with :func:`os.replace`, so an
+exception or kill mid-write leaves any previous file at the destination
+untouched.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
@@ -29,18 +45,36 @@ _HEADER = "# repro summary graph v1"
 
 
 def save_summary(summary: SummaryGraph, path: "str | os.PathLike[str]") -> None:
-    """Write *summary* to *path* in the v1 text format."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(_HEADER + "\n")
-        handle.write(f"G {summary.num_nodes} {1 if summary.is_weighted else 0}\n")
-        for supernode in sorted(summary.supernodes()):
-            members = " ".join(str(u) for u in sorted(summary.member_list(supernode)))
-            handle.write(f"S {supernode} {members}\n")
-        for a, b in sorted(summary.superedges()):
-            if summary.is_weighted:
-                handle.write(f"P {a} {b} {summary.superedge_weight(a, b)!r}\n")
-            else:
-                handle.write(f"P {a} {b}\n")
+    """Write *summary* to *path* in the v1 text format, crash-atomically.
+
+    The file appears at *path* only once fully written and flushed; a
+    failure at any point leaves a previous file at *path* intact.
+    """
+    directory = os.path.dirname(os.path.abspath(os.fspath(path))) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(os.fspath(path)) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(_HEADER + "\n")
+            handle.write(f"G {summary.num_nodes} {1 if summary.is_weighted else 0}\n")
+            for supernode in sorted(summary.supernodes()):
+                members = " ".join(str(u) for u in sorted(summary.member_list(supernode)))
+                handle.write(f"S {supernode} {members}\n")
+            for a, b in sorted(summary.superedges()):
+                if summary.is_weighted:
+                    handle.write(f"P {a} {b} {summary.superedge_weight(a, b)!r}\n")
+                else:
+                    handle.write(f"P {a} {b}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _parse_id(token: str, num_nodes: int, path, lineno: int, what: str) -> int:
@@ -157,3 +191,36 @@ def load_summary(
         )
     except GraphFormatError as exc:
         raise GraphFormatError(f"{path}: {exc}") from None
+
+
+def save_summary_binary(
+    summary: SummaryGraph, path: "str | os.PathLike[str]", *, include_graph: bool = True
+) -> None:
+    """Write *summary* to *path* in the binary store format, crash-atomically.
+
+    Convenience re-export of :func:`repro.store.save_summary_binary` (the
+    import is deferred to keep :mod:`repro.core` free of a package cycle);
+    see there for the section layout and the *include_graph* trade-off.
+    """
+    from repro.store import save_summary_binary as _save
+
+    _save(summary, path, include_graph=include_graph)
+
+
+def load_summary_binary(
+    path: "str | os.PathLike[str]",
+    graph: "Graph | None" = None,
+    *,
+    backend: str = "mapped",
+    verify: bool = True,
+) -> SummaryGraph:
+    """Read a binary summary store from *path*.
+
+    Convenience re-export of :func:`repro.store.load_summary_binary`:
+    ``backend="mapped"`` (default) returns a zero-copy read-only view,
+    ``"dict"``/``"flat"`` materialize the same mutable structures
+    :func:`load_summary` builds from the text format.
+    """
+    from repro.store import load_summary_binary as _load
+
+    return _load(path, graph, backend=backend, verify=verify)

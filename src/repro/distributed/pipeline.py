@@ -27,7 +27,8 @@ automatically, and ``workers=1`` runs inline with no shipping at all.
 
 from __future__ import annotations
 
-from typing import Callable, List
+import os
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -94,6 +95,75 @@ def _subgraph_machine_task(shared, task) -> Machine:
     )
 
 
+def _spill_path(spill_dir: str, machine_id: int) -> str:
+    return os.path.join(spill_dir, f"machine-{machine_id:04d}.store")
+
+
+def _summary_spill_task(shared, task) -> Tuple[int, str, float]:
+    """Build one machine's summary, persist it, and drop the in-RAM copy.
+
+    The worker's return payload is a ``(machine_id, path, memory_bits)``
+    triple — the summary itself never travels back to (or stays resident
+    in) the parent; the parent memory-maps the store file instead.  The
+    graph CSR is not embedded (every machine shares the one input graph),
+    so each spill file holds exactly one machine's columnar summary.
+    """
+    from repro.store import save_summary_binary
+
+    graph, budget_bits, config, spill_dir = restore_graphs(shared)
+    machine_id, part = task
+    weights = PersonalizedWeights(graph, part, alpha=config.alpha)
+    result = summarize(graph, budget_bits=budget_bits, config=config, weights=weights)
+    path = _spill_path(spill_dir, machine_id)
+    save_summary_binary(result.summary, path, include_graph=False)
+    return machine_id, path, result.summary.size_in_bits()
+
+
+def _subgraph_spill_task(shared, task) -> Tuple[int, str, float]:
+    """Build one machine's budgeted subgraph, persist it, drop the copy."""
+    from repro.store import save_graph
+
+    graph, budget_bits, seed, spill_dir = restore_graphs(shared)
+    machine_id, part = task
+    subgraph = budgeted_subgraph(graph, part, budget_bits, seed=seed)
+    path = _spill_path(spill_dir, machine_id)
+    save_graph(subgraph, path)
+    return machine_id, path, subgraph.size_in_bits()
+
+
+def _machines_from_spill(
+    graph: "Graph | None",
+    parts: List[np.ndarray],
+    results: "List[Tuple[int, str, float]]",
+    *,
+    summaries: bool,
+) -> List[Machine]:
+    """Reopen spilled stores as memory-mapped machine sources.
+
+    The mapped arrays are paged in on demand by the OS, so the parent's
+    resident set stays bounded by one machine's working set instead of the
+    whole cluster — the build-beyond-RAM mode of the persistent store.
+    """
+    from repro.store import load_graph, load_summary_binary
+
+    machines: List[Machine] = []
+    for machine_id, path, memory_bits in results:
+        if summaries:
+            source = load_summary_binary(path, graph, verify=False)
+        else:
+            source = load_graph(path, verify=False)
+        machines.append(
+            Machine(
+                machine_id=machine_id,
+                part_nodes=parts[machine_id],
+                source=source,
+                memory_bits=memory_bits,
+            )
+        )
+    machines.sort(key=lambda machine: machine.machine_id)
+    return machines
+
+
 def build_summary_cluster(
     graph: Graph,
     num_machines: int,
@@ -105,6 +175,7 @@ def build_summary_cluster(
     seed: "int | None" = 0,
     workers: "int | None" = 1,
     use_shared_memory: bool = True,
+    spill_dir: "str | os.PathLike[str] | None" = None,
 ) -> DistributedCluster:
     """Alg. 3 preprocessing with personalized summary graphs.
 
@@ -138,17 +209,38 @@ def build_summary_cluster(
         shared-memory block (default; zero-copy attach per worker).
         ``False`` pickles the graph once per worker as before — the
         cluster is identical either way, only the shipping cost differs.
+    spill_dir:
+        Out-of-core mode: each machine's summary is written to
+        ``<spill_dir>/machine-<id>.store`` (crash-atomic, checksummed)
+        as it is built and the in-RAM copy is dropped; the returned
+        cluster memory-maps the store files, so peak resident memory is
+        bounded by one machine's working set rather than the whole
+        cluster.  The saved files are byte-identical to what
+        :func:`repro.store.save_summary_binary` would write from an
+        in-RAM build (``include_graph=False``).  The directory is
+        created if missing and must outlive the cluster.
     """
     parts = _resolve_parts(graph, num_machines, partitioner, assignment, seed)
     config = config or PegasusConfig(seed=seed)
     executor = ParallelExecutor(workers)
-    shared = (graph, float(budget_bits), config)
     tasks = list(enumerate(parts))
+    if spill_dir is not None:
+        spill_dir = os.fspath(spill_dir)
+        os.makedirs(spill_dir, exist_ok=True)
+        shared = (graph, float(budget_bits), config, spill_dir)
+        task_fn = _summary_spill_task
+    else:
+        shared = (graph, float(budget_bits), config)
+        task_fn = _summary_machine_task
     if executor.workers > 1:
         with GraphShipment(shared, use_shared_memory=use_shared_memory) as shipment:
-            machines = executor.map(_summary_machine_task, tasks, shared=shipment.payload)
+            results = executor.map(task_fn, tasks, shared=shipment.payload)
     else:
-        machines = executor.map(_summary_machine_task, tasks, shared=shared)
+        results = executor.map(task_fn, tasks, shared=shared)
+    if spill_dir is not None:
+        machines = _machines_from_spill(graph, parts, results, summaries=True)
+    else:
+        machines = results
     return DistributedCluster(graph, machines)
 
 
@@ -162,6 +254,7 @@ def build_subgraph_cluster(
     seed: "int | None" = 0,
     workers: "int | None" = 1,
     use_shared_memory: bool = True,
+    spill_dir: "str | os.PathLike[str] | None" = None,
 ) -> DistributedCluster:
     """The Sect. IV alternative: budgeted subgraphs from a partitioner.
 
@@ -170,14 +263,27 @@ def build_subgraph_cluster(
     *workers* fans the per-machine subgraph builds out, byte-identically
     at any worker count, and *use_shared_memory* ships the input graph
     zero-copy to the workers, as in :func:`build_summary_cluster`.
+    *spill_dir* is the same out-of-core mode: each machine's subgraph is
+    persisted as it is built and the cluster memory-maps the files.
     """
     parts = _resolve_parts(graph, num_machines, partitioner, assignment, seed)
     executor = ParallelExecutor(workers)
-    shared = (graph, float(budget_bits), seed)
     tasks = list(enumerate(parts))
+    if spill_dir is not None:
+        spill_dir = os.fspath(spill_dir)
+        os.makedirs(spill_dir, exist_ok=True)
+        shared = (graph, float(budget_bits), seed, spill_dir)
+        task_fn = _subgraph_spill_task
+    else:
+        shared = (graph, float(budget_bits), seed)
+        task_fn = _subgraph_machine_task
     if executor.workers > 1:
         with GraphShipment(shared, use_shared_memory=use_shared_memory) as shipment:
-            machines = executor.map(_subgraph_machine_task, tasks, shared=shipment.payload)
+            results = executor.map(task_fn, tasks, shared=shipment.payload)
     else:
-        machines = executor.map(_subgraph_machine_task, tasks, shared=shared)
+        results = executor.map(task_fn, tasks, shared=shared)
+    if spill_dir is not None:
+        machines = _machines_from_spill(None, parts, results, summaries=False)
+    else:
+        machines = results
     return DistributedCluster(graph, machines)

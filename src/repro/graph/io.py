@@ -4,6 +4,13 @@ The datasets in the paper (Table II) ship as whitespace-separated edge
 lists; this module reads and writes that format.  Nodes may carry arbitrary
 non-negative integer labels — :func:`read_edgelist` compacts them to
 ``0..n-1`` and returns the relabeling so query results can be mapped back.
+
+Files written by :func:`write_edgelist` carry a ``#nodes <n>`` directive:
+an edge list alone cannot represent isolated nodes (compacting labels
+drops them; ``relabel=False`` truncates the node range to the largest
+endpoint), so without the directive a write → read round trip silently
+changed ``num_nodes``.  The directive starts with ``#``, so readers of
+the plain format treat it as a comment.
 """
 
 from __future__ import annotations
@@ -17,6 +24,9 @@ from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
 _COMMENT_PREFIXES = ("#", "%", "//")
+
+#: Machine-readable node-count directive (syntactically a comment line).
+_NODES_DIRECTIVE = "#nodes"
 
 
 def read_edgelist(
@@ -32,16 +42,48 @@ def read_edgelist(
     extra fields (e.g. weights or timestamps) are ignored, since the paper's
     formulation is unweighted.
 
-    Returns ``(graph, labels)`` where ``labels[i]`` is the original label of
-    node ``i``.  With ``relabel=False`` the labels must already be a dense
-    ``0..n-1`` range.
+    A ``#nodes <n>`` directive (written by :func:`write_edgelist`) fixes
+    the node count: node ids are then taken verbatim from ``0..n-1`` —
+    isolated nodes survive the round trip — and ids ``>= n`` are rejected.
+    Without a directive, behaviour is unchanged: ``relabel=True`` compacts
+    the observed labels, ``relabel=False`` requires them to already be a
+    dense ``0..n-1`` range.
+
+    Returns ``(graph, labels)`` where ``labels[i]`` is the original label
+    of node ``i``.
     """
     sources: List[int] = []
     targets: List[int] = []
+    declared_nodes: "int | None" = None
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             stripped = line.strip()
-            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+            if not stripped:
+                continue
+            if stripped.startswith(_COMMENT_PREFIXES):
+                fields = stripped.split()
+                if fields and fields[0] == _NODES_DIRECTIVE:
+                    if len(fields) != 2:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: #nodes directive must be '#nodes <n>', "
+                            f"got {stripped!r}"
+                        )
+                    try:
+                        count = int(fields[1])
+                    except ValueError:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: node count {fields[1]!r} is not an integer"
+                        ) from None
+                    if count < 0:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: node count must be >= 0, got {count}"
+                        )
+                    if declared_nodes is not None and declared_nodes != count:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: conflicting #nodes directives "
+                            f"({declared_nodes} then {count})"
+                        )
+                    declared_nodes = count
                 continue
             parts = stripped.split(delimiter)
             if len(parts) < 2:
@@ -52,10 +94,22 @@ def read_edgelist(
             except ValueError as exc:
                 raise GraphFormatError(f"{path}:{lineno}: non-integer node id in {stripped!r}") from exc
     if not sources:
+        if declared_nodes is not None:
+            return Graph.empty(declared_nodes), np.arange(declared_nodes, dtype=np.int64)
         return Graph.empty(0), np.empty(0, dtype=np.int64)
     raw = np.column_stack([np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)])
     if raw.min() < 0:
         raise GraphFormatError(f"{path}: negative node ids are not supported")
+    if declared_nodes is not None:
+        if raw.max() >= declared_nodes:
+            raise GraphFormatError(
+                f"{path}: node id {int(raw.max())} out of range for "
+                f"#nodes {declared_nodes}"
+            )
+        return (
+            Graph.from_edges(declared_nodes, raw, validate=False),
+            np.arange(declared_nodes, dtype=np.int64),
+        )
     if relabel:
         labels, compact = np.unique(raw, return_inverse=True)
         edges = compact.reshape(raw.shape)
@@ -65,9 +119,16 @@ def read_edgelist(
 
 
 def write_edgelist(graph: Graph, path: "str | os.PathLike[str]", *, header: bool = True) -> None:
-    """Write *graph* as a whitespace-separated edge list (one edge per line)."""
+    """Write *graph* as a whitespace-separated edge list (one edge per line).
+
+    Always emits the ``#nodes`` directive so the node count — including
+    isolated nodes, which the edge lines alone cannot carry — survives a
+    :func:`read_edgelist` round trip.  *header* controls only the
+    human-readable comment line.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         if header:
             handle.write(f"# undirected simple graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        handle.write(f"{_NODES_DIRECTIVE} {graph.num_nodes}\n")
         for u, v in graph.edge_array():
             handle.write(f"{u}\t{v}\n")

@@ -148,13 +148,16 @@ class GraphShipment:
 
 
 #: Per-process cache of graphs rebuilt from shared memory, keyed by
-#: (segment name, index) — a worker building many machines/sweep points
-#: attaches and validates each shipped graph once.
+#: (pack token, index) — a worker building many machines/sweep points
+#: attaches and validates each shipped graph once.  Keyed by the pack's
+#: unique token rather than the OS segment name: names can be recycled
+#: after an unlink, and a name-keyed cache would serve a dead session's
+#: graph (same staleness bug as the name-keyed shm cache).
 _ATTACHED_GRAPHS: Dict[Tuple[str, int], Graph] = {}
 
 
 def _attach_graph(ref: ShippedGraph) -> Graph:
-    key = (ref.descriptor.name, ref.index)
+    key = (ref.descriptor.token, ref.index)
     graph = _ATTACHED_GRAPHS.get(key)
     if graph is None:
         arrays = attach_arrays(ref.descriptor)

@@ -27,7 +27,8 @@ tears a block out from under the parent or double-counts its cleanup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import uuid
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Mapping, Tuple
 
@@ -69,11 +70,15 @@ class ShmDescriptor:
     """A picklable handle to one packed shared-memory block.
 
     ``entries`` maps array name → ``(dtype string, shape, byte offset)``
-    inside the block called ``name``.
+    inside the block called ``name``.  ``token`` is unique per pack: OS
+    segment *names* can be recycled after an unlink, so worker-side
+    caches must key their liveness check on the token, never on the name
+    alone (see :func:`attach_arrays`).
     """
 
     name: str
     entries: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    token: str = field(default_factory=lambda: uuid.uuid4().hex)
 
 
 class SharedArrayPack:
@@ -131,6 +136,7 @@ class AttachedArrays:
 
     def __init__(self, descriptor: ShmDescriptor):
         self._shm = _attach_untracked(descriptor.name)
+        self.token = descriptor.token
         self._views: Dict[str, np.ndarray] = {}
         for key, dtype, shape, offset in descriptor.entries:
             view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset)
@@ -154,12 +160,25 @@ class AttachedArrays:
 
 #: Per-process cache of attached blocks, keyed by segment name — a worker
 #: serving thousands of micro-batches attaches each session's block once.
+#: A cache hit is honored only if the descriptor's pack token matches the
+#: cached attachment's: the kernel may hand a recycled name to a *new*
+#: pack after the old one is unlinked, and a name-only cache would then
+#: serve stale views of the dead session's block.
 _ATTACHED: Dict[str, AttachedArrays] = {}
 
 
 def attach_arrays(descriptor: ShmDescriptor) -> AttachedArrays:
-    """Attach (or fetch the cached attachment of) a packed block."""
+    """Attach (or fetch the cached attachment of) a packed block.
+
+    The per-process cache validates the descriptor's unique pack token on
+    every hit; a token mismatch means the OS recycled the segment name
+    for a different pack, so the stale attachment is evicted, unmapped,
+    and replaced by a fresh attach of the current block.
+    """
     attached = _ATTACHED.get(descriptor.name)
+    if attached is not None and attached.token != descriptor.token:
+        detach_arrays(descriptor.name)
+        attached = None
     if attached is None:
         attached = AttachedArrays(descriptor)
         _ATTACHED[descriptor.name] = attached

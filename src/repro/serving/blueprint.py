@@ -17,6 +17,12 @@ arrays that fully determine its query behavior:
 The arrays are packed once into a :class:`~repro.parallel.shm.SharedArrayPack`
 (zero-copy attach in each worker; set ``use_shared_memory=False`` to fall
 back to pickling the arrays once per worker through the pool initializer).
+Sources whose arrays already live on disk — the memory-mapped
+:class:`~repro.store.MappedSummary` / :class:`~repro.store.MappedGraph`
+produced by ``pipeline(spill_dir=...)`` or :func:`repro.store.load_graph`
+— skip shared memory entirely: the blueprint ships only the store *path*
+and each worker memory-maps the same checksummed file, so a cluster
+larger than RAM is served without ever materializing it in any process.
 Workers rebuild a :class:`~repro.distributed.cluster.Machine` per machine
 id on first use and cache it for the life of the process, so the
 reconstruction operator — the expensive part of RWR/PHP answering — is
@@ -55,9 +61,32 @@ def _export_summary(summary: SummaryGraph, prefix: str, arrays: Dict[str, np.nda
 
 
 def _export_machine(machine: Machine, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
-    """Reduce one machine's source to flat arrays plus a small spec."""
+    """Reduce one machine's source to flat arrays plus a small spec.
+
+    Memory-mapped sources are special-cased *before* their in-RAM base
+    classes: their arrays are already durable and checksummed on disk, so
+    the spec carries only the store path and workers memmap it themselves.
+    """
+    from repro.store.mapped import MappedGraph, MappedSummary
+
     prefix = f"m{machine.machine_id}."
     source = machine.source
+    if isinstance(source, MappedSummary):
+        return {
+            "machine_id": machine.machine_id,
+            "kind": "summary_store",
+            "path": source.store_path,
+            "num_nodes": source.num_nodes,
+            "memory_bits": machine.memory_bits,
+        }
+    if isinstance(source, MappedGraph):
+        return {
+            "machine_id": machine.machine_id,
+            "kind": "graph_store",
+            "path": source.store_path,
+            "num_nodes": source.num_nodes,
+            "memory_bits": machine.memory_bits,
+        }
     if isinstance(source, SummaryGraph):
         _export_summary(source, prefix, arrays)
         return {
@@ -123,7 +152,7 @@ class ClusterBlueprint:
             "token": uuid.uuid4().hex,
             "specs": specs,
         }
-        if use_shared_memory:
+        if use_shared_memory and arrays:
             try:
                 self._pack = SharedArrayPack(arrays)
             except OSError:  # pragma: no cover - no /dev/shm on this platform
@@ -131,6 +160,8 @@ class ClusterBlueprint:
         if self._pack is not None:
             payload["descriptor"] = self._pack.descriptor
         else:
+            # Store-backed machines contribute no arrays (workers memmap
+            # their files), so this may legitimately be empty.
             payload["arrays"] = {key: np.ascontiguousarray(a) for key, a in arrays.items()}
         self.payload = payload
 
@@ -162,7 +193,7 @@ class ClusterBlueprint:
         self._next_version += 1
         update: Dict[str, Any] = {"version": version, "spec": spec}
         pack: "SharedArrayPack | None" = None
-        if self._use_shared_memory and self._pack is not None:
+        if self._use_shared_memory and self._pack is not None and arrays:
             try:
                 pack = SharedArrayPack(arrays)
             except OSError:  # pragma: no cover - no /dev/shm on this platform
@@ -220,10 +251,11 @@ class _AttachedCluster:
 
     def __init__(self, payload: Dict[str, Any]):
         self._attached_names: List[str] = []
+        self._containers: List[Any] = []  # opened store containers, for detach
         if "descriptor" in payload:
             self._arrays: Any = self._attach(payload["descriptor"])
         else:
-            self._arrays = payload["arrays"]
+            self._arrays = payload.get("arrays", {})
         self._specs = {spec["machine_id"]: spec for spec in payload["specs"]}
         self._machines: Dict[int, Tuple[int, Machine]] = {}
 
@@ -236,6 +268,22 @@ class _AttachedCluster:
     def _rebuild_source(self, spec: Dict[str, Any], arrays: Any):
         prefix = f"m{spec['machine_id']}."
         num_nodes = spec["num_nodes"]
+        if spec["kind"] in ("summary_store", "graph_store"):
+            # The source's arrays live in a checksummed store file; map it
+            # (CRC-verified once per worker) instead of touching shm.
+            from repro.store import load_graph, load_summary_binary
+
+            if spec["kind"] == "summary_store":
+                source = load_summary_binary(spec["path"])
+            else:
+                source = load_graph(spec["path"])
+            if source.num_nodes != num_nodes:
+                raise ServingError(
+                    f"store {spec['path']!r} holds {source.num_nodes} nodes, "
+                    f"blueprint expected {num_nodes}"
+                )
+            self._containers.append(source._container)
+            return source
         if spec["kind"] == "graph":
             return Graph(num_nodes, arrays[prefix + "indptr"], arrays[prefix + "indices"])
         lo = arrays[prefix + "lo"]
@@ -293,11 +341,14 @@ class _AttachedCluster:
         return machine
 
     def detach(self) -> None:
-        """Unmap every shared-memory block this session ever attached."""
+        """Unmap every shared-memory block and store file this session opened."""
         self._machines.clear()
         for name in self._attached_names:
             detach_arrays(name)
         self._attached_names = []
+        for container in self._containers:
+            container.close()
+        self._containers = []
 
 
 #: Per-process cache of attached serving sessions, keyed by payload token.

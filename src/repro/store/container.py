@@ -1,0 +1,318 @@
+"""The versioned binary container underneath the persistent store.
+
+One container file holds a set of named NumPy arrays (*sections*) plus a
+small JSON metadata record.  The layout is designed so a reader can map
+the whole file once with :class:`numpy.memmap` and hand out zero-copy
+read-only array views, while still detecting every corruption mode before
+any array reaches a caller:
+
+.. code-block:: text
+
+    offset 0    fixed 64-byte header:
+                  magic "RPROSTR1" | version u32 | section count u32
+                  | meta offset u64 | meta length u64
+                  | meta CRC32 u32 | header CRC32 u32 | zero padding
+    offset 64   sections, each starting at a 64-byte-aligned offset
+    meta offset JSON metadata (UTF-8), after the last section:
+                  {"kind", "meta", "sections": [
+                      {"name", "dtype", "shape", "offset", "nbytes",
+                       "crc32"}, ...]}
+
+Integrity contract (pinned by ``tests/store/test_fault_injection.py``):
+
+* the header CRC covers the header, the meta CRC covers the JSON block,
+  and every section carries its own CRC32 over the raw array bytes;
+* any truncation, bit flip, magic/version mismatch, or out-of-bounds
+  section raises :class:`~repro.errors.GraphFormatError` **naming the
+  byte offset** of the failure — no code path ever returns silently
+  corrupt arrays;
+* :func:`write_store` is crash-atomic: it writes to a temporary file in
+  the destination directory, fsyncs, and publishes with
+  :func:`os.replace`, so a crash mid-write leaves any previous file at
+  the destination untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+#: File magic: 8 bytes at offset 0 of every store container.
+MAGIC = b"RPROSTR1"
+
+#: Container format version understood by this reader/writer.
+VERSION = 1
+
+#: Sections begin at multiples of this (cache-line / page friendly).
+ALIGNMENT = 64
+
+_HEADER = struct.Struct("<8sIIQQII24x")
+assert _HEADER.size == 64
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _pack_header(section_count: int, meta_offset: int, meta_length: int, meta_crc: int) -> bytes:
+    """The 64-byte header; its own CRC is computed with the field zeroed."""
+    unsigned = _HEADER.pack(MAGIC, VERSION, section_count, meta_offset, meta_length, meta_crc, 0)
+    header_crc = zlib.crc32(unsigned)
+    return _HEADER.pack(MAGIC, VERSION, section_count, meta_offset, meta_length, meta_crc, header_crc)
+
+
+def write_store(
+    path: "str | os.PathLike[str]",
+    arrays: "Mapping[str, np.ndarray]",
+    *,
+    kind: str,
+    meta: "Mapping[str, object] | None" = None,
+) -> None:
+    """Write *arrays* + *meta* to *path* as one container, crash-atomically.
+
+    The file appears at *path* only once fully written and fsynced
+    (temp file + :func:`os.replace`); an exception or crash at any point
+    leaves a previous file at *path* intact and no partial file visible.
+    """
+    sections = []
+    prepared: Dict[str, np.ndarray] = {}
+    offset = _HEADER.size
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        prepared[name] = array
+        offset = _align(offset)
+        sections.append(
+            {
+                "name": str(name),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": array.nbytes,
+                "crc32": 0,  # filled below, once the bytes exist
+            }
+        )
+        offset += array.nbytes
+    meta_offset = _align(offset)
+
+    directory = os.path.dirname(os.path.abspath(os.fspath(path))) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(os.fspath(path)) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(b"\0" * _HEADER.size)  # placeholder until CRCs are known
+            for spec in sections:
+                handle.write(b"\0" * (spec["offset"] - handle.tell()))
+                data = prepared[spec["name"]].tobytes()
+                spec["crc32"] = zlib.crc32(data)
+                handle.write(data)
+            handle.write(b"\0" * (meta_offset - handle.tell()))
+            meta_blob = json.dumps(
+                {"kind": kind, "meta": dict(meta or {}), "sections": sections},
+                separators=(",", ":"),
+                sort_keys=True,
+            ).encode("utf-8")
+            handle.write(meta_blob)
+            handle.seek(0)
+            handle.write(
+                _pack_header(len(sections), meta_offset, len(meta_blob), zlib.crc32(meta_blob))
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class StoreContainer:
+    """A read-only, memory-mapped view of one container file.
+
+    Behaves as a mapping from section name to a zero-copy read-only
+    :class:`numpy.ndarray` view into the file mapping.  The mapping stays
+    alive for as long as any handed-out view references it (NumPy keeps
+    the base buffer pinned), so :meth:`close` is safe to call early.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", *, verify: bool = True):
+        self.path = os.fspath(path)
+        try:
+            size = os.path.getsize(self.path)
+        except OSError as exc:
+            raise GraphFormatError(f"{self.path}: cannot stat store file: {exc}") from None
+        if size < _HEADER.size:
+            raise GraphFormatError(
+                f"{self.path}: truncated header at offset 0: file is {size} bytes, "
+                f"a store container needs at least {_HEADER.size}"
+            )
+        try:
+            self._mmap: "np.memmap | None" = np.memmap(self.path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise GraphFormatError(f"{self.path}: cannot map store file: {exc}") from None
+        buf = self._mmap
+        magic, version, section_count, meta_offset, meta_length, meta_crc, header_crc = (
+            _HEADER.unpack(bytes(buf[: _HEADER.size]))
+        )
+        if magic != MAGIC:
+            raise GraphFormatError(
+                f"{self.path}: bad magic {magic!r} at offset 0 (expected {MAGIC!r})"
+            )
+        if version != VERSION:
+            raise GraphFormatError(
+                f"{self.path}: unsupported container version {version} at offset 8 "
+                f"(this reader understands version {VERSION})"
+            )
+        expected_crc = zlib.crc32(
+            _HEADER.pack(magic, version, section_count, meta_offset, meta_length, meta_crc, 0)
+        )
+        if header_crc != expected_crc:
+            raise GraphFormatError(
+                f"{self.path}: header checksum mismatch at offset 36 "
+                f"(stored {header_crc:#010x}, computed {expected_crc:#010x})"
+            )
+        if meta_offset + meta_length > size:
+            raise GraphFormatError(
+                f"{self.path}: truncated metadata at offset {meta_offset}: "
+                f"needs {meta_length} bytes, file ends at {size}"
+            )
+        meta_blob = bytes(buf[meta_offset : meta_offset + meta_length])
+        computed = zlib.crc32(meta_blob)
+        if computed != meta_crc:
+            raise GraphFormatError(
+                f"{self.path}: metadata checksum mismatch at offset {meta_offset} "
+                f"(stored {meta_crc:#010x}, computed {computed:#010x})"
+            )
+        try:
+            record = json.loads(meta_blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise GraphFormatError(
+                f"{self.path}: metadata at offset {meta_offset} is not valid JSON: {exc}"
+            ) from None
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("kind"), str)
+            or not isinstance(record.get("meta"), dict)
+            or not isinstance(record.get("sections"), list)
+        ):
+            raise GraphFormatError(
+                f"{self.path}: metadata at offset {meta_offset} is missing kind/meta/sections"
+            )
+        if len(record["sections"]) != section_count:
+            raise GraphFormatError(
+                f"{self.path}: header at offset 12 promises {section_count} sections, "
+                f"metadata lists {len(record['sections'])}"
+            )
+        self.kind: str = record["kind"]
+        self.meta: Dict[str, object] = record["meta"]
+        self._views: Dict[str, np.ndarray] = {}
+        for spec in record["sections"]:
+            self._views[spec["name"]] = self._map_section(spec, size, verify)
+
+    def _map_section(self, spec: Dict[str, object], file_size: int, verify: bool) -> np.ndarray:
+        name, offset, nbytes = spec["name"], int(spec["offset"]), int(spec["nbytes"])
+        try:
+            dtype = np.dtype(str(spec["dtype"]))
+        except TypeError as exc:
+            raise GraphFormatError(
+                f"{self.path}: section {name!r} at offset {offset} has bad dtype: {exc}"
+            ) from None
+        shape = tuple(int(d) for d in spec["shape"])
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+        if expected != nbytes or any(d < 0 for d in shape):
+            raise GraphFormatError(
+                f"{self.path}: section {name!r} at offset {offset}: shape {shape} x "
+                f"{dtype.str} needs {expected} bytes, metadata says {nbytes}"
+            )
+        if offset < _HEADER.size or offset % ALIGNMENT != 0:
+            raise GraphFormatError(
+                f"{self.path}: section {name!r} has a misaligned offset {offset} "
+                f"(must be a multiple of {ALIGNMENT}, past the header)"
+            )
+        if offset + nbytes > file_size:
+            raise GraphFormatError(
+                f"{self.path}: section {name!r} truncated at offset {offset}: "
+                f"needs {nbytes} bytes, file ends at {file_size}"
+            )
+        raw = self._mmap[offset : offset + nbytes]
+        if verify:
+            computed = zlib.crc32(raw)
+            if computed != int(spec["crc32"]):
+                raise GraphFormatError(
+                    f"{self.path}: checksum mismatch in section {name!r} at offset {offset} "
+                    f"(stored {int(spec['crc32']):#010x}, computed {computed:#010x})"
+                )
+        view = np.ndarray(shape, dtype=dtype, buffer=self._mmap, offset=offset)
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------
+    # mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise GraphFormatError(
+                f"{self.path}: store has no section {name!r} (has {sorted(self._views)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._views)
+
+    def keys(self):
+        return self._views.keys()
+
+    def items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        return iter(self._views.items())
+
+    def close(self) -> None:
+        """Drop this container's own references to the mapping (idempotent).
+
+        Views already handed out keep the underlying mapping alive through
+        their ``base`` chain; the pages are returned to the OS once the
+        last view is garbage collected.
+        """
+        self._views = {}
+        self._mmap = None
+
+    def __enter__(self) -> "StoreContainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoreContainer(path={self.path!r}, kind={self.kind!r}, sections={sorted(self._views)})"
+
+
+def open_store(
+    path: "str | os.PathLike[str]", *, kind: "str | None" = None, verify: bool = True
+) -> StoreContainer:
+    """Open a container, optionally requiring its *kind* tag.
+
+    With ``verify=True`` (default) every section's CRC32 is checked at
+    open — one sequential read of the file — so a corrupted array can
+    never reach a caller.  ``verify=False`` skips only the CRC pass
+    (structural validation still runs) for callers re-opening a file they
+    just wrote and fsynced themselves.
+    """
+    container = StoreContainer(path, verify=verify)
+    if kind is not None and container.kind != kind:
+        raise GraphFormatError(
+            f"{container.path}: store holds a {container.kind!r} record, expected {kind!r}"
+        )
+    return container

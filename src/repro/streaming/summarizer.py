@@ -133,6 +133,14 @@ class StreamingSummarizer:
     use_shared_memory:
         Ship the materialized graph to refresh workers through shared
         memory (as in the build pipeline).
+    log_dir:
+        Durable write-ahead logging: every ingested batch is appended to
+        a :class:`~repro.store.DeltaLog` in this directory (crash-atomic
+        checksummed segments), and each refresh compacts the prefix all
+        machines have absorbed into a new base generation.  After a
+        crash, ``DeltaLog.recover(log_dir)`` reconstructs exactly the
+        durable stream.  ``None`` (default) keeps the stream in memory
+        only.  The log is exposed as :attr:`log`.
     """
 
     def __init__(
@@ -148,12 +156,19 @@ class StreamingSummarizer:
         drift_threshold: float = 0.1,
         workers: "int | None" = 1,
         use_shared_memory: bool = True,
+        log_dir: "str | None" = None,
     ):
         if drift_threshold < 0.0:
             raise StreamingError(
                 f"drift_threshold must be >= 0, got {drift_threshold}"
             )
         self.delta = GraphDelta(graph)
+        if log_dir is not None:
+            from repro.store import DeltaLog
+
+            self.log: "DeltaLog | None" = DeltaLog.create(log_dir, self.delta)
+        else:
+            self.log = None
         self.budget_bits = float(budget_bits)
         self.config = config or PegasusConfig(seed=seed)
         self.drift_threshold = float(drift_threshold)
@@ -301,6 +316,8 @@ class StreamingSummarizer:
         )
         submitted = arr.shape[0] if arr.ndim == 2 else 0
         novel = self.delta.add_edges(arr)
+        if self.log is not None and novel:
+            self.log.append(self.delta)
         report = IngestReport(
             submitted=submitted, novel=novel, pending=self.delta.num_pending
         )
@@ -371,4 +388,11 @@ class StreamingSummarizer:
             state.reset_filter(cursor)
             state.refreshes += 1
             self._swap(machine.machine_id, machine.source)
+        if self.log is not None:
+            # Everything before the slowest machine's cursor is absorbed
+            # by every summary — fold it into a new base generation.  The
+            # in-memory delta (and all cursors into it) is untouched.
+            self.log.compact(
+                self.delta, min(state.cursor for state in self._states.values())
+            )
         return RefreshReport(machine_ids=ids, seconds=time.perf_counter() - started)

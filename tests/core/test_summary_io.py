@@ -150,3 +150,55 @@ class TestMalformedFilesRejected:
     def test_error_messages_carry_line_numbers(self, tmp_path, triangle):
         with pytest.raises(GraphFormatError, match=r":4:"):
             self._load(tmp_path, triangle, "G 3 0\nS 0 0 1\nS 2 -1\n")
+
+
+class TestAtomicSave:
+    """``save_summary`` must never leave a torn file at the destination."""
+
+    def test_failure_mid_write_preserves_previous_file(
+        self, two_cliques, tmp_path, monkeypatch
+    ):
+        summary = SummaryGraph(two_cliques)
+        path = tmp_path / "summary.txt"
+        save_summary(summary, path)
+        before = path.read_text()
+
+        # Inject a failure halfway through serialization: the second
+        # superedge lookup explodes, after the header and S lines are
+        # already in the temp file.
+        calls = {"n": 0}
+        original = type(summary).superedges
+
+        def exploding(self):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("injected mid-write failure")
+            return original(self)
+
+        monkeypatch.setattr(type(summary), "superedges", exploding)
+        summary.superedges()  # consume the one allowed call
+        with pytest.raises(RuntimeError, match="injected"):
+            save_summary(summary, path)
+        assert path.read_text() == before  # previous file untouched
+        # ...and the temp file was cleaned up.
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "summary.txt"]
+        assert leftovers == []
+
+    def test_failure_with_no_previous_file(self, two_cliques, tmp_path, monkeypatch):
+        summary = SummaryGraph(two_cliques)
+        path = tmp_path / "summary.txt"
+        monkeypatch.setattr(
+            type(summary),
+            "superedges",
+            lambda self: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError):
+            save_summary(summary, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_temp_files_after_success(self, two_cliques, tmp_path):
+        summary = SummaryGraph(two_cliques)
+        path = tmp_path / "summary.txt"
+        save_summary(summary, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["summary.txt"]

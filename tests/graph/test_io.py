@@ -88,6 +88,65 @@ def test_custom_delimiter(tmp_path):
 def test_write_without_header(tmp_path, triangle):
     path = tmp_path / "g.txt"
     write_edgelist(triangle, path, header=False)
-    content = path.read_text()
-    assert not content.startswith("#")
-    assert len(content.strip().splitlines()) == 3
+    lines = path.read_text().strip().splitlines()
+    # header=False drops the human comment but keeps the #nodes directive:
+    # without it the node count cannot survive a round trip.
+    assert lines[0] == "#nodes 3"
+    assert len(lines) == 4
+    assert not any(line.startswith("#") for line in lines[1:])
+
+
+def test_isolated_nodes_survive_roundtrip(tmp_path):
+    # Node 3 has no incident edges; before the #nodes directive the write →
+    # read round trip silently compacted it away (num_nodes 4 -> 3).
+    g = Graph.from_edges(4, np.array([[0, 1], [1, 2]]))
+    path = tmp_path / "g.txt"
+    write_edgelist(g, path)
+    loaded, labels = read_edgelist(path)
+    assert loaded.num_nodes == 4
+    assert loaded == g
+    assert labels.tolist() == [0, 1, 2, 3]
+
+
+def test_all_isolated_roundtrip(tmp_path):
+    g = Graph.empty(5)
+    path = tmp_path / "g.txt"
+    write_edgelist(g, path, header=False)
+    loaded, labels = read_edgelist(path)
+    assert loaded.num_nodes == 5
+    assert loaded.num_edges == 0
+    assert labels.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_nodes_directive_bounds_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("#nodes 3\n0 1\n2 3\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_nodes_directive_malformed(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("#nodes\n0 1\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+    path.write_text("#nodes many\n0 1\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+    path.write_text("#nodes -1\n0 1\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_nodes_directive_conflict(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("#nodes 3\n#nodes 4\n0 1\n")
+    with pytest.raises(GraphFormatError):
+        read_edgelist(path)
+
+
+def test_nodes_directive_repeated_consistent(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("#nodes 3\n#nodes 3\n0 1\n")
+    g, _ = read_edgelist(path)
+    assert g.num_nodes == 3

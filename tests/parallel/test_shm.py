@@ -1,0 +1,148 @@
+"""Shared-memory array shipping (``parallel/shm.py``).
+
+Pins the attach-cache liveness contract: OS shared-memory segment names
+can be recycled after an unlink, so the per-process attach cache must key
+its hit check on the per-pack token, never on the segment name alone.
+The regression tests here force a name reuse and assert the cache serves
+the *new* pack's bytes instead of stale views of the dead one.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, barabasi_albert
+from repro.parallel.shm import (
+    _ATTACHED,
+    SharedArrayPack,
+    ShmDescriptor,
+    attach_arrays,
+    detach_arrays,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    yield
+    for name in list(_ATTACHED):
+        detach_arrays(name)
+
+
+def test_pack_roundtrip():
+    arrays = {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 7),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+    with SharedArrayPack(arrays) as pack:
+        attached = attach_arrays(pack.descriptor)
+        for key, expected in arrays.items():
+            view = attached[key]
+            assert np.array_equal(view, expected)
+            assert view.dtype == expected.dtype
+            assert not view.flags.writeable
+        detach_arrays(pack.descriptor.name)
+
+
+def test_attach_is_cached_per_token():
+    with SharedArrayPack({"x": np.arange(4)}) as pack:
+        first = attach_arrays(pack.descriptor)
+        second = attach_arrays(pack.descriptor)
+        assert first is second
+        detach_arrays(pack.descriptor.name)
+
+
+def test_tokens_are_unique_per_pack():
+    with SharedArrayPack({"x": np.arange(3)}) as one:
+        with SharedArrayPack({"x": np.arange(3)}) as two:
+            assert one.descriptor.token != two.descriptor.token
+
+
+def test_recycled_name_is_not_served_stale():
+    """Forced segment-name reuse: the cache must re-attach, not serve the
+    dead pack's pages (the name-keyed cache bug)."""
+    old = SharedArrayPack({"x": np.full(8, 1, dtype=np.int64)})
+    name = old.descriptor.name
+    stale = attach_arrays(old.descriptor)
+    assert int(stale["x"][0]) == 1
+    old.close()  # unlinks; the kernel may now hand out the same name
+
+    # Recreate a segment under the *same* OS name with different contents,
+    # as a new pack would if the kernel recycled the name.
+    fresh = np.full(8, 2, dtype=np.int64)
+    segment = shared_memory.SharedMemory(create=True, name=name, size=fresh.nbytes)
+    try:
+        segment.buf[: fresh.nbytes] = fresh.tobytes()
+        descriptor = ShmDescriptor(
+            name=name, entries=(("x", fresh.dtype.str, (8,), 0),)
+        )
+        assert descriptor.token != old.descriptor.token
+        attached = attach_arrays(descriptor)
+        assert int(attached["x"][0]) == 2  # new pack's bytes, not the stale 1s
+        assert attached is not stale
+        assert attached.token == descriptor.token
+        detach_arrays(name)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _segment_with_graph(name: "str | None", graph: Graph):
+    """Manually lay a graph's CSR into a (possibly name-forced) segment."""
+    indptr = np.ascontiguousarray(graph.indptr)
+    indices = np.ascontiguousarray(graph.indices)
+    size = max(indptr.nbytes + indices.nbytes, 1)
+    segment = shared_memory.SharedMemory(create=True, name=name, size=size)
+    segment.buf[: indptr.nbytes] = indptr.tobytes()
+    if indices.nbytes:
+        segment.buf[indptr.nbytes : indptr.nbytes + indices.nbytes] = indices.tobytes()
+    descriptor = ShmDescriptor(
+        name=segment.name,
+        entries=(
+            ("g0.indptr", indptr.dtype.str, indptr.shape, 0),
+            ("g0.indices", indices.dtype.str, indices.shape, indptr.nbytes),
+        ),
+    )
+    return segment, descriptor
+
+
+def test_recycled_name_graph_cache():
+    """Same regression one layer up: the per-process graph cache must not
+    resolve a new shipment's placeholder to a previous shipment's graph
+    just because the segment name matches."""
+    from repro.parallel.graphship import ShippedGraph, _attach_graph
+
+    first_graph = barabasi_albert(60, 2, seed=0)
+    second_graph = barabasi_albert(60, 3, seed=1)
+    assert first_graph != second_graph
+
+    segment, descriptor = _segment_with_graph(None, first_graph)
+    name = segment.name
+    try:
+        ref = ShippedGraph(descriptor=descriptor, index=0, num_nodes=60)
+        assert _attach_graph(ref) == first_graph
+        detach_arrays(name)
+    finally:
+        segment.close()
+        segment.unlink()
+
+    # The kernel hands the same name to a different pack.
+    segment, recycled = _segment_with_graph(name, second_graph)
+    assert recycled.name == name and recycled.token != descriptor.token
+    try:
+        ref = ShippedGraph(descriptor=recycled, index=0, num_nodes=60)
+        assert _attach_graph(ref) == second_graph  # not the cached first graph
+        detach_arrays(name)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_detach_unknown_name_is_noop():
+    detach_arrays("no-such-segment")

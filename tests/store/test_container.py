@@ -1,0 +1,131 @@
+"""The binary container itself (``store/container.py``): layout + atomicity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.store import ALIGNMENT, MAGIC, VERSION, open_store, write_store
+from repro.store.container import _HEADER
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "ints": np.arange(100, dtype=np.int64),
+        "floats": np.linspace(0.0, 1.0, 33),
+        "matrix": np.arange(12, dtype=np.int32).reshape(3, 4),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+
+
+def test_roundtrip(tmp_path, arrays):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test", meta={"answer": 42, "name": "x"})
+    with open_store(path) as container:
+        assert container.kind == "test"
+        assert container.meta == {"answer": 42, "name": "x"}
+        assert sorted(container.keys()) == sorted(arrays)
+        for name, expected in arrays.items():
+            view = container[name]
+            assert np.array_equal(view, expected)
+            assert view.dtype == expected.dtype
+            assert view.shape == expected.shape
+            assert not view.flags.writeable
+
+
+def test_views_are_zero_copy_and_outlive_close(tmp_path, arrays):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test")
+    container = open_store(path)
+    view = container["ints"]
+    assert isinstance(view.base, np.memmap) or isinstance(
+        getattr(view.base, "base", None), np.memmap
+    )
+    container.close()
+    container.close()  # idempotent
+    # The view's base chain pins the mapping after close().
+    assert np.array_equal(view, arrays["ints"])
+
+
+def test_sections_are_aligned(tmp_path, arrays):
+    import json
+
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test")
+    raw = path.read_bytes()
+    assert raw[: len(MAGIC)] == MAGIC
+    (_magic, version, count, meta_offset, meta_length, _mc, _hc) = _HEADER.unpack(
+        raw[: _HEADER.size]
+    )
+    assert version == VERSION and count == len(arrays)
+    assert meta_offset % ALIGNMENT == 0
+    assert meta_offset + meta_length == len(raw)
+    record = json.loads(raw[meta_offset : meta_offset + meta_length].decode("utf-8"))
+    assert len(record["sections"]) == len(arrays)
+    for spec in record["sections"]:
+        assert spec["offset"] % ALIGNMENT == 0
+        assert spec["offset"] >= _HEADER.size
+
+
+def test_kind_tag_enforced(tmp_path, arrays):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="graph")
+    with pytest.raises(GraphFormatError, match="expected 'summary'"):
+        open_store(path, kind="summary")
+    open_store(path, kind="graph").close()
+
+
+def test_missing_section_raises(tmp_path, arrays):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test")
+    with open_store(path) as container:
+        with pytest.raises(GraphFormatError, match="no section 'nope'"):
+            container["nope"]
+        assert "ints" in container and "nope" not in container
+
+
+def test_no_arrays_container(tmp_path):
+    path = tmp_path / "meta-only.store"
+    write_store(path, {}, kind="test", meta={"k": "v"})
+    with open_store(path) as container:
+        assert list(container.keys()) == []
+        assert container.meta == {"k": "v"}
+
+
+def test_overwrite_is_atomic(tmp_path, arrays):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test", meta={"gen": 1})
+    write_store(path, arrays, kind="test", meta={"gen": 2})
+    with open_store(path) as container:
+        assert container.meta == {"gen": 2}
+    assert [p.name for p in tmp_path.iterdir()] == ["x.store"]
+
+
+def test_failed_write_preserves_previous(tmp_path, arrays, monkeypatch):
+    path = tmp_path / "x.store"
+    write_store(path, arrays, kind="test", meta={"gen": 1})
+    before = path.read_bytes()
+
+    monkeypatch.setattr(os, "replace", _raise_os_error)
+    with pytest.raises(OSError):
+        write_store(path, arrays, kind="test", meta={"gen": 2})
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["x.store"]
+
+
+def _raise_os_error(*_args, **_kwargs):
+    raise OSError("injected replace failure")
+
+
+def test_failed_write_leaves_no_temp_files(tmp_path, arrays, monkeypatch):
+    path = tmp_path / "x.store"
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (_ for _ in ()).throw(RuntimeError("injected"))
+    )
+    with pytest.raises(RuntimeError, match="injected"):
+        write_store(path, arrays, kind="test")
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,240 @@
+"""Durable streaming overlay (``store/segments.py``): append, compact, recover.
+
+The log's contract: after any sequence of appends and compactions — and
+after a crash that loses nothing but in-memory state — ``recover``
+rebuilds a delta whose base and pending buffer are byte-identical to the
+original's, and compaction never renumbers or mutates the in-memory
+delta (the streaming layer's monotone-cursor invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import barabasi_albert
+from repro.store import DeltaLog
+from repro.store.segments import _base_name, _seg_name
+from repro.streaming.delta import GraphDelta
+
+
+@pytest.fixture
+def base_graph():
+    return barabasi_albert(120, 3, seed=3)
+
+
+@pytest.fixture
+def stream(base_graph):
+    """Four batches of novel edges for the delta."""
+    rng = np.random.default_rng(9)
+    batches = []
+    seen = set(map(tuple, base_graph.edge_array().tolist()))
+    while len(batches) < 4:
+        candidate = rng.integers(0, base_graph.num_nodes, size=(12, 2))
+        batch = []
+        for u, v in candidate.tolist():
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            batch.append(key)
+        if batch:
+            batches.append(np.asarray(batch, dtype=np.int64))
+    return batches
+
+
+def _assert_equal_state(delta: GraphDelta, recovered: GraphDelta):
+    """The durable stream state matches: same materialized graph, bytewise.
+
+    After a compaction, recovery re-origins — the folded prefix lives in
+    the recovered *base* instead of the pending buffer — so the pending
+    buffers need not match, but the materialized graphs must.
+    """
+    left, right = delta.materialize(), recovered.materialize()
+    assert left.num_nodes == right.num_nodes
+    assert left.indptr.tobytes() == right.indptr.tobytes()
+    assert left.indices.tobytes() == right.indices.tobytes()
+
+
+def _assert_identical_buffers(delta: GraphDelta, recovered: GraphDelta):
+    """Pre-compaction: the pending buffer itself survives byte for byte."""
+    assert recovered.num_pending == delta.num_pending
+    assert recovered.pending_edges().tobytes() == delta.pending_edges().tobytes()
+    _assert_equal_state(delta, recovered)
+
+
+def test_create_then_recover_empty(base_graph, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    assert log.generation == 0 and log.logged_offset == 0
+    recovered, rlog = DeltaLog.recover(tmp_path)
+    _assert_identical_buffers(delta, recovered)
+    assert rlog.generation == 0
+
+
+def test_append_and_recover(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    for batch in stream:
+        delta.add_edges(batch)
+        assert log.append(delta) is not None
+    assert log.logged_offset == delta.num_pending
+    assert log.append(delta) is None  # nothing new
+    recovered, rlog = DeltaLog.recover(tmp_path)
+    _assert_identical_buffers(delta, recovered)
+    assert rlog.logged_offset == delta.num_pending
+
+
+def test_create_catches_up_populated_delta(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    delta.add_edges(stream[0])
+    DeltaLog.create(tmp_path, delta)
+    recovered, _ = DeltaLog.recover(tmp_path)
+    _assert_identical_buffers(delta, recovered)
+
+
+def test_compact_preserves_stream_and_deletes_covered(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    for batch in stream[:2]:
+        delta.add_edges(batch)
+        log.append(delta)
+    boundary = delta.num_pending  # falls between segment 2 and 3
+    for batch in stream[2:]:
+        delta.add_edges(batch)
+        log.append(delta)
+    pending_before = delta.pending_edges().tobytes()
+
+    assert log.compact(delta, boundary) is not None
+    assert log.generation == 1
+    # The in-memory delta is untouched (disk-only operation).
+    assert delta.pending_edges().tobytes() == pending_before
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert _base_name(1) in names and _base_name(0) not in names
+    assert _seg_name(0, 0) not in names and _seg_name(0, 1) not in names
+    # Segments past the boundary survive.
+    assert _seg_name(0, 2) in names and _seg_name(0, 3) in names
+
+    recovered, _ = DeltaLog.recover(tmp_path)
+    _assert_equal_state(delta, recovered)
+
+
+def test_compact_straddling_segment_kept_and_skipped(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    for batch in stream:
+        delta.add_edges(batch)
+        log.append(delta)
+    # Compact to the middle of segment 2: it straddles the fold point.
+    boundary = stream[0].shape[0] + stream[1].shape[0] + 1
+    boundary = min(boundary, delta.num_pending)
+    log.compact(delta, boundary)
+    recovered, _ = DeltaLog.recover(tmp_path)
+    _assert_equal_state(delta, recovered)
+
+
+def test_full_compaction_single_base(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    for batch in stream:
+        delta.add_edges(batch)
+    log.compact(delta, delta.num_pending)  # append happens inside
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == [_base_name(1)]
+    recovered, rlog = DeltaLog.recover(tmp_path)
+    _assert_equal_state(delta, recovered)
+    # Recovery re-origins: the whole folded stream is now the base.
+    assert recovered.num_pending == 0
+    assert rlog.generation == 1
+
+    # Appending after recovery continues the global stream.
+    extra = np.asarray([[0, base_graph.num_nodes - 1]], dtype=np.int64)
+    if recovered.add_edges(extra):
+        rlog.append(recovered)
+        replayed, _ = DeltaLog.recover(tmp_path)
+        _assert_equal_state(recovered, replayed)
+
+
+def test_compact_bounds_checked(base_graph, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    with pytest.raises(GraphFormatError, match="outside the pending buffer"):
+        log.compact(delta, delta.num_pending + 1)
+    with pytest.raises(GraphFormatError):
+        log.compact(delta, -1)
+
+
+def test_append_after_compact_new_generation_segments(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    delta.add_edges(stream[0])
+    log.append(delta)
+    log.compact(delta, delta.num_pending)
+    delta.add_edges(stream[1])
+    path = log.append(delta)
+    assert path is not None and _seg_name(1, 0) in path
+    recovered, _ = DeltaLog.recover(tmp_path)
+    _assert_equal_state(delta, recovered)
+
+
+def test_create_refuses_populated_directory(base_graph, tmp_path):
+    delta = GraphDelta(base_graph)
+    DeltaLog.create(tmp_path, delta)
+    with pytest.raises(GraphFormatError, match="already contains a delta log"):
+        DeltaLog.create(tmp_path, delta)
+
+
+def test_recover_empty_directory(tmp_path):
+    with pytest.raises(GraphFormatError, match="no base generation"):
+        DeltaLog.recover(tmp_path)
+
+
+def test_recover_detects_gap(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    for batch in stream[:3]:
+        delta.add_edges(batch)
+        log.append(delta)
+    (tmp_path / _seg_name(0, 1)).unlink()  # lose the middle segment
+    with pytest.raises(GraphFormatError, match="delta log gap"):
+        DeltaLog.recover(tmp_path)
+
+
+def test_recover_rejects_corrupt_segment(base_graph, stream, tmp_path):
+    delta = GraphDelta(base_graph)
+    log = DeltaLog.create(tmp_path, delta)
+    delta.add_edges(stream[0])
+    log.append(delta)
+    target = tmp_path / _seg_name(0, 0)
+    raw = bytearray(target.read_bytes())
+    raw[100] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(GraphFormatError):
+        DeltaLog.recover(tmp_path)
+
+
+def test_streaming_summarizer_log_dir(base_graph, stream, tmp_path):
+    """End to end through the streaming layer: log_dir= makes ingest durable
+    and refresh-driven compaction keeps recovery exact."""
+    from repro.streaming import StreamingSummarizer
+
+    summarizer = StreamingSummarizer(
+        base_graph,
+        num_machines=2,
+        budget_bits=0.5 * base_graph.size_in_bits(),
+        config=__import__("repro.core", fromlist=["PegasusConfig"]).PegasusConfig(
+            seed=1, t_max=3
+        ),
+        seed=1,
+        log_dir=tmp_path / "log",
+    )
+    for batch in stream[:2]:
+        summarizer.ingest(batch)
+    recovered, _ = DeltaLog.recover(tmp_path / "log")
+    _assert_equal_state(summarizer.delta, recovered)
+    summarizer.refresh()
+    recovered, _ = DeltaLog.recover(tmp_path / "log")
+    _assert_equal_state(summarizer.delta, recovered)

@@ -29,10 +29,11 @@ def _bench_path(monkeypatch, tmp_path):
 
 
 def test_all_bench_scripts_discovered():
-    # The repo ships 14 bench scripts; a disappearing file should fail
+    # The repo ships 15 bench scripts; a disappearing file should fail
     # loudly here rather than silently shrinking coverage.
-    assert len(BENCH_MODULES) >= 14
+    assert len(BENCH_MODULES) >= 15
     assert "bench_streaming" in BENCH_MODULES
+    assert "bench_store" in BENCH_MODULES
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)

@@ -165,3 +165,72 @@ def test_serve_command_subgraph_source_without_shm(capsys):
     )
     assert code == 0
     assert "9/9 answers byte-identical" in capsys.readouterr().out
+
+
+class TestConvertCommand:
+    @pytest.fixture
+    def text_summary(self, tmp_path):
+        from repro.core import PegasusConfig, summarize
+        from repro.core.summary_io import save_summary
+
+        graph = load_dataset("caida", scale=0.05, seed=0).graph
+        result = summarize(
+            graph, compression_ratio=0.5, config=PegasusConfig(seed=0, t_max=3)
+        )
+        path = tmp_path / "summary.txt"
+        save_summary(result.summary, path)
+        return path
+
+    def _dataset_args(self):
+        return ["--dataset", "caida", "--scale", "0.05", "--seed", "0"]
+
+    def test_summary_text_binary_text_cycle(self, text_summary, tmp_path, capsys):
+        binary = tmp_path / "summary.store"
+        back = tmp_path / "back.txt"
+        assert main(
+            ["convert", *self._dataset_args(), str(text_summary), str(binary), "--verify"]
+        ) == 0
+        assert "round trip OK" in capsys.readouterr().out
+        assert main(["convert", str(binary), str(back), "--verify"]) == 0
+        assert "round trip OK" in capsys.readouterr().out
+        assert back.read_text() == text_summary.read_text()
+
+    def test_graph_kind_both_directions(self, tmp_path, capsys):
+        graph = load_dataset("caida", scale=0.05, seed=0).graph
+        text = tmp_path / "g.txt"
+        write_edgelist(graph, text)
+        store = tmp_path / "g.store"
+        back = tmp_path / "g2.txt"
+        assert main(["convert", "--kind", "graph", str(text), str(store), "--verify"]) == 0
+        assert main(["convert", "--kind", "graph", str(store), str(back), "--verify"]) == 0
+        assert back.read_text() == text.read_text()
+        assert "round trip OK" in capsys.readouterr().out
+
+    def test_same_format_rejected(self, text_summary, tmp_path, capsys):
+        code = main(
+            ["convert", "--to", "text", str(text_summary), str(tmp_path / "out.txt")]
+        )
+        assert code != 0
+        assert "already in the text format" in capsys.readouterr().err
+
+    def test_missing_source_rejected(self, tmp_path, capsys):
+        code = main(["convert", str(tmp_path / "nope.txt"), str(tmp_path / "out")])
+        assert code != 0
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_embed_graph_needs_dataset_on_way_back(self, text_summary, tmp_path):
+        binary = tmp_path / "lean.store"
+        back = tmp_path / "back.txt"
+        assert main(
+            [
+                "convert",
+                *self._dataset_args(),
+                str(text_summary),
+                str(binary),
+                "--no-embed-graph",
+            ]
+        ) == 0
+        assert main(
+            ["convert", *self._dataset_args(), str(binary), str(back), "--verify"]
+        ) == 0
+        assert back.read_text() == text_summary.read_text()
