@@ -18,6 +18,15 @@ Subcommands
     through the async micro-batching front end, reporting throughput,
     latency percentiles, and (by default) byte-identical verification
     against the synchronous answering path.
+``serve-net``
+    Host several tenant clusters in one process behind the TCP serving
+    tier (length-prefixed frames, per-tenant routing and quotas), drive
+    a demo load over loopback — optionally while SIGKILLing a lane
+    worker — and verify every tenant's answers stay byte-identical.
+``net-client``
+    Connect to a running ``serve-net`` listener and fire a one-shot
+    query, read ``tenant node qtype`` lines from stdin, or print every
+    tenant's serving ledger.
 ``stream``
     Hold out a fraction of a dataset's edges, stream them back in
     micro-batches through the online re-summarization layer while
@@ -274,6 +283,192 @@ def _cmd_serve(args) -> int:
         print(f"error: {mismatches} served answer(s) diverged", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve_net(args) -> int:
+    import asyncio
+    import os
+    import signal
+    import time
+
+    from repro.distributed import build_summary_cluster
+    from repro.serving import (
+        QUERY_TYPES,
+        NetClient,
+        NetServer,
+        TenantConfig,
+        TenantHost,
+    )
+
+    if args.tenants < 1:
+        print(f"error: --tenants must be >= 1, got {args.tenants}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos == "kill-worker" and args.workers <= 1:
+        print("error: --chaos kill-worker needs --workers > 1", file=sys.stderr)
+        return 2
+
+    graph, name = _load_graph(args)
+    budget = args.ratio * graph.size_in_bits()
+    # Same dataset, per-tenant seeds: each tenant serves a *different*
+    # summary, so the verification below also detects cross-tenant mixups.
+    clusters = {
+        f"tenant{i}": build_summary_cluster(
+            graph,
+            args.machines,
+            budget,
+            config=PegasusConfig(seed=args.seed + i, backend=args.backend),
+            seed=args.seed + i,
+        )
+        for i in range(args.tenants)
+    }
+    rng = np.random.default_rng(args.seed)
+    nodes = rng.integers(0, graph.num_nodes, size=args.queries)
+    stream = [
+        (tenant, int(node), QUERY_TYPES[i % len(QUERY_TYPES)])
+        for i, node in enumerate(nodes)
+        for tenant in clusters
+    ]
+
+    config = TenantConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        hedge_ms=args.hedge_ms,
+    )
+    latencies: List[float] = []
+    answers: List[np.ndarray] = [None] * len(stream)
+
+    async def _fire(client, index: int, tenant: str, node: int, query_type: str) -> None:
+        started = time.perf_counter()
+        answers[index] = await client.query(tenant, node, query_type)
+        latencies.append(time.perf_counter() - started)
+
+    async def _run():
+        async with TenantHost(workers=args.workers, chaos=chaos) as host:
+            for tenant, cluster in clusters.items():
+                await host.add_tenant(tenant, cluster, config=config)
+            async with NetServer(host, port=args.port) as net:
+                print(f"listening       127.0.0.1:{net.port} ({len(clusters)} tenants)")
+                client = await NetClient.connect("127.0.0.1", net.port)
+                async with client:
+                    midpoint = len(stream) // 2
+                    first = asyncio.gather(
+                        *(_fire(client, i, *q) for i, q in enumerate(stream[:midpoint]))
+                    )
+                    if args.chaos == "kill-worker":
+                        # Kill a real lane worker mid-stream; the failover
+                        # layer must absorb it without a wrong answer.
+                        await asyncio.sleep(0.01)
+                        pids = [p for lane in host.executor.lane_pids() for p in lane]
+                        if pids:
+                            os.kill(pids[0], signal.SIGKILL)
+                            print(f"chaos           SIGKILL worker pid={pids[0]}")
+                    await first
+                    await asyncio.gather(
+                        *(
+                            _fire(client, midpoint + i, *q)
+                            for i, q in enumerate(stream[midpoint:])
+                        )
+                    )
+                    stats = await client.stats()
+                if args.serve_forever:
+                    print("serving forever (ctrl-c to stop)")
+                    await asyncio.Event().wait()
+                return stats
+
+    started = time.perf_counter()
+    all_stats = asyncio.run(_run())
+    elapsed = time.perf_counter() - started
+
+    total_answered = sum(s["answered"] for s in all_stats.values())
+    redispatches = sum(s["redispatches"] for s in all_stats.values())
+    hedged = sum(s["hedged"] for s in all_stats.values())
+    p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
+    print(f"cluster         {name}: m={args.machines} per tenant, budget {args.ratio:.2f} * Size(G)")
+    print(
+        f"serving         tenants={len(clusters)}, workers={args.workers}, "
+        f"hedge={args.hedge_ms}ms, chaos={args.chaos or 'none'}"
+    )
+    print(f"queries         {total_answered} answered in {elapsed:.2f}s ({total_answered / elapsed:.1f} q/s)")
+    print(f"resilience      redispatches={redispatches}, hedged={hedged}")
+    print(f"latency         p50 {p50:.1f}ms, p99 {p99:.1f}ms")
+    for tenant, s in all_stats.items():
+        balanced = s["admitted"] == s["answered"] + s["failed"] + s["cancelled"]
+        print(
+            f"ledger          {tenant}: admitted={s['admitted']} answered={s['answered']} "
+            f"failed={s['failed']} cancelled={s['cancelled']} balanced={balanced}"
+        )
+        if not balanced:
+            print(f"error: {tenant} ledger does not balance", file=sys.stderr)
+            return 1
+    if args.no_verify:
+        return 0
+    mismatches = sum(
+        1
+        for (tenant, node, qt), answer in zip(stream, answers)
+        if answer is None
+        or answer.tobytes() != clusters[tenant].answer(node, qt).tobytes()
+    )
+    print(
+        f"verified        {len(stream) - mismatches}/{len(stream)} answers "
+        "byte-identical to each tenant's own cluster"
+    )
+    if mismatches:
+        print(f"error: {mismatches} served answer(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_net_client(args) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serving import NetClient
+
+    async def _run() -> int:
+        client = await NetClient.connect(args.host, args.port)
+        async with client:
+            if args.stats:
+                for tenant, stats in (await client.stats()).items():
+                    pairs = " ".join(f"{k}={v}" for k, v in stats.items())
+                    print(f"{tenant}: {pairs}")
+                return 0
+            if args.node is not None:
+                tenant = args.tenant or client.tenants[0]
+                answer = await client.query(tenant, args.node, args.type)
+                top = np.argsort(answer)[::-1][: args.top]
+                for u in top:
+                    print(f"{int(u)}\t{answer[u]:.6f}")
+                return 0
+            # Line mode: one "tenant node qtype" query per stdin line.
+            status = 0
+            for line in sys.stdin:
+                parts = line.split()
+                if not parts:
+                    continue
+                if len(parts) != 3:
+                    print(f"error: expected 'tenant node qtype', got {line.strip()!r}", file=sys.stderr)
+                    status = 1
+                    continue
+                tenant, node_text, query_type = parts
+                try:
+                    answer = await client.query(tenant, int(node_text), query_type)
+                except (ReproError, ValueError) as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    status = 1
+                    continue
+                best = int(np.argmax(answer))
+                print(f"{tenant} {node_text} {query_type}: n={answer.size} top={best} score={answer[best]:.6f}")
+            return status
+
+    try:
+        return asyncio.run(_run())
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port} ({error})", file=sys.stderr)
+        return 2
 
 
 def _cmd_stream(args) -> int:
@@ -622,6 +817,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the byte-identical comparison against the synchronous path",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    serve_net_cmd = sub.add_parser(
+        "serve-net",
+        help="host several tenants behind the TCP serving tier and drive a demo load",
+    )
+    _add_graph_arguments(serve_net_cmd)
+    serve_net_cmd.add_argument(
+        "--tenants", type=int, default=2, help="number of tenants hosted in the process"
+    )
+    serve_net_cmd.add_argument(
+        "--machines", type=int, default=2, help="simulated machines m per tenant cluster"
+    )
+    serve_net_cmd.add_argument(
+        "--ratio", type=float, default=0.5, help="per-machine budget as a fraction of Size(G)"
+    )
+    serve_net_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="flat",
+        help="summary storage backend for the tenant clusters",
+    )
+    serve_net_cmd.add_argument(
+        "--queries", type=int, default=32, help="queries fired per tenant over the wire"
+    )
+    serve_net_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="lane count of the shared executor (1 = inline reference path)",
+    )
+    serve_net_cmd.add_argument(
+        "--port", type=int, default=0, help="TCP port to listen on (0 = ephemeral)"
+    )
+    serve_net_cmd.add_argument(
+        "--max-batch", type=int, default=8, help="flush a machine batch at this size"
+    )
+    serve_net_cmd.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch arrival window in milliseconds"
+    )
+    serve_net_cmd.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        help="duplicate a straggling batch onto the next lane after this deadline",
+    )
+    serve_net_cmd.add_argument(
+        "--chaos",
+        choices=("kill-worker",),
+        default=None,
+        help="inject a fault mid-stream (kill-worker SIGKILLs a lane worker)",
+    )
+    serve_net_cmd.add_argument(
+        "--serve-forever",
+        action="store_true",
+        help="keep the listener up after the demo load (ctrl-c to stop)",
+    )
+    serve_net_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-tenant byte-identical comparison against cluster.answer",
+    )
+    serve_net_cmd.set_defaults(func=_cmd_serve_net)
+
+    net_client_cmd = sub.add_parser(
+        "net-client",
+        help="query a running serve-net listener (one-shot, line mode, or --stats)",
+    )
+    net_client_cmd.add_argument("--host", default="127.0.0.1", help="server host")
+    net_client_cmd.add_argument("--port", type=int, required=True, help="server port")
+    net_client_cmd.add_argument(
+        "--tenant", default=None, help="tenant for --node (default: first advertised)"
+    )
+    net_client_cmd.add_argument(
+        "--node", type=int, default=None, help="one-shot: query this node and print the top scores"
+    )
+    net_client_cmd.add_argument(
+        "--type", default="rwr", help="query type for --node (rwr, hop, or php)"
+    )
+    net_client_cmd.add_argument(
+        "--top", type=int, default=5, help="rows printed for a one-shot query"
+    )
+    net_client_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print every tenant's serving ledger instead of querying",
+    )
+    net_client_cmd.set_defaults(func=_cmd_net_client)
 
     stream_cmd = sub.add_parser(
         "stream",

@@ -39,3 +39,26 @@ class ServingError(ReproError):
 
 class StreamingError(ReproError):
     """The streaming layer was misused (bad refresh target, bad threshold)."""
+
+
+class ProtocolError(ReproError):
+    """A network peer violated the serving wire protocol.
+
+    Base class for every failure the framing/codec layer reports; raw
+    ``struct`` / ``json`` / ``msgpack`` exceptions never escape it.
+    """
+
+
+class FrameError(ProtocolError):
+    """A length-prefixed frame was malformed (truncated header, zero or
+    oversized length, bytes left over where a header was expected)."""
+
+
+class CodecError(ProtocolError):
+    """A complete frame's payload could not be decoded into a message
+    (invalid JSON/msgpack, wrong top-level type, malformed array field)."""
+
+
+class TenantError(ServingError):
+    """A multi-tenant request named an unknown tenant, re-registered an
+    existing one, or exceeded its tenant's admission quota."""

@@ -23,11 +23,13 @@ attach one shared CSR instead of unpickling their own copy.
 
 from repro.parallel.executor import ParallelExecutor, derive_seed, resolve_workers
 from repro.parallel.graphship import GraphShipment, ShippedGraph, restore_graphs
+from repro.parallel.lanes import LaneExecutor
 from repro.parallel.shm import AttachedArrays, SharedArrayPack, ShmDescriptor, attach_arrays
 
 __all__ = [
     "AttachedArrays",
     "GraphShipment",
+    "LaneExecutor",
     "ParallelExecutor",
     "SharedArrayPack",
     "ShippedGraph",

@@ -1,0 +1,215 @@
+"""Sticky-affinity worker lanes with death detection and re-spawn.
+
+The serving pool of PR 3 was one :class:`~concurrent.futures.ProcessPoolExecutor`
+shared by every machine's micro-batches.  That shape has two production
+problems the network serving tier must fix:
+
+* **Cache duplication.**  The pool scheduler places batches on arbitrary
+  workers, so over time *every* worker rebuilds *every* machine's
+  reconstruction operator — ``workers × machines`` operator caches where
+  ``machines`` would do.  :class:`LaneExecutor` carves the pool into
+  single-worker **lanes** and lets the caller pin each machine's batches
+  to one lane (``lane = machine_id % lanes``), so an operator cache is
+  built once per machine, on the lane that owns it.
+* **Blast radius and recovery.**  When a worker of a shared pool dies,
+  the whole pool is broken and every in-flight batch fails.  With lanes,
+  a death breaks exactly one lane; :meth:`submit` detects the broken
+  lane and **re-spawns** it transparently (a fresh single-worker pool,
+  session payload re-installed via the initializer), so the failover
+  layer above only has to re-dispatch the batches that were actually
+  lost.
+
+``workers=1`` (or ``None``) is the inline reference path: no processes,
+tasks run immediately in the caller, and submitted futures come back
+already resolved — byte-identical to the pooled lanes by the same
+argument as :class:`~repro.parallel.executor.ParallelExecutor`.
+
+Futures returned by :meth:`submit` fail with
+:class:`concurrent.futures.process.BrokenProcessPool` when their lane's
+worker dies mid-task; the caller re-dispatches (the lane itself is
+healed lazily by the next :meth:`submit`).  That division of labor keeps
+this class free of retry policy: it only owns placement and lifecycle.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, List, Optional
+
+from repro.parallel.executor import (
+    TaskFn,
+    _init_session_worker,
+    _run_session_task,
+    _UNSET,
+    resolve_workers,
+)
+
+
+class LaneExecutor:
+    """``n`` single-worker pools with caller-controlled task placement.
+
+    Parameters
+    ----------
+    workers:
+        Number of lanes, normalized by
+        :func:`~repro.parallel.executor.resolve_workers` (``1``/``None``
+        = inline, ``0``/negative = one lane per core).
+    mp_context:
+        Optional :mod:`multiprocessing` context shared by every lane.
+    shared:
+        Session payload installed in each lane worker at (re-)spawn via
+        the pool initializer — exactly once per worker process, shipped
+        again automatically when a dead lane is re-spawned.
+
+    Use :meth:`start` / :meth:`shutdown` (or a ``with`` block) around a
+    serving session.  :meth:`submit` places one task on one lane.
+    """
+
+    def __init__(self, workers: "int | None" = 1, *, mp_context=None, shared: Any = None):
+        self.workers = resolve_workers(workers)
+        self._mp_context = mp_context
+        self._shared = shared
+        self._pools: "List[Optional[ProcessPoolExecutor]]" = []
+        self._started = False
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the lanes are up (or the inline shell is active)."""
+        return self._started
+
+    @property
+    def inline(self) -> bool:
+        """``True`` when tasks run in the calling process (``workers=1``)."""
+        return self.workers <= 1
+
+    @property
+    def lanes(self) -> int:
+        """Number of placement lanes (1 when inline)."""
+        return max(1, self.workers)
+
+    def _context(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        import multiprocessing
+
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context(),
+            initializer=_init_session_worker,
+            initargs=(self._shared,),
+        )
+        # Force the worker fork NOW rather than at first submit.  A lazy
+        # fork in a serving process captures whatever socket fds exist at
+        # that moment (accepted connections included), keeping those TCP
+        # connections alive from the OS's view after the parent closes
+        # them.  Eager spawning also front-loads the session install.
+        pool.submit(os.getpid)
+        return pool
+
+    def start(self) -> "LaneExecutor":
+        """Spawn every lane (no-op pools when inline); raises if started."""
+        if self._started:
+            raise RuntimeError("LaneExecutor already started")
+        if not self.inline:
+            self._pools = [self._spawn() for _ in range(self.workers)]
+        self._started = True
+        return self
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Tear every lane down (idempotent)."""
+        pools, self._pools = self._pools, []
+        self._started = False
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "LaneExecutor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _lane_pool(self, lane: int) -> ProcessPoolExecutor:
+        """The live pool for *lane*, re-spawning a dead or broken one."""
+        lane %= self.lanes
+        pool = self._pools[lane]
+        if pool is not None and not getattr(pool, "_broken", False):
+            return pool
+        if pool is not None:
+            pool.shutdown(wait=False)
+        self.respawns += 1
+        pool = self._spawn()
+        self._pools[lane] = pool
+        return pool
+
+    def respawn_lane(self, lane: int) -> None:
+        """Force-replace one lane's pool (used after a detected death)."""
+        if self.inline or not self._started:
+            return
+        lane %= self.lanes
+        pool = self._pools[lane]
+        self._pools[lane] = None
+        if pool is not None:
+            pool.shutdown(wait=False)
+        self._pools[lane] = self._spawn()
+        self.respawns += 1
+
+    def lane_pids(self) -> "List[List[int]]":
+        """Best-effort worker pids per lane (empty sublists when inline).
+
+        Exposed for fault injection: chaos tests SIGKILL a real worker
+        process and assert the tier above recovers.
+        """
+        pids: "List[List[int]]" = []
+        for pool in self._pools:
+            processes = getattr(pool, "_processes", None) if pool is not None else None
+            pids.append(sorted(processes.keys()) if processes else [])
+        return pids
+
+    def submit(
+        self, fn: TaskFn, task: Any, *, lane: int = 0, shared: Any = _UNSET
+    ) -> "Future":
+        """Run ``fn(shared, task)`` on one lane; returns its future.
+
+        *lane* is taken modulo the lane count, so callers can pass a
+        stable key (a machine id) directly.  Omitting *shared* uses the
+        session payload installed in the lane's worker (shipped once per
+        worker process); an explicit *shared* is shipped with this task —
+        the multi-tenant path, where one executor serves several
+        blueprints and each batch names its own.  A lane found broken at
+        submission time is re-spawned first; a worker dying *after*
+        submission surfaces as ``BrokenProcessPool`` on the returned
+        future, and re-dispatching is the caller's call.
+        """
+        if not self._started:
+            raise RuntimeError("LaneExecutor is not started")
+        use_session = shared is _UNSET
+        payload = None if use_session else shared
+        if self.inline:
+            future: "Future" = Future()
+            try:
+                future.set_result(fn(self._shared if use_session else payload, task))
+            except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+                future.set_exception(exc)
+            return future
+        item = (fn, use_session, payload, task)
+        try:
+            return self._lane_pool(lane).submit(_run_session_task, item)
+        except BrokenProcessPool:
+            # The lane broke between the health check and the submit
+            # (worker died while idle); heal once and retry.
+            self.respawn_lane(lane)
+            return self._pools[lane % self.lanes].submit(_run_session_task, item)

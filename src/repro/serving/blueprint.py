@@ -382,6 +382,35 @@ def release_session(payload: Dict[str, Any]) -> None:
         detach_arrays(descriptor.name)
 
 
+def session_cached_task(shared: Dict[str, Any], token: str) -> bool:
+    """Whether this worker still caches the session named by *token*.
+
+    Introspection for the eviction tests and for operational probes: a
+    tenant evicted from a :class:`~repro.serving.tenancy.TenantHost`
+    must leave no cached machines on any lane.  ``shared`` is ignored.
+    """
+    return token in _SESSIONS
+
+
+def _invoke_chaos(spec: Dict[str, Any], machine_id: int) -> None:
+    """Run a fault-injection hook named by the payload's ``chaos`` spec.
+
+    The spec's ``hook`` is a ``"module:function"`` path resolved in the
+    worker process and called as ``hook(spec, machine_id)`` before the
+    batch is answered.  This is the serving tier's fault-injection seam:
+    the chaos test harness (``tests/_chaos.py``) uses it to kill a
+    worker or stall a machine *inside* the real execution path, and it
+    costs nothing when no spec is present.
+    """
+    import importlib
+
+    module_name, _, function_name = str(spec.get("hook", "")).partition(":")
+    if not module_name or not function_name:
+        raise ServingError(f"malformed chaos hook {spec.get('hook')!r}")
+    hook = getattr(importlib.import_module(module_name), function_name)
+    hook(spec, machine_id)
+
+
 def serve_batch_task(shared: Dict[str, Any], task) -> List[np.ndarray]:
     """Answer one machine's micro-batch (runs in a pool worker).
 
@@ -394,5 +423,20 @@ def serve_batch_task(shared: Dict[str, Any], task) -> List[np.ndarray]:
     """
     machine_id, items = task[0], task[1]
     update = task[2] if len(task) > 2 else None
+    chaos = shared.get("chaos") if isinstance(shared, dict) else None
+    if chaos is not None:
+        _invoke_chaos(chaos, machine_id)
     machine = attached_cluster(shared).machine(machine_id, update)
     return [machine.answer(node, query_type) for node, query_type in items]
+
+
+def release_session_task(shared: Dict[str, Any], payload: Dict[str, Any]) -> bool:
+    """Evict one serving session's cache in a pool worker (eviction path).
+
+    The multi-tenant host fans this across every lane when a tenant is
+    evicted, so long-lived workers do not accumulate rebuilt machines
+    and shm mappings for tenants that no longer exist.  ``shared`` is
+    ignored — the session to release rides in the task payload.
+    """
+    release_session(payload)
+    return True

@@ -1,0 +1,529 @@
+"""The network-facing serving tier: asyncio TCP in front of the tenants.
+
+:class:`NetServer` binds a TCP socket and speaks the length-prefixed
+protocol of :mod:`repro.serving.protocol` in front of a
+:class:`~repro.serving.tenancy.TenantHost`:
+
+* **Handshake** — the first frame of every connection is a JSON hello
+  ``{"op": "hello", "encodings": [...]}``; the server picks the message
+  encoding (msgpack when both sides have it, JSON otherwise), answers
+  with the chosen encoding and the tenant directory, and the connection
+  switches to it.
+* **Pipelining** — query frames carry a client-chosen ``id`` and are
+  answered concurrently, possibly out of order; the client matches
+  replies by id.  One slow query never blocks the connection.
+* **Faults** — a *corrupt frame* gets a typed error reply (best effort)
+  and the connection is closed (the stream position is unrecoverable);
+  other connections and tenants are unaffected.  A *dropped connection*
+  cancels that connection's in-flight requests — the per-tenant ledger
+  counts them under ``cancelled`` and still balances.  Worker deaths
+  and slow machines are handled below the wire by the tenant servers'
+  failover and hedging, invisibly to the client.
+
+Replies are byte-exact: answers cross the wire via
+:func:`~repro.serving.protocol.pack_array`, so a
+:class:`NetClient` receives arrays byte-identical to
+``cluster.answer(node, query_type)`` on the server — the same contract
+as in-process serving, now pinned under injected faults by the chaos
+suite in ``tests/serving/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.errors import CodecError, FrameError, ProtocolError, ReproError, ServingError
+from repro.serving.protocol import (
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    MessageCodec,
+    PROTOCOL_VERSION,
+    available_encodings,
+    decode_hello,
+    encode_frame,
+    negotiate_encoding,
+    pack_array,
+    unpack_array,
+)
+from repro.serving.tenancy import TenantHost
+
+_READ_CHUNK = 65536
+
+
+class _Connection:
+    """Server-side per-connection state: codec, writer lock, live tasks."""
+
+    def __init__(self, writer: asyncio.StreamWriter, max_frame: int):
+        self.writer = writer
+        self.codec = MessageCodec("json")
+        self.decoder = FrameDecoder(max_frame=max_frame)
+        self.max_frame = max_frame
+        self.lock = asyncio.Lock()
+        self.tasks: "Set[asyncio.Task]" = set()
+        self.greeted = False
+
+    async def send(self, message: Dict[str, Any]) -> None:
+        frame = encode_frame(self.codec.encode(message), max_frame=self.max_frame)
+        async with self.lock:
+            self.writer.write(frame)
+            await self.writer.drain()
+
+
+class NetServer:
+    """Serve a :class:`TenantHost` over TCP (loopback by default).
+
+    Parameters
+    ----------
+    host_tenants:
+        The started tenant host to answer from.  The server never owns
+        it: start/stop it yourself (or let the CLI do both).
+    host / port:
+        Bind address; port ``0`` picks a free one (read :attr:`port`
+        after :meth:`start`).
+    max_frame:
+        Per-frame byte cap enforced on both directions.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        host_tenants: TenantHost,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._tenants = host_tenants
+        self._host = host
+        self._requested_port = int(port)
+        self._max_frame = int(max_frame)
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections: "Set[_Connection]" = set()
+        #: Connections that ever completed a handshake (monotone).
+        self.connections_accepted = 0
+        #: Connections torn down because of a protocol violation.
+        self.protocol_errors = 0
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServingError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def serving(self) -> bool:
+        """Whether the TCP listener is up."""
+        return self._server is not None
+
+    async def start(self) -> "NetServer":
+        if self._server is not None:
+            raise ServingError("net server already started")
+        if not self._tenants.started:
+            raise ServingError("start the tenant host before the net server")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener and every live connection."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.close()
+        await server.wait_closed()
+        for connection in tuple(self._connections):
+            await self._close_connection(connection)
+
+    async def __aenter__(self) -> "NetServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _close_connection(self, connection: _Connection) -> None:
+        self._connections.discard(connection)
+        for task in tuple(connection.tasks):
+            # Cancelling the task cancels the request future it awaits,
+            # so the tenant ledger counts the request as cancelled.
+            task.cancel()
+        if connection.tasks:
+            await asyncio.gather(*tuple(connection.tasks), return_exceptions=True)
+        try:
+            connection.writer.close()
+            await connection.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer, self._max_frame)
+        self._connections.add(connection)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    connection.decoder.assert_drained()
+                    break
+                for payload in connection.decoder.feed(data):
+                    await self._handle_frame(connection, payload)
+        except ProtocolError as error:
+            self.protocol_errors += 1
+            await self._send_protocol_error(connection, error)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away; request cancellation happens below
+        finally:
+            await self._close_connection(connection)
+
+    async def _send_protocol_error(self, connection: _Connection, error: ProtocolError) -> None:
+        """Best-effort typed error before closing a corrupted connection."""
+        try:
+            await connection.send(
+                {
+                    "op": "error",
+                    "id": None,
+                    "kind": type(error).__name__,
+                    "message": str(error),
+                    "fatal": True,
+                }
+            )
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+
+    async def _handle_frame(self, connection: _Connection, payload: bytes) -> None:
+        if not connection.greeted:
+            await self._handshake(connection, payload)
+            return
+        message = connection.codec.decode(payload)
+        op = message.get("op")
+        if op == "query":
+            task = asyncio.create_task(self._serve_query(connection, message))
+            connection.tasks.add(task)
+            task.add_done_callback(connection.tasks.discard)
+        elif op == "stats":
+            await self._reply_stats(connection, message)
+        elif op == "tenants":
+            await connection.send(
+                {"op": "tenants", "id": message.get("id"), "tenants": self._tenants.tenants()}
+            )
+        elif op == "ping":
+            await connection.send({"op": "pong", "id": message.get("id")})
+        else:
+            raise CodecError(f"unknown or missing op {op!r}")
+
+    async def _handshake(self, connection: _Connection, payload: bytes) -> None:
+        hello = decode_hello(payload)
+        if hello.get("op") != "hello":
+            raise CodecError(f"first frame must be a hello, got op {hello.get('op')!r}")
+        offered = hello.get("encodings", ["json"])
+        if not isinstance(offered, list):
+            raise CodecError("hello 'encodings' must be a list")
+        encoding = negotiate_encoding(offered)
+        # The hello reply is still JSON (the client only switches after
+        # reading it); every later frame uses the negotiated codec.
+        await connection.send(
+            {
+                "op": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "encoding": encoding,
+                "tenants": self._tenants.tenants(),
+            }
+        )
+        connection.codec = MessageCodec(encoding)
+        connection.greeted = True
+        self.connections_accepted += 1
+
+    async def _reply_stats(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        name = message.get("tenant")
+        try:
+            if name is None:
+                stats: Any = self._tenants.all_stats()
+            else:
+                stats = self._tenants.all_stats()[str(name)]
+        except KeyError:
+            await self._reply_error(
+                connection, message, _errors.TenantError(f"unknown tenant {name!r}")
+            )
+            return
+        await connection.send({"op": "stats", "id": message.get("id"), "stats": stats})
+
+    async def _reply_error(
+        self, connection: _Connection, message: Dict[str, Any], error: BaseException
+    ) -> None:
+        await connection.send(
+            {
+                "op": "error",
+                "id": message.get("id"),
+                "kind": type(error).__name__,
+                "message": str(error),
+                "fatal": False,
+            }
+        )
+
+    async def _serve_query(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        try:
+            tenant = message.get("tenant")
+            node = message.get("node")
+            query_type = message.get("type")
+            if not isinstance(tenant, str) or not isinstance(node, int) or isinstance(node, bool):
+                raise _errors.QueryError(
+                    "query needs a string 'tenant' and an integer 'node'"
+                )
+            if not isinstance(query_type, str):
+                raise _errors.QueryError("query needs a string 'type'")
+            answer = await self._tenants.submit(tenant, node, query_type)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as error:
+            try:
+                await self._reply_error(connection, message, error)
+            except (ConnectionError, OSError):
+                pass
+            return
+        try:
+            await connection.send(
+                {"op": "answer", "id": message.get("id"), "answer": pack_array(answer)}
+            )
+        except (ConnectionError, OSError):
+            pass  # client disconnected between answer and delivery
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class NetClient:
+    """Asyncio client for :class:`NetServer` (pipelined, id-matched).
+
+    Build with :meth:`connect`; use as an async context manager or call
+    :meth:`close` explicitly.  Error frames raise the server-side
+    exception type re-mapped locally (``kind`` → :mod:`repro.errors`),
+    so ``QueryError`` over the wire is ``QueryError`` here.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = int(max_frame)
+        self._codec = MessageCodec("json")
+        self._decoder = FrameDecoder(max_frame=max_frame)
+        self._ids = itertools.count(1)
+        self._replies: "Dict[Any, asyncio.Future]" = {}
+        self._reader_task: "asyncio.Task | None" = None
+        self._closed = False
+        self._broken: "BaseException | None" = None
+        self.encoding = "json"
+        self.tenants: List[str] = []
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        encodings: "List[str] | None" = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "NetClient":
+        """Open a connection and complete the hello handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame=max_frame)
+        try:
+            await client._handshake(encodings or list(available_encodings()))
+        except BaseException:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            raise
+        return client
+
+    async def _handshake(self, encodings: List[str]) -> None:
+        await self._send(
+            {"op": "hello", "protocol": PROTOCOL_VERSION, "encodings": encodings}
+        )
+        reply = await self._read_message()
+        if reply.get("op") == "error":
+            raise self._map_error(reply)
+        if reply.get("op") != "hello":
+            raise ProtocolError(f"expected hello reply, got op {reply.get('op')!r}")
+        encoding = reply.get("encoding")
+        self._codec = MessageCodec(str(encoding))
+        self.encoding = str(encoding)
+        self.tenants = [str(t) for t in reply.get("tenants", [])]
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _send(self, message: Dict[str, Any]) -> None:
+        self._writer.write(
+            encode_frame(self._codec.encode(message), max_frame=self._max_frame)
+        )
+        await self._writer.drain()
+
+    async def _read_message(self) -> Dict[str, Any]:
+        """One decoded message, for the pre-pipelining handshake phase."""
+        while True:
+            frames = self._decoder.feed(b"")
+            if not frames:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    raise ProtocolError("connection closed during handshake")
+                frames = self._decoder.feed(data)
+            if frames:
+                message = self._codec.decode(frames[0])
+                for extra in frames[1:]:
+                    self._dispatch(self._codec.decode(extra))
+                return message
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for payload in self._decoder.feed(data):
+                    self._dispatch(self._codec.decode(payload))
+        except (ConnectionError, OSError, ProtocolError) as error:
+            self._fail_all(error)
+            return
+        self._fail_all(ProtocolError("server closed the connection"))
+
+    def _dispatch(self, message: Dict[str, Any]) -> None:
+        message_id = message.get("id")
+        future = self._replies.pop(message_id, None)
+        if future is None or future.done():
+            if message.get("op") == "error" and message.get("fatal"):
+                self._fail_all(self._map_error(message))
+            return
+        future.set_result(message)
+
+    def _fail_all(self, error: BaseException) -> None:
+        # Once the connection is dead, later requests must fail fast
+        # instead of registering reply futures nothing will resolve.
+        if self._broken is None:
+            self._broken = error
+        replies, self._replies = self._replies, {}
+        for future in replies.values():
+            if not future.done():
+                future.set_exception(error)
+
+    @staticmethod
+    def _map_error(message: Dict[str, Any]) -> ReproError:
+        kind = str(message.get("kind", "ServingError"))
+        text = str(message.get("message", "remote error"))
+        exc_type = getattr(_errors, kind, None)
+        if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+            return exc_type(text)
+        return ServingError(f"{kind}: {text}")
+
+    async def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise ServingError("client is closed")
+        if self._broken is not None:
+            raise self._broken
+        message_id = next(self._ids)
+        message["id"] = message_id
+        future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
+        self._replies[message_id] = future
+        try:
+            await self._send(message)
+        except BaseException:
+            self._replies.pop(message_id, None)
+            raise
+        reply = await future
+        if reply.get("op") == "error":
+            raise self._map_error(reply)
+        return reply
+
+    async def query(self, tenant: str, node: int, query_type: str) -> np.ndarray:
+        """Answer one query over the wire; byte-identical to the cluster's."""
+        reply = await self._request(
+            {"op": "query", "tenant": tenant, "node": int(node), "type": query_type}
+        )
+        if reply.get("op") != "answer":
+            raise ProtocolError(f"expected an answer, got op {reply.get('op')!r}")
+        return unpack_array(reply.get("answer"))
+
+    async def stats(self, tenant: "str | None" = None) -> Dict[str, Any]:
+        """One tenant's ledger snapshot, or every tenant's when ``None``."""
+        reply = await self._request({"op": "stats", "tenant": tenant})
+        stats = reply.get("stats")
+        if not isinstance(stats, dict):
+            raise ProtocolError("malformed stats reply")
+        return stats
+
+    async def list_tenants(self) -> List[str]:
+        """The server's current tenant directory."""
+        reply = await self._request({"op": "tenants"})
+        return [str(t) for t in reply.get("tenants", [])]
+
+    async def ping(self) -> bool:
+        """Round-trip liveness probe."""
+        reply = await self._request({"op": "ping"})
+        return reply.get("op") == "pong"
+
+    async def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes down the socket (chaos harness: corrupt frames)."""
+        self._writer.write(data)
+        await self._writer.drain()
+
+    def _shutdown_socket(self) -> None:
+        # OS-level shutdown, not just fd close: if this process forked
+        # (e.g. serving-lane workers) after connecting, children hold
+        # duplicates of this fd and a plain close would leave the TCP
+        # connection alive — the server would never see the disconnect.
+        # shutdown() tears the connection down regardless of dup'd fds.
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def abort(self) -> None:
+        """Hard-drop the connection without a goodbye (chaos harness)."""
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        self._fail_all(ServingError("connection aborted"))
+        self._shutdown_socket()
+        self._writer.transport.abort()
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop reading, close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+        self._fail_all(ServingError("client closed"))
+        self._shutdown_socket()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -13,38 +13,52 @@ continuously admitting service:
   requests per owning machine.  A machine's batch is flushed when it
   reaches ``max_batch`` requests or when its oldest request has waited
   ``max_wait_ms`` — the classic latency/throughput dial.
-* **Execution** — flushed batches go to a *session-mode*
-  :class:`~repro.parallel.ParallelExecutor` whose workers hold the
+* **Execution** — flushed batches go to a
+  :class:`~repro.parallel.lanes.LaneExecutor` whose workers hold the
   cluster's machines rebuilt from shared memory
   (:mod:`repro.serving.blueprint`), so answering overlaps with admission
   and nothing large is pickled per batch.  ``workers=1`` answers inline
   in the event loop — the byte-identical reference path.
+* **Sticky affinity** — a machine's batches always land on the same lane
+  (``lane = lane_offset + machine_id mod lanes``), so each machine's
+  reconstruction operator is cached on exactly one worker instead of
+  being rebuilt wherever the pool scheduler happens to place a batch.
+* **Hedging** — with ``hedge_ms`` set, a batch that has not returned
+  within the deadline is *duplicated* onto the neighboring lane.  The
+  first copy to finish delivers; the loser is cancelled and its result
+  discarded — every request resolves exactly once (dedup is pinned by
+  the chaos suite), so a slow machine stops dragging the p99 tail.
+* **Failover** — a worker dying mid-batch surfaces as
+  ``BrokenProcessPool`` on that batch's future.  The server re-dispatches
+  the batch (up to ``max_redispatch`` times) onto a freshly re-spawned
+  lane; clients never see the death, only the answer.
 * **Per-request futures** — every submission gets its own future, so
   duplicate query nodes receive one answer *each* (``answer_batch``'s
   dict return collapses duplicates; the serving layer must not).
-
 * **Hot swap** — :meth:`QueryServer.swap_machine` replaces one machine's
   query source between micro-batches (the streaming layer's refresh
   path): updates are versioned, in-flight batches keep the generation
   they were flushed against, and nothing restarts.
 
 Every answer is byte-identical to ``cluster.answer(node, query_type)``,
-for any arrival interleaving, batch window, worker count, and storage
-backend, and serving is communication-free: a query only ever touches the
-machine that owns its node.
+for any arrival interleaving, batch window, worker count, storage
+backend, hedging policy, and injected fault, and serving is
+communication-free: a query only ever touches the machine that owns its
+node.
 """
 
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.distributed.cluster import DistributedCluster, Machine
 from repro.errors import QueryError, ServingError
-from repro.parallel import ParallelExecutor
+from repro.parallel.lanes import LaneExecutor
 from repro.serving.blueprint import ClusterBlueprint, release_session, serve_batch_task
 
 QUERY_TYPES = ("rwr", "hop", "php")
@@ -66,6 +80,8 @@ class ServingStats:
         admitted == answered + failed + cancelled + still-pending
 
     (``still-pending`` being requests admitted but not yet resolved).
+    Hedged duplicates and failover re-dispatches never double-count:
+    a request resolves exactly once no matter how many batch copies ran.
     """
 
     admitted: int = 0
@@ -77,6 +93,12 @@ class ServingStats:
     max_batch_size: int = 0
     max_queue_depth: int = 0
     swaps: int = 0
+    #: Batches duplicated onto another lane after the hedge deadline.
+    hedged: int = 0
+    #: Hedged duplicates that delivered before the primary copy.
+    hedge_wins: int = 0
+    #: Batches re-dispatched after a worker died mid-flight.
+    redispatches: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -84,13 +106,38 @@ class ServingStats:
         done = self.answered + self.failed + self.cancelled
         return done / self.batches if self.batches else 0.0
 
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (what the wire protocol ships)."""
+        from dataclasses import asdict
 
-@dataclass
+        return asdict(self)
+
+
+@dataclass(eq=False)  # identity semantics: requests live in the outstanding set
 class _Request:
     node: int
     query_type: str
     machine_id: int
     future: "asyncio.Future[np.ndarray]" = field(repr=False)
+
+
+@dataclass
+class _BatchJob:
+    """One flushed micro-batch and every in-flight copy of it.
+
+    ``delivered`` is the exactly-once gate: whichever copy (primary,
+    hedge, or re-dispatch) completes first flips it and resolves the
+    requests; every later completion returns without touching them.
+    """
+
+    machine_id: int
+    batch: List[_Request]
+    items: List[Tuple[int, str]]
+    update: "Dict | None"
+    attempts: int = 0
+    delivered: bool = False
+    pending: "Set[asyncio.Future]" = field(default_factory=set)
+    hedge_timer: "asyncio.TimerHandle | None" = None
 
 
 class QueryServer:
@@ -102,8 +149,9 @@ class QueryServer:
         The cluster to serve; its routing table and machines are used
         as-is.  Answers match ``cluster.answer`` byte for byte.
     workers:
-        Serving-pool size (:func:`~repro.parallel.executor.resolve_workers`
+        Serving-lane count (:func:`~repro.parallel.executor.resolve_workers`
         rules: ``1`` = inline reference path, ``0`` = all cores).
+        Ignored when *executor* is given.
     max_batch:
         Flush a machine's batch at this many requests.
     max_wait_ms:
@@ -118,7 +166,28 @@ class QueryServer:
         Ship machine arrays via ``multiprocessing.shared_memory``
         (default) or by pickling once per worker (``False``).
     mp_context:
-        Optional multiprocessing context for the serving pool.
+        Optional multiprocessing context for the serving lanes.
+    executor:
+        Optional **external, already started**
+        :class:`~repro.parallel.lanes.LaneExecutor` shared with other
+        servers (the multi-tenant host).  The server then ships its
+        blueprint payload per batch instead of installing it at pool
+        start, and never shuts the executor down.
+    lane_offset:
+        Rotation applied to the machine→lane mapping, so co-hosted
+        tenants spread across a shared executor's lanes instead of all
+        pinning machine 0 to lane 0.
+    hedge_ms:
+        Latency deadline after which an unanswered batch is duplicated
+        onto the neighboring lane (``None`` disables hedging).
+    max_redispatch:
+        How many times a batch whose worker died mid-flight is re-sent
+        before its requests are failed.
+    chaos:
+        Optional fault-injection spec dict, shipped to workers inside
+        the blueprint payload and applied by
+        :func:`~repro.serving.blueprint.serve_batch_task` before each
+        batch (see ``tests/_chaos.py``).  ``None`` in production.
 
     Use as an async context manager::
 
@@ -136,6 +205,11 @@ class QueryServer:
         max_pending: int = 1024,
         use_shared_memory: bool = True,
         mp_context=None,
+        executor: "LaneExecutor | None" = None,
+        lane_offset: int = 0,
+        hedge_ms: "float | None" = None,
+        max_redispatch: int = 2,
+        chaos: "Dict | None" = None,
     ):
         if max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {max_batch}")
@@ -143,6 +217,10 @@ class QueryServer:
             raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_pending < 1:
             raise ServingError(f"max_pending must be >= 1, got {max_pending}")
+        if hedge_ms is not None and hedge_ms < 0:
+            raise ServingError(f"hedge_ms must be >= 0, got {hedge_ms}")
+        if max_redispatch < 0:
+            raise ServingError(f"max_redispatch must be >= 0, got {max_redispatch}")
         self._cluster = cluster
         self._workers = workers
         self._max_batch = int(max_batch)
@@ -150,16 +228,23 @@ class QueryServer:
         self._max_pending = int(max_pending)
         self._use_shared_memory = use_shared_memory
         self._mp_context = mp_context
+        self._external_executor = executor
+        self._lane_offset = int(lane_offset)
+        self._hedge = None if hedge_ms is None else float(hedge_ms) / 1000.0
+        self._max_redispatch = int(max_redispatch)
+        self._chaos = chaos
         self.stats = ServingStats()
         self._running = False
         self._accepting = False
         self._queue: "asyncio.Queue[object] | None" = None
         self._dispatcher: "asyncio.Task | None" = None
-        self._executor: "ParallelExecutor | None" = None
+        self._executor: "LaneExecutor | None" = None
+        self._owns_executor = True
         self._blueprint: "ClusterBlueprint | None" = None
         self._inflight: "set[asyncio.Future]" = set()
+        self._outstanding: "Set[_Request]" = set()
         self._updates: Dict[int, Dict] = {}
-        # In-flight batches per (machine_id, version): a superseded
+        # In-flight batch copies per (machine_id, version): a superseded
         # update's shm block is retired when its count returns to zero.
         self._update_refs: Dict[Tuple[int, int], int] = {}
 
@@ -172,30 +257,48 @@ class QueryServer:
         return self._running
 
     @property
+    def cluster(self) -> DistributedCluster:
+        """The cluster this server answers for."""
+        return self._cluster
+
+    @property
     def uses_shared_memory(self) -> bool:
         """Whether machine arrays actually live in shared memory."""
         return self._blueprint is not None and self._blueprint.uses_shared_memory
 
     async def start(self) -> "QueryServer":
-        """Export the cluster, start the serving pool and the dispatcher."""
+        """Export the cluster, start the serving lanes and the dispatcher."""
         if self._running:
             raise ServingError("server already started")
         self._blueprint = ClusterBlueprint(
             self._cluster, use_shared_memory=self._use_shared_memory
         )
-        try:
-            self._executor = ParallelExecutor(
-                self._workers, mp_context=self._mp_context, shared=self._blueprint.payload
-            ).start()
-        except BaseException:
-            # A failed pool start must not leak the shared-memory block.
-            self._blueprint.close()
-            self._blueprint = None
-            raise
+        payload = self._blueprint.payload
+        if self._chaos is not None:
+            payload["chaos"] = dict(self._chaos)
+        if self._external_executor is not None:
+            if not self._external_executor.started:
+                self._blueprint.close()
+                self._blueprint = None
+                raise ServingError("external executor must be started before the server")
+            self._executor = self._external_executor
+            self._owns_executor = False
+        else:
+            try:
+                self._executor = LaneExecutor(
+                    self._workers, mp_context=self._mp_context, shared=payload
+                ).start()
+            except BaseException:
+                # A failed pool start must not leak the shared-memory block.
+                self._blueprint.close()
+                self._blueprint = None
+                raise
+            self._owns_executor = True
         self._queue = asyncio.Queue(maxsize=self._max_pending)
         self.stats = ServingStats()
         self._updates = {}
         self._update_refs = {}
+        self._outstanding = set()
         self._running = True
         self._accepting = True
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
@@ -225,8 +328,24 @@ class QueryServer:
             if self._update_refs.get(key, 0) == 0:
                 self._blueprint.retire_update(*key)
 
+    def cancel_pending(self) -> int:
+        """Cancel every admitted-but-unresolved request future.
+
+        The tenant-eviction path: clients see ``CancelledError``, the
+        ledger counts each such request under ``cancelled`` when its
+        batch drains, and :meth:`stop` afterwards leaves
+        ``admitted == answered + failed + cancelled``.  Returns how many
+        futures this call cancelled.
+        """
+        count = 0
+        for request in tuple(self._outstanding):
+            if not request.future.done():
+                request.future.cancel()
+                count += 1
+        return count
+
     async def stop(self) -> None:
-        """Drain in-flight work, stop the dispatcher, release the pool.
+        """Drain in-flight work, stop the dispatcher, release the lanes.
 
         Teardown is unconditional: even if the dispatcher died on an
         unexpected error, the pool is shut down, the shared-memory block
@@ -263,13 +382,16 @@ class QueryServer:
                     break
                 if leftover is not _STOP:
                     self._fail_request(leftover, ServingError("server stopped"))
-            if self._inflight:
+            # Re-dispatches and hedges can add new in-flight futures
+            # while the drain awaits the old ones, so loop to quiescence.
+            while self._inflight:
                 await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
         finally:
-            self._executor.shutdown()
+            self._running = False
+            if self._owns_executor and self._executor is not None:
+                self._executor.shutdown()
             release_session(self._blueprint.payload)  # inline-path caches
             self._blueprint.close()
-            self._running = False
             self._dispatcher = None
             self._queue = None
 
@@ -291,9 +413,10 @@ class QueryServer:
         future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
         return _Request(int(node), query_type, machine.machine_id, future)
 
-    def _note_admitted(self) -> None:
+    def _note_admitted(self, request: _Request) -> None:
         self.stats.admitted += 1
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
+        self._outstanding.add(request)
 
     def submit_nowait(self, node: int, query_type: str) -> "asyncio.Future[np.ndarray]":
         """Admit one query without waiting; returns its answer future.
@@ -311,7 +434,7 @@ class QueryServer:
             raise ServingError(
                 f"admission queue full ({self._max_pending} pending); retry or back off"
             ) from None
-        self._note_admitted()
+        self._note_admitted(request)
         return request.future
 
     async def submit(self, node: int, query_type: str) -> np.ndarray:
@@ -322,7 +445,7 @@ class QueryServer:
         """
         request = self._make_request(node, query_type)
         await self._queue.put(request)
-        self._note_admitted()
+        self._note_admitted(request)
         return await request.future
 
     # ------------------------------------------------------------------
@@ -391,24 +514,127 @@ class QueryServer:
             return
         self.stats.batches += 1
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
-        items = [(request.node, request.query_type) for request in batch]
-        update = self._updates.get(machine_id)
-        task = (machine_id, items) if update is None else (machine_id, items, update)
-        key = None if update is None else (machine_id, update["version"])
+        job = _BatchJob(
+            machine_id=machine_id,
+            batch=batch,
+            items=[(request.node, request.query_type) for request in batch],
+            update=self._updates.get(machine_id),
+        )
+        self._dispatch_job(job)
+        if self._hedge is not None and not job.delivered:
+            job.hedge_timer = asyncio.get_running_loop().call_later(
+                self._hedge, self._fire_hedge, job
+            )
+
+    def _lane_for(self, machine_id: int, *, hedged: bool) -> int:
+        # Sticky affinity: one lane per machine, so its operator cache
+        # lives on exactly one worker.  The hedge copy goes next door.
+        return self._lane_offset + machine_id + (1 if hedged else 0)
+
+    def _dispatch_job(self, job: _BatchJob, *, hedged: bool = False) -> None:
+        """Submit one copy of a batch to its lane (primary, hedge, retry)."""
+        update = job.update
+        task = (
+            (job.machine_id, job.items)
+            if update is None
+            else (job.machine_id, job.items, update)
+        )
+        key = None if update is None else (job.machine_id, update["version"])
         if key is not None:
             self._update_refs[key] = self._update_refs.get(key, 0) + 1
+        lane = self._lane_for(job.machine_id, hedged=hedged)
         try:
-            pool_future = self._executor.submit(serve_batch_task, task)
-        except BaseException as error:  # e.g. BrokenProcessPool after a worker died
+            if self._owns_executor:
+                pool_future = self._executor.submit(serve_batch_task, task, lane=lane)
+            else:
+                # Shared executor (multi-tenant host): this server's
+                # payload rides with the task instead of living as the
+                # pool's session value.
+                pool_future = self._executor.submit(
+                    serve_batch_task, task, lane=lane, shared=self._blueprint.payload
+                )
+        except BaseException as error:  # e.g. executor already shut down
             self._release_update(key)
-            for request in batch:
-                self._fail_request(request, error)
+            if not job.delivered and not job.pending:
+                job.delivered = True
+                self._cancel_hedge(job)
+                for request in job.batch:
+                    self._fail_request(request, error)
             return
         wrapped = asyncio.ensure_future(asyncio.wrap_future(pool_future))
         self._inflight.add(wrapped)
+        job.pending.add(wrapped)
         wrapped.add_done_callback(
-            lambda done, batch=batch, key=key: self._deliver(done, batch, key)
+            lambda done, job=job, key=key, hedged=hedged: self._on_batch_done(
+                done, job, key, hedged
+            )
         )
+
+    def _fire_hedge(self, job: _BatchJob) -> None:
+        """Hedge deadline passed: duplicate the batch onto the next lane."""
+        job.hedge_timer = None
+        if job.delivered or not job.pending or not self._running:
+            return
+        self.stats.hedged += 1
+        self._dispatch_job(job, hedged=True)
+
+    def _cancel_hedge(self, job: _BatchJob) -> None:
+        if job.hedge_timer is not None:
+            job.hedge_timer.cancel()
+            job.hedge_timer = None
+
+    @staticmethod
+    def _retryable(error: BaseException) -> bool:
+        """Worker-death errors — the batch is intact, only its lane died."""
+        return isinstance(error, BrokenProcessPool)
+
+    def _on_batch_done(
+        self,
+        done: "asyncio.Future",
+        job: _BatchJob,
+        key: "Tuple[int, int] | None",
+        hedged: bool,
+    ) -> None:
+        self._release_update(key)
+        self._inflight.discard(done)
+        job.pending.discard(done)
+        if job.delivered:
+            # A sibling copy already resolved every request — the
+            # exactly-once gate that pins hedge dedup.
+            return
+        if done.cancelled():
+            error: "BaseException | None" = asyncio.CancelledError("batch copy cancelled")
+        else:
+            error = done.exception()
+        if error is None:
+            job.delivered = True
+            self._cancel_hedge(job)
+            for loser in tuple(job.pending):
+                loser.cancel()
+            if hedged:
+                self.stats.hedge_wins += 1
+            for request, answer in zip(job.batch, done.result()):
+                self._resolve_request(request, answer)
+            return
+        if job.pending:
+            # Another copy of this batch is still in flight; it will
+            # deliver, or its own completion will drive the retry below.
+            return
+        if (
+            self._retryable(error)
+            and job.attempts < self._max_redispatch
+            and self._running
+        ):
+            # The worker died mid-batch.  The lane is re-spawned lazily
+            # by the next submit; re-dispatch this batch onto it.
+            job.attempts += 1
+            self.stats.redispatches += 1
+            self._dispatch_job(job)
+            return
+        job.delivered = True
+        self._cancel_hedge(job)
+        for request in job.batch:
+            self._fail_request(request, error)
 
     def _release_update(self, key: "Tuple[int, int] | None") -> None:
         """Drop one in-flight reference; retire superseded generations."""
@@ -426,31 +652,20 @@ class QueryServer:
         ):
             self._blueprint.retire_update(machine_id, version)
 
-    def _deliver(
-        self,
-        done: "asyncio.Future",
-        batch: List[_Request],
-        key: "Tuple[int, int] | None" = None,
-    ) -> None:
-        self._release_update(key)
-        self._inflight.discard(done)
-        error = done.exception()
-        if error is not None:
-            for request in batch:
-                self._fail_request(request, error)
-            return
-        for request, answer in zip(batch, done.result()):
-            # Count only futures this server actually resolves: a client
-            # may have cancelled (or timed out) its request while the
-            # batch was in flight, and blindly bumping ``answered`` for
-            # those would drift the counters away from answers delivered.
-            if request.future.done():
-                self.stats.cancelled += 1
-            else:
-                request.future.set_result(answer)
-                self.stats.answered += 1
+    def _resolve_request(self, request: _Request, answer: np.ndarray) -> None:
+        # Count only futures this server actually resolves: a client
+        # may have cancelled (or timed out) its request while the
+        # batch was in flight, and blindly bumping ``answered`` for
+        # those would drift the counters away from answers delivered.
+        self._outstanding.discard(request)
+        if request.future.done():
+            self.stats.cancelled += 1
+        else:
+            request.future.set_result(answer)
+            self.stats.answered += 1
 
     def _fail_request(self, request: _Request, error: BaseException) -> None:
+        self._outstanding.discard(request)
         if request.future.done():
             self.stats.cancelled += 1
         else:

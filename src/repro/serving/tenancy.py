@@ -1,0 +1,289 @@
+"""Multi-tenant hosting: several clusters served by one process.
+
+The ROADMAP's serving tier must host *several* clusters in one server —
+one per **tenant** — with tenant → cluster routing, per-tenant admission
+quotas, and a per-tenant ledger.  :class:`TenantHost` is that layer:
+
+* one shared :class:`~repro.parallel.lanes.LaneExecutor` serves every
+  tenant (each tenant's blueprint payload rides with its batches, and
+  workers cache attached clusters per payload token, so co-hosted
+  tenants never share or clobber each other's machine rebuilds);
+* each tenant gets its **own** :class:`~repro.serving.server.QueryServer`
+  — its own admission queue, micro-batcher, hedging policy, and
+  :class:`~repro.serving.server.ServingStats` ledger — with a distinct
+  ``lane_offset`` so tenants spread over the lanes instead of all
+  pinning their machine 0 to lane 0;
+* :meth:`TenantHost.submit` routes ``(tenant, node, query_type)`` and
+  enforces the tenant's ``max_inflight`` admission quota on top of the
+  server's bounded queue;
+* :meth:`TenantHost.evict` removes a tenant mid-flight: either draining
+  (every admitted request still answers) or cancelling (unresolved
+  futures are cancelled, the batch results are discarded on arrival),
+  and in both cases the tenant's ledger balances
+  ``admitted == answered + failed + cancelled`` afterwards.
+
+Isolation contract: a tenant's answers are byte-identical to *its own*
+``cluster.answer`` — never another tenant's — for any interleaving of
+tenants, faults, hedges, and evictions.  The chaos suite pins this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.distributed.cluster import DistributedCluster
+from repro.errors import TenantError
+from repro.parallel.lanes import LaneExecutor
+from repro.serving.blueprint import release_session_task
+from repro.serving.server import QueryServer, ServingStats
+
+
+@dataclass
+class TenantConfig:
+    """Per-tenant serving knobs (defaults match a bare ``QueryServer``).
+
+    ``max_inflight`` is the admission **quota**: the number of requests a
+    tenant may have in service at once.  ``None`` means unbounded (the
+    server's ``max_pending`` queue bound still applies); exceeding it
+    raises :class:`~repro.errors.TenantError` immediately — quota
+    rejections shed load, they do not backpressure.
+    """
+
+    max_pending: int = 1024
+    max_inflight: "int | None" = None
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    hedge_ms: "float | None" = None
+    max_redispatch: int = 2
+
+
+@dataclass
+class _Tenant:
+    name: str
+    server: QueryServer
+    config: TenantConfig
+    inflight: int = 0
+    quota_rejections: int = 0
+    lane_offset: int = 0
+
+
+class TenantHost:
+    """Route queries to per-tenant servers over one shared lane pool.
+
+    Parameters
+    ----------
+    workers:
+        Lane count of the shared executor (``1`` = inline reference
+        path; every tenant then answers in the event loop).
+    use_shared_memory:
+        Per-tenant blueprint shipping mode (see ``QueryServer``).
+        Shared memory is strongly preferred here: without it a tenant's
+        full arrays are re-pickled with **every** batch, because a
+        shared executor cannot install any single tenant's payload as
+        its session value.
+    mp_context:
+        Optional multiprocessing context for the shared lanes.
+    chaos:
+        Optional fault-injection spec applied to every tenant's batches
+        (see :func:`~repro.serving.blueprint.serve_batch_task`).
+
+    Usage::
+
+        async with TenantHost(workers=4) as host:
+            await host.add_tenant("acme", acme_cluster)
+            await host.add_tenant("globex", globex_cluster)
+            answer = await host.submit("acme", node, "rwr")
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: "int | None" = 1,
+        use_shared_memory: bool = True,
+        mp_context=None,
+        chaos: "Dict | None" = None,
+    ):
+        self._workers = workers
+        self._use_shared_memory = use_shared_memory
+        self._mp_context = mp_context
+        self._chaos = chaos
+        self._executor: "LaneExecutor | None" = None
+        self._tenants: "Dict[str, _Tenant]" = {}
+        self._offsets = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the shared lanes are up."""
+        return self._started
+
+    @property
+    def executor(self) -> "LaneExecutor | None":
+        """The shared lane executor (``None`` before :meth:`start`)."""
+        return self._executor
+
+    async def start(self) -> "TenantHost":
+        """Spawn the shared lanes; tenants are added afterwards."""
+        if self._started:
+            raise TenantError("tenant host already started")
+        self._executor = LaneExecutor(self._workers, mp_context=self._mp_context).start()
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Evict every tenant (draining) and release the shared lanes."""
+        if not self._started:
+            return
+        try:
+            for name in list(self._tenants):
+                await self.evict(name, drain=True)
+        finally:
+            self._started = False
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+    async def __aenter__(self) -> "TenantHost":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # tenant directory
+    # ------------------------------------------------------------------
+    def tenants(self) -> List[str]:
+        """Registered tenant names, registration-ordered."""
+        return list(self._tenants)
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise TenantError(
+                f"unknown tenant {name!r}; registered: {', '.join(self._tenants) or '(none)'}"
+            )
+        return tenant
+
+    def server(self, name: str) -> QueryServer:
+        """The tenant's dedicated :class:`QueryServer` (routing target)."""
+        return self._tenant(name).server
+
+    def cluster(self, name: str) -> DistributedCluster:
+        """The cluster a tenant's queries are answered against."""
+        return self._tenant(name).server.cluster
+
+    async def add_tenant(
+        self,
+        name: str,
+        cluster: DistributedCluster,
+        *,
+        config: "TenantConfig | None" = None,
+    ) -> QueryServer:
+        """Register a tenant and start serving its cluster.
+
+        Tenant names are unique; re-registering one raises
+        :class:`~repro.errors.TenantError` (evict first).  Returns the
+        tenant's server so callers can reach its stats and hot-swap
+        surface directly.
+        """
+        if not self._started:
+            raise TenantError("start the tenant host before adding tenants")
+        if not name or not isinstance(name, str):
+            raise TenantError(f"tenant name must be a non-empty string, got {name!r}")
+        if name in self._tenants:
+            raise TenantError(f"tenant {name!r} is already registered")
+        config = config or TenantConfig()
+        lane_offset = self._offsets
+        self._offsets += 1
+        server = QueryServer(
+            cluster,
+            executor=self._executor,
+            lane_offset=lane_offset,
+            max_pending=config.max_pending,
+            max_batch=config.max_batch,
+            max_wait_ms=config.max_wait_ms,
+            hedge_ms=config.hedge_ms,
+            max_redispatch=config.max_redispatch,
+            use_shared_memory=self._use_shared_memory,
+            chaos=self._chaos,
+        )
+        await server.start()
+        self._tenants[name] = _Tenant(
+            name=name, server=server, config=config, lane_offset=lane_offset
+        )
+        return server
+
+    async def evict(self, name: str, *, drain: bool = True) -> ServingStats:
+        """Remove a tenant; returns its final (balanced) ledger.
+
+        ``drain=True`` answers everything already admitted before the
+        teardown; ``drain=False`` cancels every unresolved request first
+        — clients see ``CancelledError``, in-flight batch results are
+        discarded on arrival, and the ledger still balances
+        (``admitted == answered + failed + cancelled``).  Worker-side
+        caches for the tenant's session are evicted on every lane.
+        """
+        tenant = self._tenant(name)
+        server = tenant.server
+        payload = server._blueprint.payload if server._blueprint is not None else None
+        if not drain:
+            server.cancel_pending()
+        await server.stop()
+        del self._tenants[name]
+        # Long-lived lane workers would otherwise keep the evicted
+        # tenant's rebuilt machines and shm mappings until pool death.
+        if payload is not None and self._executor is not None and not self._executor.inline:
+            futures = [
+                self._executor.submit(release_session_task, payload, lane=lane)
+                for lane in range(self._executor.lanes)
+            ]
+            await asyncio.gather(
+                *(asyncio.wrap_future(f) for f in futures), return_exceptions=True
+            )
+        return server.stats
+
+    # ------------------------------------------------------------------
+    # routed serving
+    # ------------------------------------------------------------------
+    async def submit(self, name: str, node: int, query_type: str) -> np.ndarray:
+        """Answer one query for one tenant (quota-checked, backpressured).
+
+        Raises :class:`~repro.errors.TenantError` for unknown tenants
+        and quota violations; everything else matches the tenant
+        server's ``submit`` surface.
+        """
+        tenant = self._tenant(name)
+        quota = tenant.config.max_inflight
+        if quota is not None and tenant.inflight >= quota:
+            tenant.quota_rejections += 1
+            tenant.server.stats.rejected += 1
+            raise TenantError(
+                f"tenant {name!r} admission quota exceeded "
+                f"({tenant.inflight}/{quota} in flight); retry or back off"
+            )
+        tenant.inflight += 1
+        try:
+            return await tenant.server.submit(node, query_type)
+        finally:
+            tenant.inflight -= 1
+
+    def stats(self, name: str) -> ServingStats:
+        """One tenant's ledger (live object; snapshot with ``as_dict``)."""
+        return self._tenant(name).server.stats
+
+    def all_stats(self) -> "Dict[str, Dict[str, int]]":
+        """Snapshot of every tenant's ledger plus host-level quota counts."""
+        out: "Dict[str, Dict[str, int]]" = {}
+        for name, tenant in self._tenants.items():
+            snapshot = tenant.server.stats.as_dict()
+            snapshot["inflight"] = tenant.inflight
+            snapshot["quota_rejections"] = tenant.quota_rejections
+            out[name] = snapshot
+        return out

@@ -1,0 +1,73 @@
+"""Fault injectors for the serving-tier chaos suite.
+
+Worker-side hooks (``kill_worker``, ``delay_machine``) are named in a
+blueprint payload's ``chaos`` spec as ``"_chaos:<name>"`` and invoked by
+:func:`repro.serving.blueprint.serve_batch_task` *inside* the real
+execution path — in a lane worker for pooled serving, in the event loop
+for the ``workers=1`` inline reference path.  Client-side injectors
+(``corrupt_frame``, drop-connection via ``NetClient.abort``) live with
+the network tests.
+
+Fire-once gating: a hook that killed the worker on *every* attempt would
+make recovery untestable, so faults are armed with a filesystem
+**token** — ``os.open(O_CREAT | O_EXCL)`` is atomic across processes, so
+exactly one attempt (first come) consumes the token and suffers the
+fault; every retry, hedge duplicate, and re-dispatched copy after it
+runs clean.  Tests create the token path under ``tmp_path`` and pass it
+in the spec.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import current_process
+from typing import Any, Dict
+
+
+def consume_token(path: str) -> bool:
+    """Atomically claim a fire-once token; True for exactly one caller."""
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return False
+    return True
+
+
+def _targets(spec: Dict[str, Any], machine_id: int) -> bool:
+    machine = spec.get("machine")
+    return machine is None or int(machine) == machine_id
+
+
+def kill_worker(spec: Dict[str, Any], machine_id: int) -> None:
+    """Die mid-batch, exactly once, on the targeted machine's lane.
+
+    In a real pool worker the process exits hard (``os._exit``), which
+    the lane's ``ProcessPoolExecutor`` surfaces as ``BrokenProcessPool``
+    on the batch future; on the inline path (no worker to kill) the same
+    exception is raised directly so the failover logic above sees the
+    identical signal.
+    """
+    if not _targets(spec, machine_id):
+        return
+    if not consume_token(str(spec["token"])):
+        return
+    if current_process().name == "MainProcess":
+        raise BrokenProcessPool("chaos: injected worker death (inline)")
+    os._exit(1)
+
+
+def delay_machine(spec: Dict[str, Any], machine_id: int) -> None:
+    """Stall the targeted machine's batch (optionally fire-once).
+
+    With a ``token`` in the spec the delay hits exactly one attempt —
+    the shape hedging exists for: the duplicate dispatched after
+    ``hedge_ms`` lands on a clean lane and wins.
+    """
+    if not _targets(spec, machine_id):
+        return
+    token = spec.get("token")
+    if token is not None and not consume_token(str(token)):
+        return
+    time.sleep(float(spec.get("delay_s", 0.2)))

@@ -1,0 +1,120 @@
+"""Unit coverage for the sticky-affinity lane executor.
+
+The serving tiers above (`TenantHost`, `QueryServer` failover) treat
+`LaneExecutor` as a primitive; this suite pins the primitive itself:
+placement arithmetic, inline equivalence, lifecycle rules, and the
+broken-lane re-spawn path the chaos harness depends on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.parallel import LaneExecutor
+from repro.parallel.executor import _run_session_task  # noqa: F401 - fork-safety import
+
+
+def _echo_pid(shared, task):
+    return os.getpid(), shared, task
+
+
+def _boom(shared, task):
+    raise ValueError(f"boom:{task}")
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        executor = LaneExecutor(1)
+        with pytest.raises(RuntimeError, match="not started"):
+            executor.submit(_echo_pid, 1)
+
+    def test_double_start_raises_and_shutdown_is_idempotent(self):
+        executor = LaneExecutor(1).start()
+        with pytest.raises(RuntimeError, match="already started"):
+            executor.start()
+        executor.shutdown()
+        executor.shutdown()
+        assert not executor.started
+
+    def test_context_manager_round_trip(self):
+        with LaneExecutor(1) as executor:
+            assert executor.started and executor.inline
+        assert not executor.started
+
+
+class TestInlinePath:
+    def test_inline_resolves_immediately_with_session_payload(self):
+        with LaneExecutor(1, shared={"k": 7}) as executor:
+            future = executor.submit(_echo_pid, "task")
+            assert future.done()
+            pid, shared, task = future.result()
+            assert pid == os.getpid()
+            assert shared == {"k": 7} and task == "task"
+
+    def test_inline_explicit_shared_overrides_session(self):
+        with LaneExecutor(1, shared={"k": 7}) as executor:
+            _, shared, _ = executor.submit(_echo_pid, 0, shared={"k": 9}).result()
+            assert shared == {"k": 9}
+
+    def test_inline_exceptions_mirror_into_the_future(self):
+        with LaneExecutor(1) as executor:
+            future = executor.submit(_boom, 3)
+            assert future.done()
+            with pytest.raises(ValueError, match="boom:3"):
+                future.result()
+
+    def test_inline_shape_properties(self):
+        with LaneExecutor(None) as executor:
+            assert executor.inline and executor.lanes == 1
+            assert executor.lane_pids() == []
+
+
+class TestPlacement:
+    def test_sticky_lanes_are_distinct_processes_and_lane_wraps(self):
+        with LaneExecutor(2, shared="s") as executor:
+            pid_a = executor.submit(_echo_pid, 0, lane=0).result(timeout=30)[0]
+            pid_b = executor.submit(_echo_pid, 0, lane=1).result(timeout=30)[0]
+            assert pid_a != pid_b
+            # Same lane again -> same worker (the affinity contract)...
+            assert executor.submit(_echo_pid, 0, lane=0).result(timeout=30)[0] == pid_a
+            # ...and lane keys wrap modulo the lane count.
+            assert executor.submit(_echo_pid, 0, lane=2).result(timeout=30)[0] == pid_a
+            assert [len(lane) for lane in executor.lane_pids()] == [1, 1]
+
+    def test_worker_exceptions_do_not_break_the_lane(self):
+        with LaneExecutor(2) as executor:
+            with pytest.raises(ValueError, match="boom:1"):
+                executor.submit(_boom, 1, lane=0).result(timeout=30)
+            assert executor.submit(_echo_pid, 2, lane=0).result(timeout=30)[2] == 2
+            assert executor.respawns == 0
+
+
+class TestDeathAndRespawn:
+    def test_sigkilled_lane_is_respawned_on_next_submit(self):
+        with LaneExecutor(2, shared="payload") as executor:
+            victim = executor.submit(_echo_pid, 0, lane=0).result(timeout=30)[0]
+            os.kill(victim, signal.SIGKILL)
+            # The in-flight-free lane heals transparently; the session
+            # payload is re-installed in the fresh worker.
+            done = False
+            for _ in range(3):
+                try:
+                    pid, shared, _ = executor.submit(_echo_pid, 0, lane=0).result(timeout=30)
+                    done = True
+                    break
+                except BrokenProcessPool:
+                    continue  # death surfaced mid-submit; caller retries
+            assert done
+            assert pid != victim and shared == "payload"
+            assert executor.respawns >= 1
+            # The other lane never noticed.
+            assert executor.submit(_echo_pid, 9, lane=1).result(timeout=30)[2] == 9
+
+    def test_respawn_lane_is_inline_noop(self):
+        with LaneExecutor(1) as executor:
+            executor.respawn_lane(0)
+            assert executor.respawns == 0

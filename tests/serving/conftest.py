@@ -1,0 +1,16 @@
+"""Serving-suite fixtures; makes the chaos hooks importable by workers.
+
+The fault injectors live in ``tests/_chaos.py`` and are resolved *by
+name* (``"_chaos:kill_worker"``) inside pool workers via importlib, so
+the ``tests`` directory must be on ``sys.path`` — of this process (fork
+workers inherit it) and of any spawn worker re-importing the module.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

@@ -266,7 +266,7 @@ class TestLifecycle:
             server = QueryServer(summary_cluster, workers=2, max_wait_ms=0.0)
             await server.start()
             answer = await server.submit(0, "rwr")
-            server._executor._pool.shutdown(wait=True)  # simulate pool death
+            server._executor.shutdown(wait=True)  # simulate pool death
             with pytest.raises(RuntimeError):
                 await server.submit(1, "rwr")
             await server.stop()
@@ -362,7 +362,7 @@ class TestLifecycle:
 
         async def _probe():
             async with QueryServer(summary_cluster, workers=2) as server:
-                assert server._executor._pool is not None
+                assert server._executor.started and not server._executor.inline
                 assert server.uses_shared_memory
                 return await server.submit(0, "rwr")
 

@@ -29,11 +29,12 @@ def _bench_path(monkeypatch, tmp_path):
 
 
 def test_all_bench_scripts_discovered():
-    # The repo ships 15 bench scripts; a disappearing file should fail
+    # The repo ships 16 bench scripts; a disappearing file should fail
     # loudly here rather than silently shrinking coverage.
-    assert len(BENCH_MODULES) >= 15
+    assert len(BENCH_MODULES) >= 16
     assert "bench_streaming" in BENCH_MODULES
     assert "bench_store" in BENCH_MODULES
+    assert "bench_net" in BENCH_MODULES
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)

@@ -146,6 +146,72 @@ def test_serve_command_rejects_degenerate_flags(capsys, flags):
     assert "error:" in capsys.readouterr().err
 
 
+class TestServeNetCommand:
+    def test_multi_tenant_demo_verifies_answers(self, capsys):
+        code = main(
+            [
+                "serve-net",
+                "--dataset",
+                "lastfm_asia",
+                "--scale",
+                "0.12",
+                "--tenants",
+                "2",
+                "--queries",
+                "8",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "16/16 answers byte-identical" in output  # 8 queries x 2 tenants
+        assert "tenant0" in output and "tenant1" in output
+        assert "balanced=True" in output
+
+    def test_kill_worker_chaos_still_byte_identical(self, capsys):
+        code = main(
+            [
+                "serve-net",
+                "--dataset",
+                "lastfm_asia",
+                "--scale",
+                "0.12",
+                "--tenants",
+                "2",
+                "--queries",
+                "8",
+                "--workers",
+                "4",
+                "--chaos",
+                "kill-worker",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SIGKILL worker" in output
+        assert "byte-identical" in output and "error:" not in output
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--tenants", "0"],
+            ["--queries", "0"],
+            ["--chaos", "kill-worker", "--workers", "1"],
+        ],
+    )
+    def test_rejects_degenerate_flags(self, capsys, flags):
+        code = main(["serve-net", "--dataset", "lastfm_asia", "--scale", "0.12", *flags])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_net_client_unreachable_server_exits_2(capsys):
+    code = main(["net-client", "--port", "1", "--stats"])
+    assert code == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
 def test_serve_command_subgraph_source_without_shm(capsys):
     code = main(
         [
