@@ -8,6 +8,14 @@ deadline.  The table reports sustained throughput and p50/p99 *wire*
 latency per configuration — the marginal cost of the network hop over
 :mod:`bench_serving`'s in-process numbers — and every answer is checked
 byte-identical against its own tenant's synchronous ``cluster.answer``.
+
+Each configuration additionally runs once with the PR-8 observability
+layer attached (metrics registry + request tracer).  Those rows report
+the *server-side* p50/p95/p99 straight from the
+``repro_request_latency_seconds`` histogram — the registry is the
+measurement, not an extra timer — and the ``obs Δ%`` column is the
+throughput delta against the matching uninstrumented row, which is the
+bench-verified instrumentation overhead (budget: <3%).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.core import PegasusConfig
 from repro.distributed import build_summary_cluster
 from repro.experiments.common import ExperimentScale
 from repro.graph import load_dataset
+from repro.obs import Histogram, MetricsRegistry, ObsConfig, Tracer, samples_for
 from repro.serving import QUERY_TYPES, NetClient, NetServer, TenantConfig, TenantHost
 
 
@@ -35,12 +44,29 @@ class NetRow:
     workers: int
     clients: int
     hedge_ms: "float | None"
+    obs: bool
     queries: int
     throughput_qps: float
     p50_ms: float
     p99_ms: float
+    srv_p50_ms: "float | None"
+    srv_p95_ms: "float | None"
+    srv_p99_ms: "float | None"
+    obs_overhead_pct: "float | None"
     hedged: int
     verified: bool
+
+
+def _server_quantiles(snapshot) -> "tuple[float, float, float] | None":
+    """p50/p95/p99 (ms) merged across tenants from the obs histograms."""
+    merged: "Histogram | None" = None
+    for sample in samples_for(snapshot, "repro_request_latency_seconds"):
+        if merged is None:
+            merged = Histogram(sample["bounds"])
+        merged.merge_counts(sample["counts"], sample["sum"], sample["count"])
+    if merged is None or merged.count == 0:
+        return None
+    return tuple(1000.0 * merged.quantile(q) for q in (0.5, 0.95, 0.99))
 
 
 def _build_clusters(dataset_scale: float, num_machines: int, t_max: int, tenants: int):
@@ -67,8 +93,9 @@ def _run_closed_loop(
     clients: int,
     workers: int,
     hedge_ms: "float | None",
+    obs: bool = False,
     seed: int = 0,
-) -> Tuple[float, float, float, int, bool]:
+) -> Tuple[float, float, float, int, bool, "tuple[float, float, float] | None"]:
     rng = np.random.default_rng(seed)
     tenant_names = list(clusters)
     nodes = rng.integers(0, graph.num_nodes, size=total_queries)
@@ -90,12 +117,14 @@ def _run_closed_loop(
                 answers[index] = await connection.query(tenant, node, query_type)
                 latencies.append(time.perf_counter() - started)
 
+    obs_config = ObsConfig(registry=MetricsRegistry(), tracer=Tracer()) if obs else None
+
     async def _run() -> int:
         config = TenantConfig(hedge_ms=hedge_ms)
-        async with TenantHost(workers=workers) as host:
+        async with TenantHost(workers=workers, obs=obs_config) as host:
             for name, cluster in clusters.items():
                 await host.add_tenant(name, cluster, config=config)
-            async with NetServer(host) as net:
+            async with NetServer(host, obs=obs_config) as net:
                 await asyncio.gather(*(_client(net.port, shard) for shard in shards))
             return sum(s["hedged"] for s in host.all_stats().values())
 
@@ -108,7 +137,10 @@ def _run_closed_loop(
     )
     p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
     throughput = total_queries / elapsed if elapsed > 0 else float("nan")
-    return throughput, float(p50), float(p99), hedged, verified
+    server_quantiles = (
+        _server_quantiles(obs_config.registry.snapshot()) if obs_config else None
+    )
+    return throughput, float(p50), float(p99), hedged, verified, server_quantiles
 
 
 def run(
@@ -118,6 +150,7 @@ def run(
     hedge_deadlines: "tuple[float | None, ...]" = (None, 25.0),
     clients: int = 4,
     queries_per_config: "int | None" = None,
+    obs_modes: "tuple[bool, ...]" = (False, True),
 ) -> List[NetRow]:
     scale = ExperimentScale.from_env()
     total = queries_per_config or max(48, 12 * scale.num_queries)
@@ -129,29 +162,42 @@ def run(
         for hedge_ms in hedge_deadlines:
             if hedge_ms is not None and workers <= 1:
                 continue  # inline path has no second lane to hedge onto
-            throughput, p50, p99, hedged, verified = _run_closed_loop(
-                graph,
-                clusters,
-                total_queries=total,
-                clients=clients,
-                workers=workers,
-                hedge_ms=hedge_ms,
-            )
-            rows.append(
-                NetRow(
-                    dataset=name,
-                    tenants=tenants,
-                    workers=workers,
+            baseline_qps: "float | None" = None
+            for obs in obs_modes:
+                throughput, p50, p99, hedged, verified, server_q = _run_closed_loop(
+                    graph,
+                    clusters,
+                    total_queries=total,
                     clients=clients,
+                    workers=workers,
                     hedge_ms=hedge_ms,
-                    queries=total,
-                    throughput_qps=throughput,
-                    p50_ms=p50,
-                    p99_ms=p99,
-                    hedged=hedged,
-                    verified=verified,
+                    obs=obs,
                 )
-            )
+                overhead = None
+                if obs and baseline_qps and baseline_qps > 0:
+                    overhead = 100.0 * (baseline_qps - throughput) / baseline_qps
+                if not obs:
+                    baseline_qps = throughput
+                rows.append(
+                    NetRow(
+                        dataset=name,
+                        tenants=tenants,
+                        workers=workers,
+                        clients=clients,
+                        hedge_ms=hedge_ms,
+                        obs=obs,
+                        queries=total,
+                        throughput_qps=throughput,
+                        p50_ms=p50,
+                        p99_ms=p99,
+                        srv_p50_ms=server_q[0] if server_q else None,
+                        srv_p95_ms=server_q[1] if server_q else None,
+                        srv_p99_ms=server_q[2] if server_q else None,
+                        obs_overhead_pct=overhead,
+                        hedged=hedged,
+                        verified=verified,
+                    )
+                )
     return rows
 
 
@@ -159,15 +205,24 @@ def _emit(rows: List[NetRow]) -> str:
     return emit_table(
         "net",
         "Network tier: closed-loop multi-tenant TCP throughput/latency "
-        "(answers verified byte-identical to each tenant's synchronous path)",
-        ["Dataset", "Tenants", "Workers", "Clients", "Hedge(ms)", "Queries",
-         "q/s", "p50(ms)", "p99(ms)", "Hedged", "Verified"],
+        "(answers verified byte-identical to each tenant's synchronous path; "
+        "obs rows report server-side quantiles from the metrics histograms "
+        "and the throughput overhead vs the matching uninstrumented row)",
+        ["Dataset", "Tenants", "Workers", "Clients", "Hedge(ms)", "Obs",
+         "Queries", "q/s", "p50(ms)", "p99(ms)", "srv p50", "srv p95",
+         "srv p99", "obs Δ%", "Hedged", "Verified"],
         [
             (
                 r.dataset, r.tenants, r.workers, r.clients,
                 "-" if r.hedge_ms is None else fmt(r.hedge_ms, 1),
+                "on" if r.obs else "off",
                 r.queries, fmt(r.throughput_qps, 1), fmt(r.p50_ms, 2),
-                fmt(r.p99_ms, 2), r.hedged, r.verified,
+                fmt(r.p99_ms, 2),
+                "-" if r.srv_p50_ms is None else fmt(r.srv_p50_ms, 2),
+                "-" if r.srv_p95_ms is None else fmt(r.srv_p95_ms, 2),
+                "-" if r.srv_p99_ms is None else fmt(r.srv_p99_ms, 2),
+                "-" if r.obs_overhead_pct is None else fmt(r.obs_overhead_pct, 1),
+                r.hedged, r.verified,
             )
             for r in rows
         ],
@@ -179,6 +234,11 @@ def test_net(benchmark):
     _emit(rows)
     assert all(row.verified for row in rows), "wire answers diverged from cluster.answer"
     assert all(row.throughput_qps > 0 for row in rows)
+    obs_rows = [row for row in rows if row.obs]
+    assert obs_rows, "every configuration should also run with observability on"
+    assert all(row.srv_p99_ms is not None for row in obs_rows), (
+        "obs rows must carry server-side histogram quantiles"
+    )
 
 
 def _run_table(args) -> None:

@@ -27,6 +27,10 @@ Subcommands
     Connect to a running ``serve-net`` listener and fire a one-shot
     query, read ``tenant node qtype`` lines from stdin, or print every
     tenant's serving ledger.
+``top``
+    Poll a running ``serve-net`` listener's ``stats`` and ``metrics``
+    wire ops and render live per-tenant and per-lane tables (request
+    counters, histogram-derived p50/p99, worker compute times).
 ``stream``
     Hold out a fraction of a dataset's edges, stream them back in
     micro-batches through the online re-summarization layer while
@@ -287,11 +291,13 @@ def _cmd_serve(args) -> int:
 
 def _cmd_serve_net(args) -> int:
     import asyncio
+    import logging
     import os
     import signal
     import time
 
     from repro.distributed import build_summary_cluster
+    from repro.obs import MetricsHTTPServer, MetricsRegistry, ObsConfig, Tracer, slow_log
     from repro.serving import (
         QUERY_TYPES,
         NetClient,
@@ -338,6 +344,25 @@ def _cmd_serve_net(args) -> int:
         max_wait_ms=args.max_wait_ms,
         hedge_ms=args.hedge_ms,
     )
+
+    # Observability: metrics are always on for this command (the
+    # ``metrics`` wire op and ``repro top`` rely on them); tracing — and
+    # its slow-query log — only when a sink or threshold asks for it.
+    registry = MetricsRegistry()
+    tracer = None
+    trace_path = None
+    if args.trace_dir is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, f"spans-{os.getpid()}.jsonl")
+    if args.trace_dir is not None or args.slow_ms is not None:
+        tracer = Tracer(sink_path=trace_path, slow_ms=args.slow_ms)
+        if args.slow_ms is not None and not slow_log.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
+            slow_log.addHandler(handler)
+            slow_log.setLevel(logging.WARNING)
+    obs = ObsConfig(registry=registry, tracer=tracer)
+
     latencies: List[float] = []
     answers: List[np.ndarray] = [None] * len(stream)
 
@@ -346,11 +371,19 @@ def _cmd_serve_net(args) -> int:
         answers[index] = await client.query(tenant, node, query_type)
         latencies.append(time.perf_counter() - started)
 
+    async def _serve_metrics():
+        if args.metrics_port is None:
+            return None
+        http = await MetricsHTTPServer(registry, port=args.metrics_port).start()
+        print(f"metrics         http://127.0.0.1:{http.port}/metrics")
+        return http
+
     async def _run():
-        async with TenantHost(workers=args.workers, chaos=chaos) as host:
+        async with TenantHost(workers=args.workers, chaos=chaos, obs=obs) as host:
             for tenant, cluster in clusters.items():
                 await host.add_tenant(tenant, cluster, config=config)
-            async with NetServer(host, port=args.port) as net:
+            metrics_http = await _serve_metrics()
+            async with NetServer(host, port=args.port, obs=obs) as net:
                 print(f"listening       127.0.0.1:{net.port} ({len(clusters)} tenants)")
                 client = await NetClient.connect("127.0.0.1", net.port)
                 async with client:
@@ -377,10 +410,16 @@ def _cmd_serve_net(args) -> int:
                 if args.serve_forever:
                     print("serving forever (ctrl-c to stop)")
                     await asyncio.Event().wait()
+                if metrics_http is not None:
+                    await metrics_http.stop()
                 return stats
 
     started = time.perf_counter()
-    all_stats = asyncio.run(_run())
+    try:
+        all_stats = asyncio.run(_run())
+    finally:
+        if tracer is not None:
+            tracer.close()
     elapsed = time.perf_counter() - started
 
     total_answered = sum(s["answered"] for s in all_stats.values())
@@ -395,6 +434,20 @@ def _cmd_serve_net(args) -> int:
     print(f"queries         {total_answered} answered in {elapsed:.2f}s ({total_answered / elapsed:.1f} q/s)")
     print(f"resilience      redispatches={redispatches}, hedged={hedged}")
     print(f"latency         p50 {p50:.1f}ms, p99 {p99:.1f}ms")
+    from repro.obs import quantile_from_sample, samples_for
+
+    server_lat = samples_for(registry.snapshot(), "repro_request_latency_seconds")
+    if server_lat:
+        merged_count = sum(s["count"] for s in server_lat)
+        worst_p99 = max(quantile_from_sample(s, 0.99) for s in server_lat) * 1000.0
+        print(
+            f"metrics         {merged_count} requests histogrammed, "
+            f"worst-tenant server-side p99 {worst_p99:.1f}ms"
+        )
+    if tracer is not None and args.slow_ms is not None:
+        print(f"slow queries    {tracer.slow_queries} over {args.slow_ms:.0f}ms")
+    if trace_path is not None:
+        print(f"trace sink      {trace_path}")
     for tenant, s in all_stats.items():
         balanced = s["admitted"] == s["answered"] + s["failed"] + s["cancelled"]
         print(
@@ -466,6 +519,115 @@ def _cmd_net_client(args) -> int:
 
     try:
         return asyncio.run(_run())
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port} ({error})", file=sys.stderr)
+        return 2
+
+
+def _cmd_top(args) -> int:
+    import asyncio
+
+    from repro.errors import ReproError, ServingError
+    from repro.obs import Histogram, quantile_from_sample, samples_for
+    from repro.serving import NetClient
+
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+    if args.iterations < 0:
+        print(f"error: --iterations must be >= 0, got {args.iterations}", file=sys.stderr)
+        return 2
+
+    def _render(stats, snapshot) -> None:
+        latency = {
+            sample["labels"].get("tenant", ""): sample
+            for sample in samples_for(snapshot, "repro_request_latency_seconds")
+        }
+        rows = []
+        for tenant in sorted(stats):
+            s = stats[tenant]
+            sample = latency.get(tenant)
+            p50 = quantile_from_sample(sample, 0.5) * 1000.0 if sample else 0.0
+            p99 = quantile_from_sample(sample, 0.99) * 1000.0 if sample else 0.0
+            rows.append(
+                [
+                    tenant,
+                    s.get("admitted", 0),
+                    s.get("answered", 0),
+                    s.get("failed", 0),
+                    s.get("inflight", 0),
+                    s.get("hedged", 0),
+                    s.get("hedge_wins", 0),
+                    s.get("redispatches", 0),
+                    f"{p50:.1f}",
+                    f"{p99:.1f}",
+                ]
+            )
+        print(
+            format_table(
+                [
+                    "Tenant",
+                    "Admitted",
+                    "Answered",
+                    "Failed",
+                    "Inflight",
+                    "Hedged",
+                    "Wins",
+                    "Redisp",
+                    "p50 ms",
+                    "p99 ms",
+                ],
+                rows,
+            )
+        )
+        # Per-lane compute: merge every tenant's histogram for each lane
+        # (fixed shared bounds make the merge exact).
+        lanes: dict = {}
+        for sample in samples_for(snapshot, "repro_worker_compute_seconds"):
+            lane = sample["labels"].get("lane", "?")
+            merged = lanes.get(lane)
+            if merged is None:
+                merged = lanes[lane] = Histogram(sample["bounds"])
+            merged.merge_counts(sample["counts"], sample["sum"], sample["count"])
+        if lanes:
+            lane_rows = [
+                [
+                    lane,
+                    hist.count,
+                    f"{hist.mean * 1000.0:.2f}",
+                    f"{hist.quantile(0.99) * 1000.0:.2f}",
+                ]
+                for lane, hist in sorted(lanes.items(), key=lambda kv: kv[0])
+            ]
+            print()
+            print(format_table(["Lane", "Batches", "Mean ms", "p99 ms"], lane_rows))
+
+    async def _run() -> int:
+        client = await NetClient.connect(args.host, args.port)
+        async with client:
+            iteration = 0
+            while True:
+                if iteration:
+                    await asyncio.sleep(args.interval)
+                    print()
+                stats = await client.stats()
+                try:
+                    snapshot = await client.metrics()
+                except ServingError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 1
+                _render(stats, snapshot)
+                iteration += 1
+                if args.iterations and iteration >= args.iterations:
+                    return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (ConnectionError, OSError) as error:
         print(f"error: cannot reach {args.host}:{args.port} ({error})", file=sys.stderr)
         return 2
@@ -878,7 +1040,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the per-tenant byte-identical comparison against cluster.answer",
     )
+    serve_net_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also expose /metrics (Prometheus text) over HTTP on this port (0 = ephemeral)",
+    )
+    serve_net_cmd.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write request trace spans as JSONL under this directory (enables tracing)",
+    )
+    serve_net_cmd.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log a structured slow-query line for requests slower than this (enables tracing)",
+    )
     serve_net_cmd.set_defaults(func=_cmd_serve_net)
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="live per-tenant / per-lane tables from a running serve-net listener",
+    )
+    top_cmd.add_argument("--host", default="127.0.0.1", help="server host")
+    top_cmd.add_argument("--port", type=int, required=True, help="server port")
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="refresh this many times then exit (0 = until ctrl-c)",
+    )
+    top_cmd.set_defaults(func=_cmd_top)
 
     net_client_cmd = sub.add_parser(
         "net-client",

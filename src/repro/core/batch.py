@@ -89,6 +89,7 @@ import numpy as np
 
 from repro.core.costs import CostModel, MergePlan
 from repro.errors import GraphFormatError
+from repro.obs.profile import probe
 
 #: Default profitability gate: expected gathered elements per attempt
 #: (2 × the group's total row length) below which the scalar loop wins
@@ -498,6 +499,15 @@ class BatchCostEvaluator:
         touched row is unclean (see the module docstring) — the caller
         then falls back to the scalar loop.
         """
+        with probe("merge.window_eval"):
+            return self._evaluate_window(attempts, use_relative=use_relative)
+
+    def _evaluate_window(
+        self,
+        attempts: "List[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
+        *,
+        use_relative: bool = True,
+    ):
         num_attempts = len(attempts)
         if num_attempts == 1:
             members, first, second = attempts[0]
@@ -609,6 +619,10 @@ class BatchCostEvaluator:
         partners (re-keyed to the union id), and their former superedge
         neighbors.
         """
+        with probe("merge.apply"):
+            return self._apply_merge(plan)
+
+    def _apply_merge(self, plan: MergePlan) -> int:
         cm = self._cm
         blocks = cm._blocks
         summary = cm.summary

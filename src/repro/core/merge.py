@@ -64,6 +64,7 @@ import numpy as np
 from repro.core.batch import BatchCostEvaluator
 from repro.core.costs import CostModel, MergePlan
 from repro.core.threshold import ThresholdPolicy
+from repro.obs.profile import probe
 
 OBJECTIVES = ("relative", "absolute")
 
@@ -104,23 +105,24 @@ def _scalar_attempt(
     stats: GroupMergeStats,
 ) -> "Tuple[MergePlan, float] | None":
     """One attempt's scalar evaluation: dedup, evaluate, first-wins max."""
-    best_plan: "MergePlan | None" = None
-    best_score = -math.inf
-    seen = set()
-    for i, j in zip(first.tolist(), second.tolist()):
-        key = (i, j) if i < j else (j, i)
-        if key in seen:
-            continue
-        seen.add(key)
-        plan = cost_model.evaluate_merge(members[i], members[j])
-        stats.evaluations += 1
-        score = plan.relative_delta if use_relative else plan.delta
-        if score > best_score:
-            best_score = score
-            best_plan = plan
-    if best_plan is None:  # all scores NaN: impossible, but guard
-        return None
-    return best_plan, best_score
+    with probe("merge.scalar_attempt"):
+        best_plan: "MergePlan | None" = None
+        best_score = -math.inf
+        seen = set()
+        for i, j in zip(first.tolist(), second.tolist()):
+            key = (i, j) if i < j else (j, i)
+            if key in seen:
+                continue
+            seen.add(key)
+            plan = cost_model.evaluate_merge(members[i], members[j])
+            stats.evaluations += 1
+            score = plan.relative_delta if use_relative else plan.delta
+            if score > best_score:
+                best_score = score
+                best_plan = plan
+        if best_plan is None:  # all scores NaN: impossible, but guard
+            return None
+        return best_plan, best_score
 
 
 def _resolve_scalar_attempt(

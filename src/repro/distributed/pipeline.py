@@ -38,6 +38,7 @@ from repro.distributed.cluster import DistributedCluster, Machine
 from repro.distributed.subgraph import budgeted_subgraph
 from repro.errors import PartitionError
 from repro.graph.graph import Graph
+from repro.obs.profile import probe
 from repro.parallel import ParallelExecutor
 from repro.parallel.graphship import GraphShipment, restore_graphs
 from repro.partitioning.louvain import louvain_partition
@@ -115,7 +116,8 @@ def _summary_spill_task(shared, task) -> Tuple[int, str, float]:
     weights = PersonalizedWeights(graph, part, alpha=config.alpha)
     result = summarize(graph, budget_bits=budget_bits, config=config, weights=weights)
     path = _spill_path(spill_dir, machine_id)
-    save_summary_binary(result.summary, path, include_graph=False)
+    with probe("store.spill"):
+        save_summary_binary(result.summary, path, include_graph=False)
     return machine_id, path, result.summary.size_in_bits()
 
 
@@ -127,7 +129,8 @@ def _subgraph_spill_task(shared, task) -> Tuple[int, str, float]:
     machine_id, part = task
     subgraph = budgeted_subgraph(graph, part, budget_bits, seed=seed)
     path = _spill_path(spill_dir, machine_id)
-    save_graph(subgraph, path)
+    with probe("store.spill"):
+        save_graph(subgraph, path)
     return machine_id, path, subgraph.size_in_bits()
 
 

@@ -1,0 +1,124 @@
+"""End-to-end observability: metrics, request tracing, profiling hooks.
+
+Three layers, all optional and all off the hot path when unused:
+
+* :mod:`repro.obs.registry` — lock-cheap counters, gauges, and
+  mergeable log-bucket histograms, with Prometheus-text and JSON
+  exposition (:class:`MetricsRegistry`, :func:`get_registry`).
+* :mod:`repro.obs.trace` — ``trace_id``/span request tracing
+  (:class:`Tracer`); ids are minted at the serving edge and propagated
+  through batch payloads across the fork boundary, so worker-side
+  compute spans land under the parent-minted trace.
+* :mod:`repro.obs.profile` — :func:`probe` phase timers threaded
+  through the merge engines, the streaming swap path, and the store
+  load/spill path; no-ops unless :func:`enable_profiling` ran.
+
+:class:`ObsConfig` bundles a registry and a tracer and is what the
+serving stack takes: pass one to
+:class:`~repro.serving.server.QueryServer`,
+:class:`~repro.serving.tenancy.TenantHost`, or
+:class:`~repro.serving.net.NetServer` and metrics/tracing light up end
+to end — ``None`` (the default) keeps every code path byte- and
+cost-identical to the uninstrumented tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.profile import (
+    count,
+    disable_profiling,
+    enable_profiling,
+    probe,
+    profiling_enabled,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    DEFAULT_SIZE_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_spaced_bounds,
+    quantile_from_sample,
+    samples_for,
+)
+from repro.obs.trace import Span, TraceHandle, Tracer, new_trace_id, slow_log
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_SIZE_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "ObsConfig",
+    "Span",
+    "TraceHandle",
+    "Tracer",
+    "count",
+    "disable_profiling",
+    "enable_profiling",
+    "get_registry",
+    "harvest_worker_metrics",
+    "log_spaced_bounds",
+    "new_trace_id",
+    "probe",
+    "profiling_enabled",
+    "quantile_from_sample",
+    "samples_for",
+    "slow_log",
+]
+
+
+@dataclass
+class ObsConfig:
+    """One knob for the serving stack: which registry/tracer to record into.
+
+    ``registry=None`` disables metrics, ``tracer=None`` disables
+    tracing; ``tenant`` labels every metric the holder records (the
+    multi-tenant host stamps each tenant's server with its name).
+    ``profile_workers`` ships the profiling switch to lane workers so
+    worker-side probes (store loads, operator builds) record and are
+    harvested back per batch.
+    """
+
+    registry: "MetricsRegistry | None" = None
+    tracer: "Tracer | None" = None
+    tenant: str = ""
+    profile_workers: bool = True
+
+    @classmethod
+    def default(cls, **kwargs: Any) -> "ObsConfig":
+        """An ObsConfig over the process-wide registry (no tracer)."""
+        kwargs.setdefault("registry", get_registry())
+        return cls(**kwargs)
+
+    def for_tenant(self, tenant: str) -> "ObsConfig":
+        """The same sinks, labeled for one tenant."""
+        return replace(self, tenant=tenant)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry is not None or self.tracer is not None
+
+
+#: Worker-process harvest cursor for :func:`harvest_worker_metrics`.
+_WORKER_HARVEST_CURSOR: Dict[str, Any] = {}
+
+
+def harvest_worker_metrics() -> Dict[str, Any]:
+    """This worker's default-registry delta since the previous harvest.
+
+    Called by :func:`~repro.serving.blueprint.serve_batch_task` once per
+    batch; the delta rides back with the batch reply and the parent
+    merges it, so lane compute metrics survive a later SIGKILL of the
+    worker (only the killed batch's own measurements are lost, and that
+    batch is re-dispatched and re-measured).
+    """
+    return get_registry().harvest_delta(_WORKER_HARVEST_CURSOR)

@@ -411,7 +411,7 @@ def _invoke_chaos(spec: Dict[str, Any], machine_id: int) -> None:
     hook(spec, machine_id)
 
 
-def serve_batch_task(shared: Dict[str, Any], task) -> List[np.ndarray]:
+def serve_batch_task(shared: Dict[str, Any], task):
     """Answer one machine's micro-batch (runs in a pool worker).
 
     ``task`` is ``(machine_id, [(node, query_type), ...])`` or, when the
@@ -420,14 +420,51 @@ def serve_batch_task(shared: Dict[str, Any], task) -> List[np.ndarray]:
     :meth:`ClusterBlueprint.export_update`.  Answers come back in batch
     order; mixed query types share the machine's cached reconstruction
     operator.
+
+    An **observability-enabled** server appends a fourth element, the
+    observation spec ``ospec = {"ppid", "profile"}``; the return value
+    then becomes ``(answers, obs)`` where ``obs`` carries this process's
+    pid, the batch compute time, and — when this is a *different*
+    process than the dispatching parent — a harvested metrics delta from
+    the worker's registry (the per-batch harvest is what lets lane
+    compute metrics survive a later SIGKILL of the worker).  Without an
+    ospec the task shape, the return shape, and the cost are exactly the
+    legacy ones.
     """
     machine_id, items = task[0], task[1]
     update = task[2] if len(task) > 2 else None
+    ospec = task[3] if len(task) > 3 else None
     chaos = shared.get("chaos") if isinstance(shared, dict) else None
     if chaos is not None:
         _invoke_chaos(chaos, machine_id)
+    if ospec is None:
+        machine = attached_cluster(shared).machine(machine_id, update)
+        return [machine.answer(node, query_type) for node, query_type in items]
+
+    import os
+    import time
+
+    from repro import obs as _obs
+
+    in_worker = os.getpid() != ospec.get("ppid")
+    if ospec.get("profile") and in_worker and not _obs.profiling_enabled():
+        # First instrumented batch on this (possibly respawned) worker:
+        # turn the hot-path probes on so store loads and operator builds
+        # below are captured and harvested back with the reply.
+        _obs.enable_profiling()
+    t0 = time.perf_counter()
     machine = attached_cluster(shared).machine(machine_id, update)
-    return [machine.answer(node, query_type) for node, query_type in items]
+    answers = [machine.answer(node, query_type) for node, query_type in items]
+    payload: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "compute_s": time.perf_counter() - t0,
+    }
+    if in_worker:
+        # Inline path (workers=1) shares the parent's default registry;
+        # harvesting there would double-count with the parent's own
+        # bookkeeping, so only true child processes ship a delta.
+        payload["metrics"] = _obs.harvest_worker_metrics()
+    return answers, payload
 
 
 def release_session_task(shared: Dict[str, Any], payload: Dict[str, Any]) -> bool:

@@ -33,12 +33,14 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
 from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
 
 from repro import errors as _errors
 from repro.errors import CodecError, FrameError, ProtocolError, ReproError, ServingError
+from repro.obs import ObsConfig
 from repro.serving.protocol import (
     FrameDecoder,
     MAX_FRAME_BYTES,
@@ -88,6 +90,15 @@ class NetServer:
         after :meth:`start`).
     max_frame:
         Per-frame byte cap enforced on both directions.
+    obs:
+        Optional :class:`~repro.obs.ObsConfig`.  With a tracer, this is
+        the **ingress edge**: every query frame mints a trace here, the
+        id follows the request through the tenant host, the lanes, and
+        the worker compute, and the answer-frame write is recorded as
+        the ``reply`` span before the trace's ``total`` closes.  With a
+        registry, the ``metrics`` wire op exposes it (Prometheus text or
+        JSON snapshot) beside the ``stats`` op.  Normally the same
+        config object the tenant host was built with.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`stop` explicitly.
@@ -100,11 +111,14 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
+        obs: "ObsConfig | None" = None,
     ):
         self._tenants = host_tenants
         self._host = host
         self._requested_port = int(port)
         self._max_frame = int(max_frame)
+        self._obs = obs if obs is not None and obs.enabled else None
+        self._tracer = self._obs.tracer if self._obs is not None else None
         self._server: "asyncio.AbstractServer | None" = None
         self._connections: "Set[_Connection]" = set()
         #: Connections that ever completed a handshake (monotone).
@@ -215,6 +229,8 @@ class NetServer:
             task.add_done_callback(connection.tasks.discard)
         elif op == "stats":
             await self._reply_stats(connection, message)
+        elif op == "metrics":
+            await self._reply_metrics(connection, message)
         elif op == "tenants":
             await connection.send(
                 {"op": "tenants", "id": message.get("id"), "tenants": self._tenants.tenants()}
@@ -247,10 +263,21 @@ class NetServer:
         self.connections_accepted += 1
 
     async def _reply_stats(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        """Ledger snapshots over the wire (fields: ``STATS_FIELDS``).
+
+        ``tenant`` picks one tenant's full ledger — every
+        :class:`~repro.serving.server.ServingStats` field, hedging and
+        failover counters included, plus host-level ``inflight`` /
+        ``quota_rejections``.  ``tenant: "*"`` answers the host-wide
+        aggregate (:meth:`~repro.serving.tenancy.TenantHost.aggregate_stats`);
+        omitting it answers every tenant keyed by name.
+        """
         name = message.get("tenant")
         try:
             if name is None:
                 stats: Any = self._tenants.all_stats()
+            elif name == "*":
+                stats = self._tenants.aggregate_stats()
             else:
                 stats = self._tenants.all_stats()[str(name)]
         except KeyError:
@@ -259,6 +286,47 @@ class NetServer:
             )
             return
         await connection.send({"op": "stats", "id": message.get("id"), "stats": stats})
+
+    async def _reply_metrics(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        """The ``metrics`` wire op: the server's registry, rendered.
+
+        ``format: "json"`` (default) ships the mergeable snapshot dict;
+        ``format: "prometheus"`` ships the text exposition.  A server
+        running without a metrics registry answers a non-fatal error.
+        """
+        registry = self._obs.registry if self._obs is not None else None
+        if registry is None:
+            await self._reply_error(
+                connection,
+                message,
+                ServingError("metrics are not enabled on this server"),
+            )
+            return
+        fmt = message.get("format", "json")
+        if fmt == "prometheus":
+            await connection.send(
+                {
+                    "op": "metrics",
+                    "id": message.get("id"),
+                    "format": "prometheus",
+                    "text": registry.render_prometheus(),
+                }
+            )
+        elif fmt == "json":
+            await connection.send(
+                {
+                    "op": "metrics",
+                    "id": message.get("id"),
+                    "format": "json",
+                    "snapshot": registry.snapshot(),
+                }
+            )
+        else:
+            await self._reply_error(
+                connection,
+                message,
+                _errors.CodecError(f"unknown metrics format {fmt!r}"),
+            )
 
     async def _reply_error(
         self, connection: _Connection, message: Dict[str, Any], error: BaseException
@@ -274,6 +342,7 @@ class NetServer:
         )
 
     async def _serve_query(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        handle = None
         try:
             tenant = message.get("tenant")
             node = message.get("node")
@@ -284,21 +353,47 @@ class NetServer:
                 )
             if not isinstance(query_type, str):
                 raise _errors.QueryError("query needs a string 'type'")
-            answer = await self._tenants.submit(tenant, node, query_type)
+            if self._tracer is not None:
+                # The ingress edge: the trace is minted here and its id
+                # follows the request through the tenant host, the lane
+                # dispatch, and the worker's compute span.
+                handle = self._tracer.begin(
+                    "query",
+                    tenant=tenant,
+                    node=node,
+                    query_type=query_type,
+                    transport="tcp",
+                )
+            answer = await self._tenants.submit(tenant, node, query_type, trace=handle)
         except asyncio.CancelledError:
+            if handle is not None:
+                handle.finish(status="cancelled")
             raise
         except ReproError as error:
+            if handle is not None:
+                handle.finish(status=type(error).__name__)
             try:
                 await self._reply_error(connection, message, error)
             except (ConnectionError, OSError):
                 pass
             return
         try:
+            t_reply = time.perf_counter()
             await connection.send(
                 {"op": "answer", "id": message.get("id"), "answer": pack_array(answer)}
             )
+            if handle is not None:
+                self._tracer.record(
+                    handle.trace_id,
+                    "reply",
+                    time.perf_counter() - t_reply,
+                    values=int(answer.size),
+                )
+                handle.finish(status="ok")
         except (ConnectionError, OSError):
-            pass  # client disconnected between answer and delivery
+            # Client disconnected between answer and delivery.
+            if handle is not None:
+                handle.finish(status="lost")
 
 
 # ----------------------------------------------------------------------
@@ -462,12 +557,39 @@ class NetClient:
         return unpack_array(reply.get("answer"))
 
     async def stats(self, tenant: "str | None" = None) -> Dict[str, Any]:
-        """One tenant's ledger snapshot, or every tenant's when ``None``."""
+        """One tenant's ledger snapshot, or every tenant's when ``None``.
+
+        ``tenant="*"`` answers the host-wide aggregate instead.  Field
+        meanings: :data:`~repro.serving.server.STATS_FIELDS`.
+        """
         reply = await self._request({"op": "stats", "tenant": tenant})
         stats = reply.get("stats")
         if not isinstance(stats, dict):
             raise ProtocolError("malformed stats reply")
         return stats
+
+    async def aggregate_stats(self) -> Dict[str, Any]:
+        """The host-wide ledger: every tenant's counters folded together."""
+        return await self.stats("*")
+
+    async def metrics(self, format: str = "json") -> Any:
+        """The server's metrics registry, rendered.
+
+        ``format="json"`` returns the snapshot dict (mergeable via
+        :meth:`~repro.obs.MetricsRegistry.merge_snapshot`);
+        ``format="prometheus"`` returns the text exposition as a string.
+        Raises :class:`~repro.errors.ServingError` when the server runs
+        without a registry.
+        """
+        reply = await self._request({"op": "metrics", "format": format})
+        if reply.get("op") != "metrics":
+            raise ProtocolError(f"expected a metrics reply, got op {reply.get('op')!r}")
+        if format == "prometheus":
+            return str(reply.get("text", ""))
+        snapshot = reply.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise ProtocolError("malformed metrics reply")
+        return snapshot
 
     async def list_tenants(self) -> List[str]:
         """The server's current tenant directory."""

@@ -50,14 +50,17 @@ node.
 from __future__ import annotations
 
 import asyncio
+import os
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.distributed.cluster import DistributedCluster, Machine
 from repro.errors import QueryError, ServingError
+from repro.obs import DEFAULT_SIZE_BOUNDS, ObsConfig, TraceHandle
 from repro.parallel.lanes import LaneExecutor
 from repro.serving.blueprint import ClusterBlueprint, release_session, serve_batch_task
 
@@ -113,12 +116,42 @@ class ServingStats:
         return asdict(self)
 
 
+#: Every field a ``stats`` wire-op reply can carry, documented in one
+#: place.  The per-tenant reply ships every :class:`ServingStats` field
+#: plus the host-level ``inflight``/``quota_rejections``; the aggregate
+#: reply (tenant ``"*"`` or omitted) sums the summable ones across
+#: tenants.  ``repro top`` and the docs table both render from this.
+STATS_FIELDS: Dict[str, str] = {
+    "admitted": "Queries accepted into the admission queue.",
+    "rejected": "Queries shed because the admission queue was full.",
+    "answered": "Request futures resolved with an answer.",
+    "failed": "Request futures resolved with an error.",
+    "cancelled": "Requests whose future was already done (client cancel/timeout) when their batch resolved.",
+    "batches": "Micro-batches flushed to the serving lanes.",
+    "max_batch_size": "Largest flushed batch so far.",
+    "max_queue_depth": "Deepest the admission queue has been.",
+    "swaps": "Hot machine-source swaps applied (streaming refresh path).",
+    "hedged": "Batches duplicated onto the neighboring lane after the hedge deadline.",
+    "hedge_wins": "Hedged duplicates that delivered before the primary copy.",
+    "redispatches": "Batches re-sent after a lane worker died mid-flight.",
+    "inflight": "Host-level: requests admitted but not yet resolved (counts against the tenant quota).",
+    "quota_rejections": "Host-level: submissions refused because the tenant was at its inflight quota.",
+}
+
+
 @dataclass(eq=False)  # identity semantics: requests live in the outstanding set
 class _Request:
     node: int
     query_type: str
     machine_id: int
     future: "asyncio.Future[np.ndarray]" = field(repr=False)
+    # Observability (all unset when the server runs without an ObsConfig):
+    # the trace this request reports under, whether this server minted it
+    # (and must finish it), and the admission instant for queue-wait and
+    # end-to-end latency measurements.
+    trace: "TraceHandle | None" = field(default=None, repr=False)
+    owns_trace: bool = False
+    admitted_at: float = 0.0
 
 
 @dataclass
@@ -188,6 +221,18 @@ class QueryServer:
         the blueprint payload and applied by
         :func:`~repro.serving.blueprint.serve_batch_task` before each
         batch (see ``tests/_chaos.py``).  ``None`` in production.
+    obs:
+        Optional :class:`~repro.obs.ObsConfig`.  With a registry, the
+        server records the ``repro_*`` serving metric families (request
+        outcomes, queue wait, end-to-end latency, batch sizes, per-lane
+        worker compute, hedge/redispatch counts) labeled with the
+        config's tenant; with a tracer, every request gets a trace —
+        minted here at :meth:`submit`, or adopted from the network
+        ingress via the ``trace=`` argument — whose spans cover queue,
+        assembly, lane dispatch, worker compute (recorded with the
+        *worker's* pid), hedge/redispatch events, and total.  ``None``
+        (the default) keeps the task tuples, result shapes, and costs of
+        the uninstrumented server.
 
     Use as an async context manager::
 
@@ -210,6 +255,7 @@ class QueryServer:
         hedge_ms: "float | None" = None,
         max_redispatch: int = 2,
         chaos: "Dict | None" = None,
+        obs: "ObsConfig | None" = None,
     ):
         if max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {max_batch}")
@@ -233,6 +279,20 @@ class QueryServer:
         self._hedge = None if hedge_ms is None else float(hedge_ms) / 1000.0
         self._max_redispatch = int(max_redispatch)
         self._chaos = chaos
+        self._obs = obs if obs is not None and obs.enabled else None
+        self._tracer = self._obs.tracer if self._obs is not None else None
+        # Shipped as the batch task's 4th element when observability is
+        # on; its presence is also what makes serve_batch_task return the
+        # (answers, obs) pair instead of the legacy bare answer list.
+        self._ospec: "Dict[str, Any] | None" = None
+        if self._obs is not None:
+            self._ospec = {
+                "ppid": os.getpid(),
+                "profile": bool(self._obs.profile_workers),
+            }
+        self._metrics: "Dict[str, Any] | None" = None
+        if self._obs is not None and self._obs.registry is not None:
+            self._metrics = self._build_metrics(self._obs)
         self.stats = ServingStats()
         self._running = False
         self._accepting = False
@@ -247,6 +307,79 @@ class QueryServer:
         # In-flight batch copies per (machine_id, version): a superseded
         # update's shm block is retired when its count returns to zero.
         self._update_refs: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_metrics(obs: ObsConfig) -> "Dict[str, Any]":
+        """Pre-resolve this server's instruments (one dict per tenant label)."""
+        reg = obs.registry
+        tenant = obs.tenant
+        outcome = {
+            o: reg.counter(
+                "repro_requests_total",
+                "Query requests by final outcome",
+                tenant=tenant,
+                outcome=o,
+            )
+            for o in ("answered", "failed", "cancelled", "rejected")
+        }
+        return {
+            "outcome": outcome,
+            "admitted": reg.counter(
+                "repro_admitted_total", "Queries admitted to the queue", tenant=tenant
+            ),
+            "batches": reg.counter(
+                "repro_batches_total", "Micro-batches flushed", tenant=tenant
+            ),
+            "hedges": reg.counter(
+                "repro_hedges_total", "Batches hedged onto a second lane", tenant=tenant
+            ),
+            "hedge_wins": reg.counter(
+                "repro_hedge_wins_total", "Hedged copies that delivered first", tenant=tenant
+            ),
+            "redispatches": reg.counter(
+                "repro_redispatches_total", "Batches re-sent after worker death", tenant=tenant
+            ),
+            "swaps": reg.counter(
+                "repro_swaps_total", "Hot machine-source swaps", tenant=tenant
+            ),
+            "queue_wait": reg.histogram(
+                "repro_queue_wait_seconds",
+                "Admission-to-flush wait per request",
+                tenant=tenant,
+            ),
+            "latency": reg.histogram(
+                "repro_request_latency_seconds",
+                "Admission-to-resolution latency per request",
+                tenant=tenant,
+            ),
+            "batch_size": reg.histogram(
+                "repro_batch_size",
+                "Requests per flushed micro-batch",
+                bounds=DEFAULT_SIZE_BOUNDS,
+                tenant=tenant,
+            ),
+            "queue_depth": reg.gauge(
+                "repro_queue_depth", "Admitted-but-undispatched requests", tenant=tenant
+            ),
+        }
+
+    def _worker_compute_hist(self, lane: int):
+        """The per-lane worker-compute histogram (lanes appear dynamically)."""
+        return self._obs.registry.histogram(
+            "repro_worker_compute_seconds",
+            "Batch compute time inside a lane worker",
+            tenant=self._obs.tenant,
+            lane=str(lane),
+        )
+
+    def _trace_each(self, batch: "List[_Request]", name: str, duration_s: float, **meta: Any) -> None:
+        """Record one span under every traced request of a batch."""
+        for request in batch:
+            if request.trace is not None:
+                self._tracer.record(request.trace.trace_id, name, duration_s, **meta)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -321,6 +454,8 @@ class QueryServer:
         previous = self._updates.get(machine.machine_id)
         self._updates[machine.machine_id] = self._blueprint.export_update(machine)
         self.stats.swaps += 1
+        if self._metrics is not None:
+            self._metrics["swaps"].inc()
         if previous is not None:
             # The superseded generation can be reclaimed as soon as no
             # in-flight batch carries it (possibly right now).
@@ -388,6 +523,8 @@ class QueryServer:
                 await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
         finally:
             self._running = False
+            if self._metrics is not None:
+                self._metrics["queue_depth"].set(0)
             if self._owns_executor and self._executor is not None:
                 self._executor.shutdown()
             release_session(self._blueprint.payload)  # inline-path caches
@@ -404,46 +541,79 @@ class QueryServer:
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def _make_request(self, node: int, query_type: str) -> _Request:
+    def _make_request(
+        self, node: int, query_type: str, trace: "TraceHandle | None" = None
+    ) -> _Request:
         if not self._accepting:
             raise ServingError("server is not accepting queries")
         if query_type not in QUERY_TYPES:
             raise QueryError(f"unknown query type {query_type!r}")
         machine = self._cluster.machine_for(int(node))  # validates the node
         future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
-        return _Request(int(node), query_type, machine.machine_id, future)
+        request = _Request(int(node), query_type, machine.machine_id, future)
+        if self._obs is not None:
+            request.admitted_at = time.perf_counter()
+            if self._tracer is not None:
+                if trace is None:
+                    # In-process caller: this server is the ingress edge.
+                    request.trace = self._tracer.begin(
+                        "query",
+                        tenant=self._obs.tenant,
+                        node=request.node,
+                        query_type=query_type,
+                    )
+                    request.owns_trace = True
+                else:
+                    request.trace = trace
+        return request
 
     def _note_admitted(self, request: _Request) -> None:
         self.stats.admitted += 1
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queue.qsize())
         self._outstanding.add(request)
+        if self._metrics is not None:
+            self._metrics["admitted"].inc()
+            self._metrics["queue_depth"].set(self._queue.qsize())
 
-    def submit_nowait(self, node: int, query_type: str) -> "asyncio.Future[np.ndarray]":
+    def _note_rejected(self, request: _Request) -> None:
+        self.stats.rejected += 1
+        if self._metrics is not None:
+            self._metrics["outcome"]["rejected"].inc()
+        if request.owns_trace:
+            request.trace.finish(status="rejected")
+
+    def submit_nowait(
+        self, node: int, query_type: str, *, trace: "TraceHandle | None" = None
+    ) -> "asyncio.Future[np.ndarray]":
         """Admit one query without waiting; returns its answer future.
 
         Raises :class:`ServingError` when the admission queue is full
         (load shedding) or the server is not running, and
         :class:`~repro.errors.QueryError` for invalid nodes/query types —
-        the same validation surface as ``cluster.answer``.
+        the same validation surface as ``cluster.answer``.  *trace* lets
+        an upstream ingress (the network tier) attach the trace it
+        already minted for this request.
         """
-        request = self._make_request(node, query_type)
+        request = self._make_request(node, query_type, trace)
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
-            self.stats.rejected += 1
+            self._note_rejected(request)
             raise ServingError(
                 f"admission queue full ({self._max_pending} pending); retry or back off"
             ) from None
         self._note_admitted(request)
         return request.future
 
-    async def submit(self, node: int, query_type: str) -> np.ndarray:
+    async def submit(
+        self, node: int, query_type: str, *, trace: "TraceHandle | None" = None
+    ) -> np.ndarray:
         """Admit one query (waiting for queue space if needed) and await it.
 
         This is the backpressure path: a saturated server slows its
         clients down instead of growing without bound.
         """
-        request = self._make_request(node, query_type)
+        request = self._make_request(node, query_type, trace)
         await self._queue.put(request)
         self._note_admitted(request)
         return await request.future
@@ -514,12 +684,34 @@ class QueryServer:
             return
         self.stats.batches += 1
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        t_assemble = time.perf_counter() if self._obs is not None else 0.0
         job = _BatchJob(
             machine_id=machine_id,
             batch=batch,
             items=[(request.node, request.query_type) for request in batch],
             update=self._updates.get(machine_id),
         )
+        if self._obs is not None:
+            now = time.perf_counter()
+            if self._metrics is not None:
+                self._metrics["batches"].inc()
+                self._metrics["batch_size"].observe(len(batch))
+                self._metrics["queue_depth"].set(self._queue.qsize())
+                queue_wait = self._metrics["queue_wait"]
+                for request in batch:
+                    queue_wait.observe(now - request.admitted_at)
+            if self._tracer is not None:
+                for request in batch:
+                    if request.trace is not None:
+                        self._tracer.record(
+                            request.trace.trace_id,
+                            "queue",
+                            now - request.admitted_at,
+                            machine=machine_id,
+                        )
+                self._trace_each(
+                    batch, "assemble", now - t_assemble, machine=machine_id, size=len(batch)
+                )
         self._dispatch_job(job)
         if self._hedge is not None and not job.delivered:
             job.hedge_timer = asyncio.get_running_loop().call_later(
@@ -534,15 +726,20 @@ class QueryServer:
     def _dispatch_job(self, job: _BatchJob, *, hedged: bool = False) -> None:
         """Submit one copy of a batch to its lane (primary, hedge, retry)."""
         update = job.update
-        task = (
-            (job.machine_id, job.items)
-            if update is None
-            else (job.machine_id, job.items, update)
-        )
+        if self._ospec is not None:
+            # Observability on: ship the observation spec as the task's
+            # 4th element; the worker then returns (answers, obs).
+            task = (job.machine_id, job.items, update, self._ospec)
+        elif update is None:
+            task = (job.machine_id, job.items)
+        else:
+            task = (job.machine_id, job.items, update)
         key = None if update is None else (job.machine_id, update["version"])
         if key is not None:
             self._update_refs[key] = self._update_refs.get(key, 0) + 1
         lane = self._lane_for(job.machine_id, hedged=hedged)
+        attempt = job.attempts
+        t_dispatch = time.perf_counter() if self._obs is not None else 0.0
         try:
             if self._owns_executor:
                 pool_future = self._executor.submit(serve_batch_task, task, lane=lane)
@@ -566,7 +763,7 @@ class QueryServer:
         job.pending.add(wrapped)
         wrapped.add_done_callback(
             lambda done, job=job, key=key, hedged=hedged: self._on_batch_done(
-                done, job, key, hedged
+                done, job, key, hedged, lane=lane, attempt=attempt, t_dispatch=t_dispatch
             )
         )
 
@@ -576,6 +773,17 @@ class QueryServer:
         if job.delivered or not job.pending or not self._running:
             return
         self.stats.hedged += 1
+        if self._metrics is not None:
+            self._metrics["hedges"].inc()
+        if self._tracer is not None:
+            for request in job.batch:
+                if request.trace is not None:
+                    self._tracer.event(
+                        request.trace.trace_id,
+                        "hedge",
+                        machine=job.machine_id,
+                        lane=self._lane_for(job.machine_id, hedged=True),
+                    )
         self._dispatch_job(job, hedged=True)
 
     def _cancel_hedge(self, job: _BatchJob) -> None:
@@ -594,18 +802,45 @@ class QueryServer:
         job: _BatchJob,
         key: "Tuple[int, int] | None",
         hedged: bool,
+        *,
+        lane: int = 0,
+        attempt: int = 0,
+        t_dispatch: float = 0.0,
     ) -> None:
         self._release_update(key)
         self._inflight.discard(done)
         job.pending.discard(done)
-        if job.delivered:
-            # A sibling copy already resolved every request — the
-            # exactly-once gate that pins hedge dedup.
-            return
+        won = not job.delivered
         if done.cancelled():
             error: "BaseException | None" = asyncio.CancelledError("batch copy cancelled")
         else:
             error = done.exception()
+        answers = done.result() if error is None and not done.cancelled() else None
+        obs_payload = None
+        if answers is not None and self._ospec is not None:
+            answers, obs_payload = answers
+        if self._obs is not None:
+            self._note_copy_done(
+                job,
+                obs_payload,
+                lane=lane,
+                attempt=attempt,
+                hedged=hedged,
+                t_dispatch=t_dispatch,
+                outcome=(
+                    "cancelled"
+                    if done.cancelled()
+                    else "error"
+                    if error is not None
+                    else "delivered"
+                    if won
+                    else "late"
+                ),
+            )
+        if not won:
+            # A sibling copy already resolved every request — the
+            # exactly-once gate that pins hedge dedup.
+            return
         if error is None:
             job.delivered = True
             self._cancel_hedge(job)
@@ -613,7 +848,9 @@ class QueryServer:
                 loser.cancel()
             if hedged:
                 self.stats.hedge_wins += 1
-            for request, answer in zip(job.batch, done.result()):
+                if self._metrics is not None:
+                    self._metrics["hedge_wins"].inc()
+            for request, answer in zip(job.batch, answers):
                 self._resolve_request(request, answer)
             return
         if job.pending:
@@ -629,12 +866,68 @@ class QueryServer:
             # by the next submit; re-dispatch this batch onto it.
             job.attempts += 1
             self.stats.redispatches += 1
+            if self._metrics is not None:
+                self._metrics["redispatches"].inc()
+            if self._tracer is not None:
+                for request in job.batch:
+                    if request.trace is not None:
+                        self._tracer.event(
+                            request.trace.trace_id,
+                            "redispatch",
+                            machine=job.machine_id,
+                            attempt=job.attempts,
+                        )
             self._dispatch_job(job)
             return
         job.delivered = True
         self._cancel_hedge(job)
         for request in job.batch:
             self._fail_request(request, error)
+
+    def _note_copy_done(
+        self,
+        job: _BatchJob,
+        obs_payload: "Dict[str, Any] | None",
+        *,
+        lane: int,
+        attempt: int,
+        hedged: bool,
+        t_dispatch: float,
+        outcome: str,
+    ) -> None:
+        """Record one batch copy's round trip: dispatch span, compute span
+        (with the worker's pid — the cross-process proof), worker compute
+        histogram, and the harvested worker-registry delta."""
+        if self._tracer is not None:
+            round_trip = time.perf_counter() - t_dispatch
+            self._trace_each(
+                job.batch,
+                "dispatch",
+                round_trip,
+                machine=job.machine_id,
+                lane=lane,
+                hedged=hedged,
+                attempt=attempt,
+                outcome=outcome,
+            )
+        if obs_payload is None:
+            return
+        compute_s = obs_payload.get("compute_s", 0.0)
+        if self._tracer is not None:
+            self._trace_each(
+                job.batch,
+                "compute",
+                compute_s,
+                pid=obs_payload.get("pid"),
+                machine=job.machine_id,
+                lane=lane,
+                hedged=hedged,
+            )
+        if self._metrics is not None:
+            self._worker_compute_hist(lane).observe(compute_s)
+            harvest = obs_payload.get("metrics")
+            if harvest:
+                self._obs.registry.merge_snapshot(harvest)
 
     def _release_update(self, key: "Tuple[int, int] | None") -> None:
         """Drop one in-flight reference; retire superseded generations."""
@@ -660,17 +953,31 @@ class QueryServer:
         self._outstanding.discard(request)
         if request.future.done():
             self.stats.cancelled += 1
+            self._note_resolved(request, "cancelled")
         else:
             request.future.set_result(answer)
             self.stats.answered += 1
+            self._note_resolved(request, "answered")
 
     def _fail_request(self, request: _Request, error: BaseException) -> None:
         self._outstanding.discard(request)
         if request.future.done():
             self.stats.cancelled += 1
+            self._note_resolved(request, "cancelled")
         else:
             request.future.set_exception(error)
             self.stats.failed += 1
+            self._note_resolved(request, "failed")
+
+    def _note_resolved(self, request: _Request, outcome: str) -> None:
+        """Request reached its final state: outcome metrics + trace total."""
+        if self._obs is None:
+            return
+        if self._metrics is not None:
+            self._metrics["outcome"][outcome].inc()
+            self._metrics["latency"].observe(time.perf_counter() - request.admitted_at)
+        if request.owns_trace and request.trace is not None:
+            request.trace.finish(status="ok" if outcome == "answered" else outcome)
 
 
 def serve_queries(

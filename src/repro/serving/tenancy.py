@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.distributed.cluster import DistributedCluster
 from repro.errors import TenantError
+from repro.obs import ObsConfig, TraceHandle
 from repro.parallel.lanes import LaneExecutor
 from repro.serving.blueprint import release_session_task
 from repro.serving.server import QueryServer, ServingStats
@@ -90,6 +91,11 @@ class TenantHost:
     chaos:
         Optional fault-injection spec applied to every tenant's batches
         (see :func:`~repro.serving.blueprint.serve_batch_task`).
+    obs:
+        Optional :class:`~repro.obs.ObsConfig`.  Each tenant's server
+        gets a copy labeled with the tenant's name
+        (``ObsConfig.for_tenant``), so every metric family carries a
+        ``tenant`` label and traces note which tenant they served.
 
     Usage::
 
@@ -106,11 +112,13 @@ class TenantHost:
         use_shared_memory: bool = True,
         mp_context=None,
         chaos: "Dict | None" = None,
+        obs: "ObsConfig | None" = None,
     ):
         self._workers = workers
         self._use_shared_memory = use_shared_memory
         self._mp_context = mp_context
         self._chaos = chaos
+        self._obs = obs
         self._executor: "LaneExecutor | None" = None
         self._tenants: "Dict[str, _Tenant]" = {}
         self._offsets = 0
@@ -213,6 +221,7 @@ class TenantHost:
             max_redispatch=config.max_redispatch,
             use_shared_memory=self._use_shared_memory,
             chaos=self._chaos,
+            obs=self._obs.for_tenant(name) if self._obs is not None else None,
         )
         await server.start()
         self._tenants[name] = _Tenant(
@@ -252,25 +261,40 @@ class TenantHost:
     # ------------------------------------------------------------------
     # routed serving
     # ------------------------------------------------------------------
-    async def submit(self, name: str, node: int, query_type: str) -> np.ndarray:
+    async def submit(
+        self,
+        name: str,
+        node: int,
+        query_type: str,
+        *,
+        trace: "TraceHandle | None" = None,
+    ) -> np.ndarray:
         """Answer one query for one tenant (quota-checked, backpressured).
 
         Raises :class:`~repro.errors.TenantError` for unknown tenants
         and quota violations; everything else matches the tenant
-        server's ``submit`` surface.
+        server's ``submit`` surface.  *trace* is passed through to the
+        tenant server, so a network-ingress-minted trace follows the
+        request through this tenant's queue, lanes, and workers.
         """
         tenant = self._tenant(name)
         quota = tenant.config.max_inflight
         if quota is not None and tenant.inflight >= quota:
             tenant.quota_rejections += 1
             tenant.server.stats.rejected += 1
+            if self._obs is not None and self._obs.registry is not None:
+                self._obs.registry.counter(
+                    "repro_quota_rejections_total",
+                    "Submissions refused at the tenant inflight quota",
+                    tenant=name,
+                ).inc()
             raise TenantError(
                 f"tenant {name!r} admission quota exceeded "
                 f"({tenant.inflight}/{quota} in flight); retry or back off"
             )
         tenant.inflight += 1
         try:
-            return await tenant.server.submit(node, query_type)
+            return await tenant.server.submit(node, query_type, trace=trace)
         finally:
             tenant.inflight -= 1
 
@@ -279,7 +303,11 @@ class TenantHost:
         return self._tenant(name).server.stats
 
     def all_stats(self) -> "Dict[str, Dict[str, int]]":
-        """Snapshot of every tenant's ledger plus host-level quota counts."""
+        """Snapshot of every tenant's ledger plus host-level quota counts.
+
+        Every key is documented in
+        :data:`~repro.serving.server.STATS_FIELDS`.
+        """
         out: "Dict[str, Dict[str, int]]" = {}
         for name, tenant in self._tenants.items():
             snapshot = tenant.server.stats.as_dict()
@@ -287,3 +315,42 @@ class TenantHost:
             snapshot["quota_rejections"] = tenant.quota_rejections
             out[name] = snapshot
         return out
+
+    def aggregate_stats(self) -> "Dict[str, int]":
+        """Host-wide ledger: every tenant's counters summed.
+
+        Monotone fields (including ``hedged``/``hedge_wins``/
+        ``redispatches``) and the live ``inflight`` gauge add across
+        tenants; ``max_batch_size``/``max_queue_depth`` take the max —
+        a per-tenant extreme is still the host's extreme.
+        """
+        total: "Dict[str, int]" = {field: 0 for field in _AGGREGATE_FIELDS}
+        for snapshot in self.all_stats().values():
+            for field in _AGGREGATE_FIELDS:
+                value = snapshot.get(field, 0)
+                if field in ("max_batch_size", "max_queue_depth"):
+                    total[field] = max(total[field], value)
+                else:
+                    total[field] += value
+        total["tenants"] = len(self._tenants)
+        return total
+
+
+#: Fields :meth:`TenantHost.aggregate_stats` folds across tenants (see
+#: :data:`~repro.serving.server.STATS_FIELDS` for their meaning).
+_AGGREGATE_FIELDS = (
+    "admitted",
+    "rejected",
+    "answered",
+    "failed",
+    "cancelled",
+    "batches",
+    "max_batch_size",
+    "max_queue_depth",
+    "swaps",
+    "hedged",
+    "hedge_wins",
+    "redispatches",
+    "inflight",
+    "quota_rejections",
+)

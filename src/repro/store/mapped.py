@@ -34,6 +34,7 @@ from repro._util import log2_capped
 from repro.core.summary import SummaryGraph
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
+from repro.obs.profile import probe
 from repro.store.container import StoreContainer, open_store, write_store
 
 #: Container ``kind`` tags for the two top-level record types.
@@ -78,11 +79,14 @@ def load_graph(path: "str | os.PathLike[str]", *, verify: bool = True) -> Mapped
     on demand and may evict them under memory pressure, so a cluster of
     mapped graphs larger than RAM stays serveable.
     """
-    container = open_store(path, kind=GRAPH_KIND, verify=verify)
-    num_nodes = int(container.meta.get("num_nodes", -1))
-    if num_nodes < 0:
-        raise GraphFormatError(f"{container.path}: graph store is missing num_nodes metadata")
-    return _graph_from_sections(container, "indptr", "indices", num_nodes)
+    with probe("store.load_graph"):
+        container = open_store(path, kind=GRAPH_KIND, verify=verify)
+        num_nodes = int(container.meta.get("num_nodes", -1))
+        if num_nodes < 0:
+            raise GraphFormatError(
+                f"{container.path}: graph store is missing num_nodes metadata"
+            )
+        return _graph_from_sections(container, "indptr", "indices", num_nodes)
 
 
 # ----------------------------------------------------------------------
@@ -415,8 +419,9 @@ def load_summary_binary(
     as :func:`repro.core.summary_io.load_summary` would from the text
     format; they need the input graph (supplied or embedded in the file).
     """
-    container = open_store(path, kind=SUMMARY_KIND, verify=verify)
-    mapped = MappedSummary._from_container(container, graph)
+    with probe("store.load_summary"):
+        container = open_store(path, kind=SUMMARY_KIND, verify=verify)
+        mapped = MappedSummary._from_container(container, graph)
     if backend == "mapped":
         return mapped
     if backend not in ("dict", "flat"):

@@ -56,6 +56,7 @@ from repro.distributed.cluster import DistributedCluster, Machine
 from repro.distributed.pipeline import Partitioner, _resolve_parts, _summary_machine_task
 from repro.errors import StreamingError
 from repro.graph.graph import Graph
+from repro.obs.profile import count as _obs_count, probe
 from repro.parallel import ParallelExecutor
 from repro.parallel.graphship import GraphShipment
 from repro.streaming.delta import GraphDelta
@@ -227,6 +228,10 @@ class StreamingSummarizer:
     def _swap(self, machine_id: int, source) -> None:
         machine = self.cluster.machines[machine_id]
         machine.replace_source(source)
+        _obs_count(
+            "repro_stream_swaps_total",
+            kind="residual" if isinstance(source, ResidualSource) else "refresh",
+        )
         if self._server is not None:
             self._server.swap_machine(machine)
 
@@ -308,6 +313,15 @@ class StreamingSummarizer:
         * ``"none"`` — only extend correction lists (refresh manually);
         * ``"all"`` — refresh every stale machine now.
         """
+        with probe("stream.ingest"):
+            return self._ingest(edges, refresh=refresh)
+
+    def _ingest(
+        self,
+        edges: "Iterable[Tuple[int, int]] | np.ndarray",
+        *,
+        refresh: str,
+    ) -> IngestReport:
         if refresh not in ("auto", "none", "all"):
             raise StreamingError(f"refresh must be 'auto', 'none' or 'all', got {refresh!r}")
         started = time.perf_counter()
@@ -368,6 +382,10 @@ class StreamingSummarizer:
         is what makes the refreshed state independent of the cadence that
         led to it.
         """
+        with probe("stream.refresh"):
+            return self._refresh(machine_ids)
+
+    def _refresh(self, machine_ids: "Sequence[int] | None" = None) -> RefreshReport:
         started = time.perf_counter()
         if machine_ids is None:
             machine_ids = self.stale_machines()

@@ -1,0 +1,29 @@
+"""Obs-suite fixtures; makes the chaos hooks importable by workers.
+
+Same arrangement as ``tests/serving/conftest.py``: the fault injectors
+in ``tests/_chaos.py`` are resolved by name inside pool workers, so the
+``tests`` directory must be on ``sys.path`` of this process (fork
+workers inherit it) and of any spawn worker re-importing the module.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off():
+    """Leave the process-wide profiling switch the way we found it."""
+    from repro.obs import disable_profiling, profiling_enabled
+
+    was_on = profiling_enabled()
+    yield
+    if not was_on:
+        disable_profiling()

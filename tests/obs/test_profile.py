@@ -1,0 +1,102 @@
+"""Profiling hooks: exactly-zero behavior change when off, phase
+histograms when on.
+
+The probes live *inside* the merge kernels and store paths, so the
+disabled path must be a shared no-op (the engine equivalence suites run
+with the instrumentation in place).  Enabled, every probe records into
+``repro_phase_seconds{phase=...}`` whose count doubles as a call
+counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    count,
+    disable_profiling,
+    enable_profiling,
+    probe,
+    profiling_enabled,
+    samples_for,
+)
+from repro.obs.profile import _NOOP
+
+
+class TestSwitch:
+    def test_disabled_probe_is_the_shared_noop(self):
+        disable_profiling()
+        assert probe("merge.window_eval") is _NOOP
+        assert probe("anything.else") is _NOOP  # one object, zero allocs
+
+    def test_enable_disable_roundtrip(self):
+        assert not profiling_enabled()
+        enable_profiling(MetricsRegistry())
+        assert profiling_enabled()
+        disable_profiling()
+        assert not profiling_enabled()
+
+    def test_count_noop_when_disabled(self):
+        registry = MetricsRegistry()
+        disable_profiling()
+        count("repro_stream_swaps_total", kind="refresh")
+        assert registry.snapshot() == {"families": []}
+
+
+class TestRecording:
+    def test_probe_records_phase_histogram(self):
+        registry = MetricsRegistry()
+        enable_profiling(registry)
+        with probe("merge.window_eval"):
+            pass
+        with probe("merge.window_eval"):
+            pass
+        with probe("store.load_graph"):
+            pass
+        samples = samples_for(registry.snapshot(), "repro_phase_seconds")
+        by_phase = {s["labels"]["phase"]: s["count"] for s in samples}
+        assert by_phase == {"merge.window_eval": 2, "store.load_graph": 1}
+
+    def test_probe_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        enable_profiling(registry)
+        with pytest.raises(RuntimeError):
+            with probe("merge.apply"):
+                raise RuntimeError("kernel blew up")
+        samples = samples_for(registry.snapshot(), "repro_phase_seconds")
+        assert samples[0]["count"] == 1
+
+    def test_count_records_labeled_counter(self):
+        registry = MetricsRegistry()
+        enable_profiling(registry)
+        count("repro_stream_swaps_total", kind="residual")
+        count("repro_stream_swaps_total", 2.0, kind="residual")
+        samples = samples_for(registry.snapshot(), "repro_stream_swaps_total")
+        assert samples[0]["labels"] == {"kind": "residual"}
+        assert samples[0]["value"] == 3.0
+
+
+class TestInstrumentedPathsStayExact:
+    """The probes sit inside real kernels; answers must not change."""
+
+    def test_summarize_identical_with_profiling_on(self):
+        from repro.core import PegasusConfig, summarize
+        from repro.graph import planted_partition
+
+        graph = planted_partition(80, 4, avg_degree_in=6.0, avg_degree_out=1.0, seed=3)
+        config = PegasusConfig(seed=1, t_max=6)
+        baseline = summarize(graph, budget_bits=0.5 * graph.size_in_bits(), config=config)
+        registry = MetricsRegistry()
+        enable_profiling(registry)
+        try:
+            probed = summarize(graph, budget_bits=0.5 * graph.size_in_bits(), config=config)
+        finally:
+            disable_profiling()
+        assert probed.summary.size_in_bits() == baseline.summary.size_in_bits()
+        phases = {
+            s["labels"]["phase"]
+            for s in samples_for(registry.snapshot(), "repro_phase_seconds")
+        }
+        assert "merge.apply" in phases
+        assert {"merge.window_eval", "merge.scalar_attempt"} & phases
