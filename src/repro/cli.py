@@ -297,7 +297,9 @@ def _cmd_serve_net(args) -> int:
     import time
 
     from repro.distributed import build_summary_cluster
+    from repro.errors import DeadlineExceeded, Overloaded
     from repro.obs import MetricsHTTPServer, MetricsRegistry, ObsConfig, Tracer, slow_log
+    from repro.resilience import BreakerConfig, HostState, RetryPolicy, recover_host
     from repro.serving import (
         QUERY_TYPES,
         NetClient,
@@ -316,23 +318,55 @@ def _cmd_serve_net(args) -> int:
     if args.chaos == "kill-worker" and args.workers <= 1:
         print("error: --chaos kill-worker needs --workers > 1", file=sys.stderr)
         return 2
+    if args.chaos == "slow-lane":
+        # Worker-side stall on machine 0's lane: the hedge/deadline
+        # machinery must keep answers flowing and ledgers balanced.
+        chaos = {
+            "hook": "repro.serving.blueprint:chaos_delay",
+            "machine": 0,
+            "delay_s": 0.05,
+        }
+    try:
+        retry_policy = RetryPolicy.parse(args.retry_policy)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
-    graph, name = _load_graph(args)
-    budget = args.ratio * graph.size_in_bits()
-    # Same dataset, per-tenant seeds: each tenant serves a *different*
-    # summary, so the verification below also detects cross-tenant mixups.
-    clusters = {
-        f"tenant{i}": build_summary_cluster(
-            graph,
-            args.machines,
-            budget,
-            config=PegasusConfig(seed=args.seed + i, backend=args.backend),
-            seed=args.seed + i,
-        )
-        for i in range(args.tenants)
-    }
+    state = None if args.state_dir is None else HostState(args.state_dir)
+    recovered = None
+    if state is not None and state.exists and state.tenants:
+        # A previous server durably saved its tenants here: recover and
+        # serve them instead of rebuilding — answers must byte-match the
+        # recovered clusters.
+        recovered = recover_host(args.state_dir)
+        clusters = {tenant: r.cluster for tenant, r in recovered.items()}
+        name = f"recovered from {args.state_dir}"
+        for tenant, r in recovered.items():
+            suffix = "" if r.generation is None else f" (delta generation {r.generation})"
+            print(f"recovered       {tenant}{suffix}")
+        num_nodes = next(iter(clusters.values())).graph.num_nodes
+    else:
+        graph, name = _load_graph(args)
+        budget = args.ratio * graph.size_in_bits()
+        # Same dataset, per-tenant seeds: each tenant serves a *different*
+        # summary, so the verification below also detects cross-tenant mixups.
+        clusters = {
+            f"tenant{i}": build_summary_cluster(
+                graph,
+                args.machines,
+                budget,
+                config=PegasusConfig(seed=args.seed + i, backend=args.backend),
+                seed=args.seed + i,
+            )
+            for i in range(args.tenants)
+        }
+        num_nodes = graph.num_nodes
+        if state is not None:
+            for tenant, cluster in clusters.items():
+                state.save_static_tenant(tenant, cluster)
+            print(f"state           saved {len(clusters)} tenant(s) to {args.state_dir}")
     rng = np.random.default_rng(args.seed)
-    nodes = rng.integers(0, graph.num_nodes, size=args.queries)
+    nodes = rng.integers(0, num_nodes, size=args.queries)
     stream = [
         (tenant, int(node), QUERY_TYPES[i % len(QUERY_TYPES)])
         for i, node in enumerate(nodes)
@@ -343,6 +377,7 @@ def _cmd_serve_net(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         hedge_ms=args.hedge_ms,
+        retry_policy=retry_policy,
     )
 
     # Observability: metrics are always on for this command (the
@@ -368,7 +403,12 @@ def _cmd_serve_net(args) -> int:
 
     async def _fire(client, index: int, tenant: str, node: int, query_type: str) -> None:
         started = time.perf_counter()
-        answers[index] = await client.query(tenant, node, query_type)
+        try:
+            answers[index] = await client.query(tenant, node, query_type)
+        except (DeadlineExceeded, Overloaded):
+            # Typed shed under --deadline-ms / breaker pressure: the ledger
+            # accounts for it; the demo load just moves on.
+            return
         latencies.append(time.perf_counter() - started)
 
     async def _serve_metrics():
@@ -379,11 +419,23 @@ def _cmd_serve_net(args) -> int:
         return http
 
     async def _run():
-        async with TenantHost(workers=args.workers, chaos=chaos, obs=obs) as host:
+        async with TenantHost(
+            workers=args.workers,
+            chaos=chaos,
+            obs=obs,
+            supervise_ms=args.supervise_ms,
+            lane_breaker=BreakerConfig() if args.workers != 1 else None,
+        ) as host:
             for tenant, cluster in clusters.items():
                 await host.add_tenant(tenant, cluster, config=config)
             metrics_http = await _serve_metrics()
-            async with NetServer(host, port=args.port, obs=obs) as net:
+            async with NetServer(
+                host,
+                port=args.port,
+                deadline_ms=args.deadline_ms,
+                idle_timeout_ms=args.idle_timeout_ms,
+                obs=obs,
+            ) as net:
                 print(f"listening       127.0.0.1:{net.port} ({len(clusters)} tenants)")
                 client = await NetClient.connect("127.0.0.1", net.port)
                 async with client:
@@ -399,6 +451,34 @@ def _cmd_serve_net(args) -> int:
                         if pids:
                             os.kill(pids[0], signal.SIGKILL)
                             print(f"chaos           SIGKILL worker pid={pids[0]}")
+                    elif args.chaos == "trickle-frame":
+                        # Hostile peer mid-stream: announce a 16 MiB
+                        # frame, then trickle single bytes.  The stall
+                        # bound must close only that connection — with a
+                        # typed error frame — while the real stream keeps
+                        # answering.
+                        import struct as _struct
+
+                        t_reader, t_writer = await asyncio.open_connection(
+                            "127.0.0.1", net.port
+                        )
+                        t_writer.write(_struct.pack(">I", 16 * 1024 * 1024))
+                        await t_writer.drain()
+                        closed = "no reply"
+                        try:
+                            for _ in range(5):
+                                t_writer.write(b"\0")
+                                await t_writer.drain()
+                                await asyncio.sleep(0.05)
+                            reply = await asyncio.wait_for(
+                                t_reader.read(65536),
+                                args.idle_timeout_ms / 1000.0 + 2.0,
+                            )
+                            closed = "typed error frame" if reply else "bare close"
+                        except (ConnectionError, OSError, asyncio.TimeoutError):
+                            closed = "connection reset"
+                        t_writer.close()
+                        print(f"chaos           trickle-frame closed ({closed})")
                     await first
                     await asyncio.gather(
                         *(
@@ -425,14 +505,18 @@ def _cmd_serve_net(args) -> int:
     total_answered = sum(s["answered"] for s in all_stats.values())
     redispatches = sum(s["redispatches"] for s in all_stats.values())
     hedged = sum(s["hedged"] for s in all_stats.values())
-    p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
+    total_shed = sum(s.get("shed", 0) for s in all_stats.values())
+    if latencies:
+        p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
+    else:
+        p50 = p99 = float("nan")
     print(f"cluster         {name}: m={args.machines} per tenant, budget {args.ratio:.2f} * Size(G)")
     print(
         f"serving         tenants={len(clusters)}, workers={args.workers}, "
         f"hedge={args.hedge_ms}ms, chaos={args.chaos or 'none'}"
     )
     print(f"queries         {total_answered} answered in {elapsed:.2f}s ({total_answered / elapsed:.1f} q/s)")
-    print(f"resilience      redispatches={redispatches}, hedged={hedged}")
+    print(f"resilience      redispatches={redispatches}, hedged={hedged}, shed={total_shed}")
     print(f"latency         p50 {p50:.1f}ms, p99 {p99:.1f}ms")
     from repro.obs import quantile_from_sample, samples_for
 
@@ -449,30 +533,64 @@ def _cmd_serve_net(args) -> int:
     if trace_path is not None:
         print(f"trace sink      {trace_path}")
     for tenant, s in all_stats.items():
-        balanced = s["admitted"] == s["answered"] + s["failed"] + s["cancelled"]
+        shed = s.get("shed", 0)
+        balanced = s["admitted"] == s["answered"] + s["failed"] + s["cancelled"] + shed
         print(
             f"ledger          {tenant}: admitted={s['admitted']} answered={s['answered']} "
-            f"failed={s['failed']} cancelled={s['cancelled']} balanced={balanced}"
+            f"failed={s['failed']} cancelled={s['cancelled']} shed={shed} balanced={balanced}"
         )
         if not balanced:
             print(f"error: {tenant} ledger does not balance", file=sys.stderr)
             return 1
     if args.no_verify:
         return 0
+    served = [(q, a) for q, a in zip(stream, answers) if a is not None]
     mismatches = sum(
         1
-        for (tenant, node, qt), answer in zip(stream, answers)
-        if answer is None
-        or answer.tobytes() != clusters[tenant].answer(node, qt).tobytes()
+        for (tenant, node, qt), answer in served
+        if answer.tobytes() != clusters[tenant].answer(node, qt).tobytes()
     )
     print(
-        f"verified        {len(stream) - mismatches}/{len(stream)} answers "
-        "byte-identical to each tenant's own cluster"
+        f"verified        {len(served) - mismatches}/{len(served)} answers "
+        "byte-identical to each tenant's own cluster (answered queries only)"
     )
     if mismatches:
         print(f"error: {mismatches} served answer(s) diverged", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_doctor(args) -> int:
+    from repro.resilience import doctor_report
+
+    report = doctor_report(args.state_dir, verify=not args.no_verify)
+    print(f"state dir       {report['state_dir']}")
+    manifest = report["manifest"]
+    if manifest["ok"]:
+        print("manifest        ok")
+    else:
+        print(f"manifest        FAIL — {manifest['error']}")
+    for name, tenant in report["tenants"].items():
+        status = "ok" if tenant["ok"] else "BROKEN"
+        print(f"tenant          {name}: {status} ({tenant.get('kind', '?')})")
+        for entry in tenant["files"]:
+            mark = "ok" if entry["ok"] else "FAIL"
+            detail = "" if entry.get("error") is None else f" — {entry['error']}"
+            print(f"  file          {entry['file']}: {mark} ({entry['bytes']} bytes){detail}")
+        delta = tenant.get("delta")
+        if delta is not None:
+            mark = "ok" if delta["ok"] else "FAIL"
+            detail = "" if delta.get("error") is None else f" — {delta['error']}"
+            print(
+                f"  delta log     {mark}: generation {delta['generation']}, "
+                f"durable window [{delta['folded_offset']}, {delta['logged_offset']}]"
+                f"{detail}"
+            )
+        if tenant.get("error"):
+            print(f"  error         {tenant['error']}")
+    verdict = "recoverable" if report["recoverable"] else "NOT recoverable"
+    print(f"verdict         {verdict}")
+    return 0 if report["recoverable"] else 1
 
 
 def _cmd_net_client(args) -> int:
@@ -1026,9 +1144,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_net_cmd.add_argument(
         "--chaos",
-        choices=("kill-worker",),
+        choices=("kill-worker", "slow-lane", "trickle-frame"),
         default=None,
-        help="inject a fault mid-stream (kill-worker SIGKILLs a lane worker)",
+        help=(
+            "inject a fault mid-stream: kill-worker SIGKILLs a lane worker, "
+            "slow-lane stalls machine 0's batches, trickle-frame connects a "
+            "hostile slow-loris peer"
+        ),
+    )
+    serve_net_cmd.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "persist tenant state under this directory (recover from it when "
+            "it already holds tenants)"
+        ),
+    )
+    serve_net_cmd.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="server-side deadline budget minted for every admitted query",
+    )
+    serve_net_cmd.add_argument(
+        "--retry-policy",
+        default=None,
+        help=(
+            "batch redispatch policy, e.g. 'attempts=4,base_ms=5,cap_ms=500,"
+            "jitter=0.3' ('none' disables retries)"
+        ),
+    )
+    serve_net_cmd.add_argument(
+        "--idle-timeout-ms",
+        type=float,
+        default=30000.0,
+        help="close a connection stalled mid-frame for this long (slow-loris bound)",
+    )
+    serve_net_cmd.add_argument(
+        "--supervise-ms",
+        type=float,
+        default=100.0,
+        help="lane supervisor heartbeat interval (respawns dead lane workers)",
     )
     serve_net_cmd.add_argument(
         "--serve-forever",
@@ -1058,6 +1214,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="log a structured slow-query line for requests slower than this (enables tracing)",
     )
     serve_net_cmd.set_defaults(func=_cmd_serve_net)
+
+    doctor_cmd = sub.add_parser(
+        "doctor",
+        help="checksum a --state-dir and report recoverability without starting a server",
+    )
+    doctor_cmd.add_argument("state_dir", help="state directory written by serve-net --state-dir")
+    doctor_cmd.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checksum verification (structure checks only)",
+    )
+    doctor_cmd.set_defaults(func=_cmd_doctor)
 
     top_cmd = sub.add_parser(
         "top",

@@ -41,6 +41,42 @@ class StreamingError(ReproError):
     """The streaming layer was misused (bad refresh target, bad threshold)."""
 
 
+class DeadlineExceeded(ServingError):
+    """A request's deadline budget ran out before an answer was produced.
+
+    Raised client-side when the per-request budget expires locally, and
+    shipped server-side as a typed error frame when expired work is shed
+    from a dispatch batch instead of being computed.
+    """
+
+
+class Overloaded(ServingError):
+    """A tenant was explicitly shed because it keeps burning its deadline
+    budget (per-tenant breaker open).  Carries a ``retry_after_ms`` hint;
+    the client should back off at least that long before retrying.
+    """
+
+    def __init__(self, message: str = "tenant overloaded", *, retry_after_ms: float = 0.0):
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class CircuitOpen(ServingError):
+    """A circuit breaker is open for the requested resource (lane or
+    tenant): recent failures crossed the breaker's threshold and the
+    cooldown has not elapsed.  Carries a ``retry_after_ms`` hint.
+    """
+
+    def __init__(self, message: str = "circuit open", *, retry_after_ms: float = 0.0):
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class RecoveryError(ReproError):
+    """A persisted serving state dir could not be recovered (missing or
+    corrupt manifest, checksum mismatch, or an unreplayable delta log)."""
+
+
 class ProtocolError(ReproError):
     """A network peer violated the serving wire protocol.
 

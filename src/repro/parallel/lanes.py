@@ -67,13 +67,23 @@ class LaneExecutor:
     serving session.  :meth:`submit` places one task on one lane.
     """
 
-    def __init__(self, workers: "int | None" = 1, *, mp_context=None, shared: Any = None):
+    def __init__(
+        self,
+        workers: "int | None" = 1,
+        *,
+        mp_context=None,
+        shared: Any = None,
+        standby: bool = False,
+    ):
         self.workers = resolve_workers(workers)
         self._mp_context = mp_context
         self._shared = shared
         self._pools: "List[Optional[ProcessPoolExecutor]]" = []
+        self._standby: "Optional[ProcessPoolExecutor]" = None
+        self._keep_standby = bool(standby)
         self._started = False
         self.respawns = 0
+        self.standby_promotions = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -122,13 +132,18 @@ class LaneExecutor:
             raise RuntimeError("LaneExecutor already started")
         if not self.inline:
             self._pools = [self._spawn() for _ in range(self.workers)]
+            if self._keep_standby:
+                self._standby = self._spawn()
         self._started = True
         return self
 
     def shutdown(self, *, wait: bool = True) -> None:
         """Tear every lane down (idempotent)."""
         pools, self._pools = self._pools, []
+        standby, self._standby = self._standby, None
         self._started = False
+        if standby is not None:
+            standby.shutdown(wait=wait)
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=wait)
@@ -151,9 +166,23 @@ class LaneExecutor:
         if pool is not None:
             pool.shutdown(wait=False)
         self.respawns += 1
-        pool = self._spawn()
+        pool = self._take_replacement()
         self._pools[lane] = pool
         return pool
+
+    def _take_replacement(self) -> ProcessPoolExecutor:
+        """A fresh pool for a dead lane: the warm standby when armed
+        (zero-gap — the replacement worker is already forked and has the
+        session installed), else a cold spawn.  Re-arms the standby
+        eagerly either way when standby mode is on."""
+        pool = self._standby
+        if pool is not None and not getattr(pool, "_broken", False):
+            self._standby = self._spawn() if self._keep_standby else None
+            self.standby_promotions += 1
+            return pool
+        if self._keep_standby:
+            self._standby = self._spawn()
+        return self._spawn()
 
     def respawn_lane(self, lane: int) -> None:
         """Force-replace one lane's pool (used after a detected death)."""
@@ -164,8 +193,35 @@ class LaneExecutor:
         self._pools[lane] = None
         if pool is not None:
             pool.shutdown(wait=False)
-        self._pools[lane] = self._spawn()
+        self._pools[lane] = self._take_replacement()
         self.respawns += 1
+
+    def lane_health(self) -> "List[bool]":
+        """Liveness per lane: pool up, not broken, worker pid responsive.
+
+        The supervisor's heartbeat source.  Inline mode reports a single
+        healthy lane (the caller itself).  A lane whose worker died
+        while idle shows unhealthy *before* any submit trips over it —
+        that is the whole point: proactive detection instead of paying a
+        ``BrokenProcessPool`` on a live request.
+        """
+        if self.inline:
+            return [True]
+        health: "List[bool]" = []
+        for pool in self._pools:
+            if pool is None or getattr(pool, "_broken", False):
+                health.append(False)
+                continue
+            processes = getattr(pool, "_processes", None) or {}
+            alive = True
+            for pid in list(processes.keys()):
+                try:
+                    os.kill(pid, 0)
+                except (ProcessLookupError, PermissionError):
+                    alive = False
+                    break
+            health.append(alive)
+        return health
 
     def lane_pids(self) -> "List[List[int]]":
         """Best-effort worker pids per lane (empty sublists when inline).

@@ -1,0 +1,41 @@
+"""Resilience layer: deadlines, retry policies, breakers, supervision, recovery.
+
+Four small modules, each owning one failure domain of the serving stack:
+
+* :mod:`repro.resilience.policy` — :class:`Deadline` budgets (minted at
+  network ingress, propagated into worker batch payloads) and
+  :class:`RetryPolicy` (capped exponential backoff with seeded,
+  deterministic jitter) shared by client reconnects and server
+  redispatch.
+* :mod:`repro.resilience.breaker` — closed/open/half-open circuit
+  breakers with failure-rate windows, per lane and per tenant.
+* :mod:`repro.resilience.health` — a lane supervisor that heartbeats
+  worker pids and proactively respawns unhealthy lanes (optionally from
+  a warm standby), exporting ``repro_lane_state`` gauges.
+* :mod:`repro.resilience.recovery` — whole-server crash-restart:
+  persist tenant serving state under ``--state-dir`` with the store
+  layer's crash-atomic discipline, verify + replay + rebuild on restart.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.health import LaneSupervisor
+from repro.resilience.policy import Deadline, RetryPolicy
+from repro.resilience.recovery import (
+    HostState,
+    RecoveredTenant,
+    doctor_report,
+    recover_host,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "Deadline",
+    "HostState",
+    "LaneSupervisor",
+    "RecoveredTenant",
+    "RetryPolicy",
+    "doctor_report",
+    "recover_host",
+]

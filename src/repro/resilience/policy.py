@@ -1,0 +1,188 @@
+"""Deadline budgets and retry policies for the serving stack.
+
+Two small, process-crossing primitives:
+
+:class:`Deadline`
+    An *absolute* expiry instant on the ``time.monotonic()`` clock.
+    ``CLOCK_MONOTONIC`` is a per-boot, system-wide clock on the
+    platforms we serve from (Linux, macOS), so an expiry minted in the
+    network front end can be compared inside a forked lane worker
+    without shipping wall-clock time or trusting NTP.  Workers drop
+    expired items *before* computing them; the parent turns the dropped
+    slots into typed :class:`~repro.errors.DeadlineExceeded` sheds.
+
+:class:`RetryPolicy`
+    Capped exponential backoff with **seeded, deterministic** jitter.
+    Jitter is derived from ``crc32(seed | key | attempt)`` — not
+    :func:`random.random` (non-reproducible) and not :func:`hash`
+    (salted per process, so a parent and its forked workers would
+    disagree).  Two processes holding the same policy compute the same
+    delay for the same (key, attempt), which keeps chaos tests and
+    replay-based debugging deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import zlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry on the monotonic clock (``math.inf`` = never).
+
+    Instances are immutable; derive tighter budgets with :meth:`tighten`.
+    The raw :attr:`expires_at` float is what travels inside batch
+    payloads — workers compare it against their own ``time.monotonic()``.
+    """
+
+    expires_at: float = math.inf
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(math.inf)
+
+    @classmethod
+    def after_ms(cls, budget_ms: "float | None") -> "Deadline":
+        """A deadline *budget_ms* from now (``None``/non-positive = never)."""
+        if budget_ms is None or budget_ms <= 0 or math.isinf(budget_ms):
+            return cls.never()
+        return cls(time.monotonic() + budget_ms / 1000.0)
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether this deadline never expires."""
+        return math.isinf(self.expires_at)
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left (``math.inf`` when unbounded, floored at 0)."""
+        if self.unbounded:
+            return math.inf
+        return max(0.0, (self.expires_at - time.monotonic()) * 1000.0)
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return time.monotonic() >= self.expires_at
+
+    def tighten(self, budget_ms: "float | None") -> "Deadline":
+        """The stricter of this deadline and a fresh *budget_ms* budget.
+
+        Used at ingress to combine the server's default budget with a
+        client-supplied hint: neither side can *extend* the other.
+        """
+        other = Deadline.after_ms(budget_ms)
+        return self if self.expires_at <= other.expires_at else other
+
+
+def deadline_expired(expires_at: "float | None") -> bool:
+    """Whether a raw shipped expiry (or ``None`` = unbounded) has passed.
+
+    Module-level so lane workers can check shipped expiries without
+    rebuilding :class:`Deadline` objects per item.
+    """
+    return expires_at is not None and time.monotonic() >= expires_at
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded, deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``3`` = one try plus two
+        retries).  Must be >= 1.
+    base_ms / cap_ms / multiplier:
+        Backoff before retry ``n`` (1-based) is
+        ``min(cap_ms, base_ms * multiplier ** (n - 1))`` before jitter.
+    jitter:
+        Fraction of the raw backoff to spread over: the jittered delay
+        lands in ``[raw * (1 - jitter), raw * (1 + jitter)]``.  ``0``
+        disables jitter entirely.
+    seed:
+        Folded into the jitter hash so distinct servers (or tests)
+        decorrelate while each remains internally deterministic.
+    """
+
+    max_attempts: int = 3
+    base_ms: float = 10.0
+    cap_ms: float = 2000.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_ms < 0 or self.cap_ms < 0:
+            raise ValueError("base_ms and cap_ms must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def retries(self) -> int:
+        """Retries after the first attempt (``max_attempts - 1``)."""
+        return self.max_attempts - 1
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether another attempt is allowed after *attempt* tries failed."""
+        return attempt < self.max_attempts
+
+    def backoff_ms(self, attempt: int, key: str = "") -> float:
+        """Deterministic delay before retry *attempt* (1-based) of *key*."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.cap_ms, self.base_ms * self.multiplier ** (attempt - 1))
+        if raw <= 0 or self.jitter <= 0:
+            return raw
+        token = f"{self.seed}|{key}|{attempt}".encode()
+        unit = zlib.crc32(token) / 0xFFFFFFFF  # deterministic in [0, 1]
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        """This policy with a different jitter seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def parse(cls, spec: "str | None") -> "Optional[RetryPolicy]":
+        """Build a policy from a ``k=v,k=v`` CLI spec (``None``/"" = None).
+
+        Accepted keys: ``attempts``, ``base_ms``, ``cap_ms``,
+        ``multiplier``, ``jitter``, ``seed``; ``"none"`` / ``"off"``
+        disables retries (one attempt).  Example::
+
+            RetryPolicy.parse("attempts=4,base_ms=5,cap_ms=100,jitter=0.2")
+        """
+        if spec is None or not spec.strip():
+            return None
+        text = spec.strip().lower()
+        if text in ("none", "off"):
+            return cls(max_attempts=1)
+        fields = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad retry-policy field {part!r} (expected k=v)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key in ("attempts", "max_attempts"):
+                    fields["max_attempts"] = int(value)
+                elif key in ("base_ms", "cap_ms", "multiplier", "jitter"):
+                    fields[key] = float(value)
+                elif key == "seed":
+                    fields["seed"] = int(value)
+                else:
+                    raise ValueError(f"unknown retry-policy key {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad retry-policy spec {spec!r}: {exc}") from None
+        return cls(**fields)

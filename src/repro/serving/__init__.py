@@ -21,7 +21,7 @@ length-prefixed codec of :mod:`repro.serving.protocol`).
 """
 
 from repro.serving.blueprint import ClusterBlueprint, release_session_task, serve_batch_task
-from repro.serving.net import NetClient, NetServer
+from repro.serving.net import NetClient, NetServer, ResilientClient
 from repro.serving.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -46,6 +46,7 @@ __all__ = [
     "NetClient",
     "NetServer",
     "QueryServer",
+    "ResilientClient",
     "ServingStats",
     "TenantConfig",
     "TenantHost",

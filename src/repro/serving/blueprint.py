@@ -411,6 +411,35 @@ def _invoke_chaos(spec: Dict[str, Any], machine_id: int) -> None:
     hook(spec, machine_id)
 
 
+def chaos_delay(spec: Dict[str, Any], machine_id: int) -> None:
+    """Built-in chaos hook: stall the targeted machine's batches.
+
+    The CLI's ``--chaos slow-lane`` names this hook (the test-only
+    injectors in ``tests/_chaos.py`` are not importable from an
+    installed CLI).  ``machine`` limits the stall to one machine's lane;
+    ``delay_s`` is the per-batch sleep.
+    """
+    import time
+
+    machine = spec.get("machine")
+    if machine is None or int(machine) == machine_id:
+        time.sleep(float(spec.get("delay_s", 0.05)))
+
+
+def _answer_items(machine, items):
+    """Answer a batch's items, skipping (→ ``None``) expired deadlines."""
+    if items and len(items[0]) == 3:
+        from repro.resilience.policy import deadline_expired
+
+        return [
+            None
+            if deadline_expired(expires_at)
+            else machine.answer(node, query_type)
+            for node, query_type, expires_at in items
+        ]
+    return [machine.answer(node, query_type) for node, query_type in items]
+
+
 def serve_batch_task(shared: Dict[str, Any], task):
     """Answer one machine's micro-batch (runs in a pool worker).
 
@@ -420,6 +449,13 @@ def serve_batch_task(shared: Dict[str, Any], task):
     :meth:`ClusterBlueprint.export_update`.  Answers come back in batch
     order; mixed query types share the machine's cached reconstruction
     operator.
+
+    Deadline-carrying batches ship 3-element items ``(node, query_type,
+    expires_at)`` (``expires_at`` a raw monotonic instant or ``None``).
+    Items whose deadline already passed are skipped — their answer slot
+    comes back as ``None`` and the parent sheds the request with a typed
+    ``DeadlineExceeded`` instead of burning worker compute on an answer
+    nobody is waiting for.
 
     An **observability-enabled** server appends a fourth element, the
     observation spec ``ospec = {"ppid", "profile"}``; the return value
@@ -439,7 +475,7 @@ def serve_batch_task(shared: Dict[str, Any], task):
         _invoke_chaos(chaos, machine_id)
     if ospec is None:
         machine = attached_cluster(shared).machine(machine_id, update)
-        return [machine.answer(node, query_type) for node, query_type in items]
+        return _answer_items(machine, items)
 
     import os
     import time
@@ -454,7 +490,7 @@ def serve_batch_task(shared: Dict[str, Any], task):
         _obs.enable_profiling()
     t0 = time.perf_counter()
     machine = attached_cluster(shared).machine(machine_id, update)
-    answers = [machine.answer(node, query_type) for node, query_type in items]
+    answers = _answer_items(machine, items)
     payload: Dict[str, Any] = {
         "pid": os.getpid(),
         "compute_s": time.perf_counter() - t0,

@@ -41,6 +41,7 @@ import numpy as np
 from repro import errors as _errors
 from repro.errors import CodecError, FrameError, ProtocolError, ReproError, ServingError
 from repro.obs import ObsConfig
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.serving.protocol import (
     FrameDecoder,
     MAX_FRAME_BYTES,
@@ -90,6 +91,24 @@ class NetServer:
         after :meth:`start`).
     max_frame:
         Per-frame byte cap enforced on both directions.
+    deadline_ms:
+        Default per-query deadline budget minted **here, at ingress**,
+        and tightened by the client's optional per-query ``deadline_ms``
+        field (neither side can extend the other).  The budget travels
+        with the request through the tenant host into the batch payload;
+        expired work is shed with a typed ``DeadlineExceeded`` error
+        frame instead of computed.  ``None`` = unbounded.
+    idle_timeout_ms:
+        Per-connection mid-frame read deadline (the slow-loris bound).
+        The clock arms when a partial frame starts buffering and re-arms
+        only when a **complete frame** arrives — a peer trickling one
+        byte at a time through a 16 MiB header never resets it and is
+        closed with a typed fatal error frame; other connections are
+        unaffected.  A connection idling *between* frames (a quiescent
+        pipelined client) is never touched: holding an empty-buffered
+        connection open costs nothing, holding megabytes of a
+        never-finished frame does.  ``None`` (default) disables the
+        bound.
     obs:
         Optional :class:`~repro.obs.ObsConfig`.  With a tracer, this is
         the **ingress edge**: every query frame mints a trace here, the
@@ -111,12 +130,24 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame: int = MAX_FRAME_BYTES,
+        deadline_ms: "float | None" = None,
+        idle_timeout_ms: "float | None" = None,
         obs: "ObsConfig | None" = None,
     ):
         self._tenants = host_tenants
         self._host = host
         self._requested_port = int(port)
         self._max_frame = int(max_frame)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServingError(f"deadline_ms must be positive, got {deadline_ms}")
+        if idle_timeout_ms is not None and idle_timeout_ms <= 0:
+            raise ServingError(
+                f"idle_timeout_ms must be positive, got {idle_timeout_ms}"
+            )
+        self._deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        self._idle_timeout = (
+            None if idle_timeout_ms is None else float(idle_timeout_ms) / 1000.0
+        )
         self._obs = obs if obs is not None and obs.enabled else None
         self._tracer = self._obs.tracer if self._obs is not None else None
         self._server: "asyncio.AbstractServer | None" = None
@@ -186,13 +217,38 @@ class NetServer:
     ) -> None:
         connection = _Connection(writer, self._max_frame)
         self._connections.add(connection)
+        loop = asyncio.get_running_loop()
+        idle = self._idle_timeout
+        read_deadline: "float | None" = None  # armed only mid-frame
         try:
             while True:
-                data = await reader.read(_READ_CHUNK)
+                if read_deadline is None:
+                    data = await reader.read(_READ_CHUNK)
+                else:
+                    try:
+                        data = await asyncio.wait_for(
+                            reader.read(_READ_CHUNK),
+                            max(0.0, read_deadline - loop.time()),
+                        )
+                    except asyncio.TimeoutError:
+                        raise ProtocolError(
+                            f"connection stalled mid-frame "
+                            f"({connection.decoder.pending_bytes} byte(s) buffered, "
+                            f"no complete frame in {idle * 1000:.0f} ms)"
+                        ) from None
                 if not data:
                     connection.decoder.assert_drained()
                     break
-                for payload in connection.decoder.feed(data):
+                frames = connection.decoder.feed(data)
+                if idle is not None:
+                    if connection.decoder.pending_bytes == 0:
+                        read_deadline = None  # between frames: no clock
+                    elif frames or read_deadline is None:
+                        # A partial frame just started (or real progress
+                        # — a completed frame — was made): (re-)arm.
+                        # Mere trickled bytes never reach this branch.
+                        read_deadline = loop.time() + idle
+                for payload in frames:
                     await self._handle_frame(connection, payload)
         except ProtocolError as error:
             self.protocol_errors += 1
@@ -235,6 +291,8 @@ class NetServer:
             await connection.send(
                 {"op": "tenants", "id": message.get("id"), "tenants": self._tenants.tenants()}
             )
+        elif op == "health":
+            await self._reply_health(connection, message)
         elif op == "ping":
             await connection.send({"op": "pong", "id": message.get("id")})
         else:
@@ -328,18 +386,36 @@ class NetServer:
                 _errors.CodecError(f"unknown metrics format {fmt!r}"),
             )
 
+    async def _reply_health(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        """The ``health`` wire op: lane liveness, breakers, supervisor.
+
+        The payload is :meth:`~repro.serving.tenancy.TenantHost.health`
+        — supervisor snapshot (or a direct lane probe), the shared lane
+        breaker board, and every tenant's deadline-burn breaker — plus
+        this server's connection count.
+        """
+        payload = dict(self._tenants.health())
+        payload["connections"] = len(self._connections)
+        await connection.send(
+            {"op": "health", "id": message.get("id"), "health": payload}
+        )
+
     async def _reply_error(
         self, connection: _Connection, message: Dict[str, Any], error: BaseException
     ) -> None:
-        await connection.send(
-            {
-                "op": "error",
-                "id": message.get("id"),
-                "kind": type(error).__name__,
-                "message": str(error),
-                "fatal": False,
-            }
-        )
+        reply = {
+            "op": "error",
+            "id": message.get("id"),
+            "kind": type(error).__name__,
+            "message": str(error),
+            "fatal": False,
+        }
+        # Overloaded / CircuitOpen sheds carry their cooldown hint so a
+        # resilient client backs off for the right amount of time.
+        hint = getattr(error, "retry_after_ms", None)
+        if hint:
+            reply["retry_after_ms"] = float(hint)
+        await connection.send(reply)
 
     async def _serve_query(self, connection: _Connection, message: Dict[str, Any]) -> None:
         handle = None
@@ -353,6 +429,18 @@ class NetServer:
                 )
             if not isinstance(query_type, str):
                 raise _errors.QueryError("query needs a string 'type'")
+            budget = message.get("deadline_ms")
+            if budget is not None and (
+                not isinstance(budget, (int, float)) or isinstance(budget, bool)
+            ):
+                raise _errors.QueryError("query 'deadline_ms' must be a number")
+            deadline = None
+            if self._deadline_ms is not None or budget is not None:
+                # Ingress minting: the server's default budget tightened
+                # by the client's hint — neither side can extend the other.
+                deadline = Deadline.after_ms(self._deadline_ms).tighten(
+                    None if budget is None else float(budget)
+                )
             if self._tracer is not None:
                 # The ingress edge: the trace is minted here and its id
                 # follows the request through the tenant host, the lane
@@ -364,7 +452,9 @@ class NetServer:
                     query_type=query_type,
                     transport="tcp",
                 )
-            answer = await self._tenants.submit(tenant, node, query_type, trace=handle)
+            answer = await self._tenants.submit(
+                tenant, node, query_type, trace=handle, deadline=deadline
+            )
         except asyncio.CancelledError:
             if handle is not None:
                 handle.finish(status="cancelled")
@@ -406,7 +496,22 @@ class NetClient:
     :meth:`close` explicitly.  Error frames raise the server-side
     exception type re-mapped locally (``kind`` → :mod:`repro.errors`),
     so ``QueryError`` over the wire is ``QueryError`` here.
+
+    ``request_timeout_ms`` bounds every request's wait for a reply *on
+    the client's own clock*.  This matters beyond slow servers: when a
+    serving process forked lane workers after accepting this connection,
+    the workers hold duplicates of the socket fd — SIGKILL the server
+    and the TCP connection stays open, so the read loop never sees EOF
+    and an unbounded ``await`` would hang forever.  The local bound
+    turns that into a typed :class:`~repro.errors.ProtocolError` (and a
+    per-query ``deadline_ms`` bounds that query at its budget plus a
+    small grace for the server's own shed reply to arrive first).
     """
+
+    #: Extra client-side wait beyond a query's deadline budget, so the
+    #: server's typed DeadlineExceeded reply wins the race against the
+    #: local timeout when both fire.
+    DEADLINE_GRACE_MS = 250.0
 
     def __init__(
         self,
@@ -414,10 +519,18 @@ class NetClient:
         writer: asyncio.StreamWriter,
         *,
         max_frame: int = MAX_FRAME_BYTES,
+        request_timeout_ms: "float | None" = None,
     ):
         self._reader = reader
         self._writer = writer
         self._max_frame = int(max_frame)
+        if request_timeout_ms is not None and request_timeout_ms <= 0:
+            raise ServingError(
+                f"request_timeout_ms must be positive, got {request_timeout_ms}"
+            )
+        self._request_timeout_ms = (
+            None if request_timeout_ms is None else float(request_timeout_ms)
+        )
         self._codec = MessageCodec("json")
         self._decoder = FrameDecoder(max_frame=max_frame)
         self._ids = itertools.count(1)
@@ -436,10 +549,13 @@ class NetClient:
         *,
         encodings: "List[str] | None" = None,
         max_frame: int = MAX_FRAME_BYTES,
+        request_timeout_ms: "float | None" = None,
     ) -> "NetClient":
         """Open a connection and complete the hello handshake."""
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame=max_frame)
+        client = cls(
+            reader, writer, max_frame=max_frame, request_timeout_ms=request_timeout_ms
+        )
         try:
             await client._handshake(encodings or list(available_encodings()))
         except BaseException:
@@ -525,14 +641,24 @@ class NetClient:
         text = str(message.get("message", "remote error"))
         exc_type = getattr(_errors, kind, None)
         if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+            hint = message.get("retry_after_ms")
+            if hint is not None:
+                try:
+                    return exc_type(text, retry_after_ms=float(hint))
+                except TypeError:
+                    pass  # error type without a retry_after_ms keyword
             return exc_type(text)
         return ServingError(f"{kind}: {text}")
 
-    async def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    async def _request(
+        self, message: Dict[str, Any], *, timeout_ms: "float | None" = None
+    ) -> Dict[str, Any]:
         if self._closed:
             raise ServingError("client is closed")
         if self._broken is not None:
             raise self._broken
+        if timeout_ms is None:
+            timeout_ms = self._request_timeout_ms
         message_id = next(self._ids)
         message["id"] = message_id
         future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
@@ -542,16 +668,51 @@ class NetClient:
         except BaseException:
             self._replies.pop(message_id, None)
             raise
-        reply = await future
+        if timeout_ms is None:
+            reply = await future
+        else:
+            try:
+                reply = await asyncio.wait_for(future, timeout_ms / 1000.0)
+            except asyncio.TimeoutError:
+                # The reply may never come (dead server behind a TCP
+                # connection kept open by forked-worker fd duplicates):
+                # surface a typed local error instead of hanging.
+                self._replies.pop(message_id, None)
+                raise ProtocolError(
+                    f"no reply to request {message_id} within {timeout_ms:.0f} ms"
+                ) from None
         if reply.get("op") == "error":
             raise self._map_error(reply)
         return reply
 
-    async def query(self, tenant: str, node: int, query_type: str) -> np.ndarray:
-        """Answer one query over the wire; byte-identical to the cluster's."""
-        reply = await self._request(
-            {"op": "query", "tenant": tenant, "node": int(node), "type": query_type}
-        )
+    async def query(
+        self,
+        tenant: str,
+        node: int,
+        query_type: str,
+        *,
+        deadline_ms: "float | None" = None,
+    ) -> np.ndarray:
+        """Answer one query over the wire; byte-identical to the cluster's.
+
+        *deadline_ms* ships with the request — the server tightens its
+        own budget with it and sheds expired work with a typed
+        ``DeadlineExceeded`` — and also bounds the local wait at the
+        budget plus :data:`DEADLINE_GRACE_MS`.
+        """
+        message: "Dict[str, Any]" = {
+            "op": "query",
+            "tenant": tenant,
+            "node": int(node),
+            "type": query_type,
+        }
+        timeout_ms = None
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+            timeout_ms = float(deadline_ms) + self.DEADLINE_GRACE_MS
+            if self._request_timeout_ms is not None:
+                timeout_ms = min(timeout_ms, self._request_timeout_ms)
+        reply = await self._request(message, timeout_ms=timeout_ms)
         if reply.get("op") != "answer":
             raise ProtocolError(f"expected an answer, got op {reply.get('op')!r}")
         return unpack_array(reply.get("answer"))
@@ -590,6 +751,19 @@ class NetClient:
         if not isinstance(snapshot, dict):
             raise ProtocolError("malformed metrics reply")
         return snapshot
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's resilience snapshot (the ``health`` wire op).
+
+        Lane liveness (supervisor snapshot when one runs), the shared
+        lane breaker board, every tenant's deadline-burn breaker, and
+        the live connection count.
+        """
+        reply = await self._request({"op": "health"})
+        payload = reply.get("health")
+        if not isinstance(payload, dict):
+            raise ProtocolError("malformed health reply")
+        return payload
 
     async def list_tenants(self) -> List[str]:
         """The server's current tenant directory."""
@@ -645,6 +819,186 @@ class NetClient:
             pass
 
     async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+class ResilientClient:
+    """A :class:`NetClient` that reconnects and retries under faults.
+
+    Queries are idempotent (pure reads against an immutable-at-answer
+    cluster state) and replies are id-matched, so a query that died with
+    its connection can safely be re-sent on a fresh one.  The retry loop
+    is driven by a :class:`~repro.resilience.policy.RetryPolicy`
+    (deterministic capped backoff):
+
+    * **connection-level faults** — refused connects, dropped
+      connections, local request timeouts (``ProtocolError`` /
+      ``ConnectionError`` / ``OSError``) — drop the connection,
+      back off, reconnect, and re-send;
+    * **server sheds** — :class:`~repro.errors.Overloaded` /
+      :class:`~repro.errors.CircuitOpen` error frames — back off by at
+      least the server's ``retry_after_ms`` hint, on the same
+      connection;
+    * everything else (``QueryError``, ``TenantError``,
+      ``DeadlineExceeded``, …) is not retried: the request itself is
+      wrong or its budget is spent, and a retry would just repeat that.
+
+    Build with :meth:`connect`; use as an async context manager.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry: "RetryPolicy | None" = None,
+        request_timeout_ms: "float | None" = None,
+        encodings: "List[str] | None" = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._request_timeout_ms = request_timeout_ms
+        self._encodings = encodings
+        self._max_frame = int(max_frame)
+        self._client: "NetClient | None" = None
+        self._closed = False
+        #: Fresh connections established (first connect included).
+        self.connects = 0
+        #: Requests re-sent after a fault or shed.
+        self.retries = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retry: "RetryPolicy | None" = None,
+        request_timeout_ms: "float | None" = None,
+        encodings: "List[str] | None" = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "ResilientClient":
+        """Open the first connection (retried under the policy) and return."""
+        client = cls(
+            host,
+            port,
+            retry=retry,
+            request_timeout_ms=request_timeout_ms,
+            encodings=encodings,
+            max_frame=max_frame,
+        )
+        await client._ensure_connected(attempt=1)
+        return client
+
+    @property
+    def client(self) -> "NetClient | None":
+        """The live underlying :class:`NetClient` (``None`` when down)."""
+        return self._client
+
+    async def _ensure_connected(self, *, attempt: int) -> NetClient:
+        """The live client, (re)connecting with backoff as needed."""
+        if self._closed:
+            raise ServingError("client is closed")
+        if self._client is not None and self._client._broken is None:
+            return self._client
+        await self._drop_connection()
+        last: "BaseException | None" = None
+        while True:
+            try:
+                self._client = await NetClient.connect(
+                    self._host,
+                    self._port,
+                    encodings=self._encodings,
+                    max_frame=self._max_frame,
+                    request_timeout_ms=self._request_timeout_ms,
+                )
+                self.connects += 1
+                return self._client
+            except (ConnectionError, OSError, ProtocolError) as error:
+                last = error
+                if not self._retry.should_retry(attempt):
+                    raise ProtocolError(
+                        f"could not connect to {self._host}:{self._port} "
+                        f"after {attempt} attempt(s): {last}"
+                    ) from last
+                await asyncio.sleep(
+                    self._retry.backoff_ms(attempt, key="connect") / 1000.0
+                )
+                attempt += 1
+
+    async def _drop_connection(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            await client.close()
+
+    async def _call(self, op: str, method: str, *args, **kwargs):
+        """Run one idempotent client method under the retry policy."""
+        attempt = 1
+        while True:
+            try:
+                client = await self._ensure_connected(attempt=attempt)
+                return await getattr(client, method)(*args, **kwargs)
+            except (_errors.Overloaded, _errors.CircuitOpen) as error:
+                # Explicit shed: the connection is fine, the server just
+                # wants us to wait — honor its hint over our own backoff.
+                if not self._retry.should_retry(attempt):
+                    raise
+                delay_ms = max(
+                    self._retry.backoff_ms(attempt, key=op), error.retry_after_ms
+                )
+                self.retries += 1
+                attempt += 1
+                await asyncio.sleep(delay_ms / 1000.0)
+            except (ConnectionError, OSError, ProtocolError):
+                await self._drop_connection()
+                if not self._retry.should_retry(attempt):
+                    raise
+                delay_ms = self._retry.backoff_ms(attempt, key=op)
+                self.retries += 1
+                attempt += 1
+                await asyncio.sleep(delay_ms / 1000.0)
+
+    async def query(
+        self,
+        tenant: str,
+        node: int,
+        query_type: str,
+        *,
+        deadline_ms: "float | None" = None,
+    ) -> np.ndarray:
+        """One query, retried across reconnects; byte-identical answers."""
+        return await self._call(
+            f"query:{tenant}:{node}",
+            "query",
+            tenant,
+            int(node),
+            query_type,
+            deadline_ms=deadline_ms,
+        )
+
+    async def stats(self, tenant: "str | None" = None) -> Dict[str, Any]:
+        """Ledger snapshot(s), retried across reconnects."""
+        return await self._call("stats", "stats", tenant)
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's resilience snapshot, retried across reconnects."""
+        return await self._call("health", "health")
+
+    async def ping(self) -> bool:
+        """Liveness probe, retried across reconnects."""
+        return await self._call("ping", "ping")
+
+    async def close(self) -> None:
+        """Close the underlying connection and refuse further requests."""
+        self._closed = True
+        await self._drop_connection()
+
+    async def __aenter__(self) -> "ResilientClient":
         return self
 
     async def __aexit__(self, exc_type, exc, tb) -> None:

@@ -59,9 +59,11 @@ from typing import Any, Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.distributed.cluster import DistributedCluster, Machine
-from repro.errors import QueryError, ServingError
+from repro.errors import DeadlineExceeded, QueryError, ServingError
 from repro.obs import DEFAULT_SIZE_BOUNDS, ObsConfig, TraceHandle
 from repro.parallel.lanes import LaneExecutor
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.serving.blueprint import ClusterBlueprint, release_session, serve_batch_task
 
 QUERY_TYPES = ("rwr", "hop", "php")
@@ -80,11 +82,15 @@ class ServingStats:
     is counted under ``cancelled`` instead, so the admission ledger
     balances exactly::
 
-        admitted == answered + failed + cancelled + still-pending
+        admitted == answered + failed + cancelled + shed + still-pending
 
     (``still-pending`` being requests admitted but not yet resolved).
     Hedged duplicates and failover re-dispatches never double-count:
     a request resolves exactly once no matter how many batch copies ran.
+    ``shed`` counts deadline-expired requests dropped *explicitly* with
+    :class:`~repro.errors.DeadlineExceeded` — before dispatch when the
+    budget ran out in the queue, or after a worker skipped the expired
+    item instead of computing it.
     """
 
     admitted: int = 0
@@ -102,6 +108,9 @@ class ServingStats:
     hedge_wins: int = 0
     #: Batches re-dispatched after a worker died mid-flight.
     redispatches: int = 0
+    #: Requests dropped with ``DeadlineExceeded`` because their budget
+    #: expired before (or inside) compute — explicit, typed shedding.
+    shed: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -134,8 +143,10 @@ STATS_FIELDS: Dict[str, str] = {
     "hedged": "Batches duplicated onto the neighboring lane after the hedge deadline.",
     "hedge_wins": "Hedged duplicates that delivered before the primary copy.",
     "redispatches": "Batches re-sent after a lane worker died mid-flight.",
+    "shed": "Requests dropped with DeadlineExceeded because their deadline budget expired.",
     "inflight": "Host-level: requests admitted but not yet resolved (counts against the tenant quota).",
     "quota_rejections": "Host-level: submissions refused because the tenant was at its inflight quota.",
+    "breaker_rejections": "Host-level: submissions shed because a tenant breaker was open (Overloaded).",
 }
 
 
@@ -152,6 +163,9 @@ class _Request:
     trace: "TraceHandle | None" = field(default=None, repr=False)
     owns_trace: bool = False
     admitted_at: float = 0.0
+    # Deadline budget (None = unbounded): minted at network ingress or
+    # from the server's default budget, carried into the batch payload.
+    deadline: "Deadline | None" = None
 
 
 @dataclass
@@ -165,7 +179,10 @@ class _BatchJob:
 
     machine_id: int
     batch: List[_Request]
-    items: List[Tuple[int, str]]
+    # 2-tuples ``(node, query_type)`` on the legacy path; 3-tuples
+    # ``(node, query_type, expires_at)`` when any request in the batch
+    # carries a bounded deadline (workers skip expired items).
+    items: "List[Tuple]"
     update: "Dict | None"
     attempts: int = 0
     delivered: bool = False
@@ -215,7 +232,27 @@ class QueryServer:
         onto the neighboring lane (``None`` disables hedging).
     max_redispatch:
         How many times a batch whose worker died mid-flight is re-sent
-        before its requests are failed.
+        before its requests are failed.  Shorthand for
+        ``retry_policy=RetryPolicy(max_attempts=max_redispatch + 1,
+        base_ms=0, jitter=0)`` — immediate re-dispatch, the pre-retry
+        behavior.  Ignored when *retry_policy* is given.
+    retry_policy:
+        Optional :class:`~repro.resilience.policy.RetryPolicy` driving
+        server-side batch re-dispatch after a worker death: capped
+        exponential backoff with deterministic jitter between attempts
+        instead of immediate re-sends.
+    deadline_ms:
+        Default per-request deadline budget, minted at :meth:`submit`
+        when the caller does not pass an explicit
+        :class:`~repro.resilience.policy.Deadline`.  Expired requests
+        are shed with :class:`~repro.errors.DeadlineExceeded` before
+        dispatch (and skipped inside workers) rather than computed.
+        ``None`` (default) = unbounded.
+    breakers:
+        Optional per-lane
+        :class:`~repro.resilience.breaker.BreakerBoard` (typically
+        shared host-wide).  Dispatch walks past lanes whose breaker is
+        open, and every batch copy's outcome feeds its lane's breaker.
     chaos:
         Optional fault-injection spec dict, shipped to workers inside
         the blueprint payload and applied by
@@ -254,6 +291,9 @@ class QueryServer:
         lane_offset: int = 0,
         hedge_ms: "float | None" = None,
         max_redispatch: int = 2,
+        retry_policy: "RetryPolicy | None" = None,
+        deadline_ms: "float | None" = None,
+        breakers: "BreakerBoard | None" = None,
         chaos: "Dict | None" = None,
         obs: "ObsConfig | None" = None,
     ):
@@ -278,6 +318,19 @@ class QueryServer:
         self._lane_offset = int(lane_offset)
         self._hedge = None if hedge_ms is None else float(hedge_ms) / 1000.0
         self._max_redispatch = int(max_redispatch)
+        # max_redispatch=N maps onto an immediate-redispatch policy, so
+        # the legacy knob and the new one share a single retry path.
+        self._retry = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=self._max_redispatch + 1, base_ms=0.0, jitter=0.0
+            )
+        )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServingError(f"deadline_ms must be positive, got {deadline_ms}")
+        self._deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        self._breakers = breakers
         self._chaos = chaos
         self._obs = obs if obs is not None and obs.enabled else None
         self._tracer = self._obs.tracer if self._obs is not None else None
@@ -323,7 +376,7 @@ class QueryServer:
                 tenant=tenant,
                 outcome=o,
             )
-            for o in ("answered", "failed", "cancelled", "rejected")
+            for o in ("answered", "failed", "cancelled", "rejected", "shed")
         }
         return {
             "outcome": outcome,
@@ -398,6 +451,11 @@ class QueryServer:
     def uses_shared_memory(self) -> bool:
         """Whether machine arrays actually live in shared memory."""
         return self._blueprint is not None and self._blueprint.uses_shared_memory
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted but not yet resolved (the ledger's pending)."""
+        return len(self._outstanding)
 
     async def start(self) -> "QueryServer":
         """Export the cluster, start the serving lanes and the dispatcher."""
@@ -542,7 +600,11 @@ class QueryServer:
     # admission
     # ------------------------------------------------------------------
     def _make_request(
-        self, node: int, query_type: str, trace: "TraceHandle | None" = None
+        self,
+        node: int,
+        query_type: str,
+        trace: "TraceHandle | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> _Request:
         if not self._accepting:
             raise ServingError("server is not accepting queries")
@@ -551,6 +613,10 @@ class QueryServer:
         machine = self._cluster.machine_for(int(node))  # validates the node
         future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
         request = _Request(int(node), query_type, machine.machine_id, future)
+        if deadline is None and self._deadline_ms is not None:
+            deadline = Deadline.after_ms(self._deadline_ms)
+        if deadline is not None and not deadline.unbounded:
+            request.deadline = deadline
         if self._obs is not None:
             request.admitted_at = time.perf_counter()
             if self._tracer is not None:
@@ -583,7 +649,12 @@ class QueryServer:
             request.trace.finish(status="rejected")
 
     def submit_nowait(
-        self, node: int, query_type: str, *, trace: "TraceHandle | None" = None
+        self,
+        node: int,
+        query_type: str,
+        *,
+        trace: "TraceHandle | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> "asyncio.Future[np.ndarray]":
         """Admit one query without waiting; returns its answer future.
 
@@ -592,9 +663,10 @@ class QueryServer:
         :class:`~repro.errors.QueryError` for invalid nodes/query types —
         the same validation surface as ``cluster.answer``.  *trace* lets
         an upstream ingress (the network tier) attach the trace it
-        already minted for this request.
+        already minted for this request; *deadline* the budget it minted
+        (defaulting to the server's ``deadline_ms``, or unbounded).
         """
-        request = self._make_request(node, query_type, trace)
+        request = self._make_request(node, query_type, trace, deadline)
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
@@ -606,14 +678,19 @@ class QueryServer:
         return request.future
 
     async def submit(
-        self, node: int, query_type: str, *, trace: "TraceHandle | None" = None
+        self,
+        node: int,
+        query_type: str,
+        *,
+        trace: "TraceHandle | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> np.ndarray:
         """Admit one query (waiting for queue space if needed) and await it.
 
         This is the backpressure path: a saturated server slows its
         clients down instead of growing without bound.
         """
-        request = self._make_request(node, query_type, trace)
+        request = self._make_request(node, query_type, trace, deadline)
         await self._queue.put(request)
         self._note_admitted(request)
         return await request.future
@@ -682,13 +759,36 @@ class QueryServer:
         deadlines.pop(machine_id, None)
         if not batch:
             return
+        # Shed work whose budget already ran out in the queue: the
+        # client gets a typed DeadlineExceeded now instead of an answer
+        # it stopped waiting for after the batch computes.
+        expired = [r for r in batch if r.deadline is not None and r.deadline.expired()]
+        if expired:
+            batch = [r for r in batch if r.deadline is None or not r.deadline.expired()]
+            for request in expired:
+                self._shed_request(request)
+            if not batch:
+                return
         self.stats.batches += 1
         self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
         t_assemble = time.perf_counter() if self._obs is not None else 0.0
+        if any(request.deadline is not None for request in batch):
+            # Deadlines ride into the worker as a 3rd item element so
+            # compute skips anything that expired in flight.
+            items: "List[Tuple]" = [
+                (
+                    request.node,
+                    request.query_type,
+                    None if request.deadline is None else request.deadline.expires_at,
+                )
+                for request in batch
+            ]
+        else:
+            items = [(request.node, request.query_type) for request in batch]
         job = _BatchJob(
             machine_id=machine_id,
             batch=batch,
-            items=[(request.node, request.query_type) for request in batch],
+            items=items,
             update=self._updates.get(machine_id),
         )
         if self._obs is not None:
@@ -721,7 +821,18 @@ class QueryServer:
     def _lane_for(self, machine_id: int, *, hedged: bool) -> int:
         # Sticky affinity: one lane per machine, so its operator cache
         # lives on exactly one worker.  The hedge copy goes next door.
-        return self._lane_offset + machine_id + (1 if hedged else 0)
+        preferred = self._lane_offset + machine_id + (1 if hedged else 0)
+        if self._breakers is None or self._executor is None or self._executor.inline:
+            return preferred
+        # Breaker-aware: walk past lanes whose breaker is open (flapping
+        # workers) to the nearest admitting lane.  All-open falls back to
+        # the preferred lane — total outage beats refusing everything.
+        lanes = self._executor.lanes
+        for step in range(lanes):
+            candidate = (preferred + step) % lanes
+            if self._breakers.allow(candidate):
+                return candidate
+        return preferred % lanes
 
     def _dispatch_job(self, job: _BatchJob, *, hedged: bool = False) -> None:
         """Submit one copy of a batch to its lane (primary, hedge, retry)."""
@@ -819,6 +930,14 @@ class QueryServer:
         obs_payload = None
         if answers is not None and self._ospec is not None:
             answers, obs_payload = answers
+        if self._breakers is not None and not done.cancelled():
+            # Feed the lane's breaker: worker deaths are lane failures;
+            # application errors are not (the lane computed fine).
+            breaker = self._breakers.get(lane % max(1, self._executor.lanes))
+            if error is None:
+                breaker.record_success()
+            elif self._retryable(error):
+                breaker.record_failure()
         if self._obs is not None:
             self._note_copy_done(
                 job,
@@ -851,7 +970,12 @@ class QueryServer:
                 if self._metrics is not None:
                     self._metrics["hedge_wins"].inc()
             for request, answer in zip(job.batch, answers):
-                self._resolve_request(request, answer)
+                if answer is None:
+                    # The worker skipped this item: its shipped deadline
+                    # expired before compute.  Typed shed, not a failure.
+                    self._shed_request(request)
+                else:
+                    self._resolve_request(request, answer)
             return
         if job.pending:
             # Another copy of this batch is still in flight; it will
@@ -859,11 +983,13 @@ class QueryServer:
             return
         if (
             self._retryable(error)
-            and job.attempts < self._max_redispatch
+            and self._retry.should_retry(job.attempts + 1)
             and self._running
         ):
             # The worker died mid-batch.  The lane is re-spawned lazily
-            # by the next submit; re-dispatch this batch onto it.
+            # by the next submit; re-dispatch this batch onto it after
+            # the policy's backoff (immediate for the legacy
+            # max_redispatch mapping).
             job.attempts += 1
             self.stats.redispatches += 1
             if self._metrics is not None:
@@ -877,12 +1003,36 @@ class QueryServer:
                             machine=job.machine_id,
                             attempt=job.attempts,
                         )
-            self._dispatch_job(job)
+            delay_ms = self._retry.backoff_ms(job.attempts, key=f"m{job.machine_id}")
+            if delay_ms <= 0:
+                self._dispatch_job(job)
+            else:
+                self._schedule_retry(job, delay_ms / 1000.0)
             return
         job.delivered = True
         self._cancel_hedge(job)
         for request in job.batch:
             self._fail_request(request, error)
+
+    def _schedule_retry(self, job: _BatchJob, delay_s: float) -> None:
+        """Re-dispatch *job* after a backoff sleep.
+
+        The sleep rides in ``_inflight`` (and the job's ``pending`` set)
+        like a batch copy, so ``stop()``'s drain loop waits it out and
+        hedge delivery cancels it — no copy is ever orphaned behind a
+        timer.
+        """
+        timer = asyncio.get_running_loop().create_task(asyncio.sleep(delay_s))
+        self._inflight.add(timer)
+        job.pending.add(timer)
+        timer.add_done_callback(lambda done, job=job: self._on_retry_timer(done, job))
+
+    def _on_retry_timer(self, done: "asyncio.Future", job: _BatchJob) -> None:
+        self._inflight.discard(done)
+        job.pending.discard(done)
+        if job.delivered or done.cancelled():
+            return
+        self._dispatch_job(job)
 
     def _note_copy_done(
         self,
@@ -968,6 +1118,21 @@ class QueryServer:
             request.future.set_exception(error)
             self.stats.failed += 1
             self._note_resolved(request, "failed")
+
+    def _shed_request(self, request: _Request) -> None:
+        """Drop a deadline-expired request with a typed error (ledger: shed)."""
+        self._outstanding.discard(request)
+        if request.future.done():
+            self.stats.cancelled += 1
+            self._note_resolved(request, "cancelled")
+        else:
+            request.future.set_exception(
+                DeadlineExceeded(
+                    f"deadline expired before compute for node {request.node}"
+                )
+            )
+            self.stats.shed += 1
+            self._note_resolved(request, "shed")
 
     def _note_resolved(self, request: _Request, outcome: str) -> None:
         """Request reached its final state: outcome metrics + trace total."""

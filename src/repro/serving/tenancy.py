@@ -36,9 +36,12 @@ from typing import Dict, List
 import numpy as np
 
 from repro.distributed.cluster import DistributedCluster
-from repro.errors import TenantError
+from repro.errors import DeadlineExceeded, Overloaded, TenantError
 from repro.obs import ObsConfig, TraceHandle
 from repro.parallel.lanes import LaneExecutor
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.health import LaneSupervisor
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.serving.blueprint import release_session_task
 from repro.serving.server import QueryServer, ServingStats
 
@@ -52,6 +55,14 @@ class TenantConfig:
     server's ``max_pending`` queue bound still applies); exceeding it
     raises :class:`~repro.errors.TenantError` immediately — quota
     rejections shed load, they do not backpressure.
+
+    ``deadline_ms`` / ``retry_policy`` flow through to the tenant's
+    server (deadline budgets minted at submit; backoff-driven batch
+    re-dispatch).  ``breaker`` arms a per-tenant **deadline-burn
+    breaker**: deadline sheds count as failures, answers as successes,
+    and while the breaker is open the tenant's submissions are shed at
+    admission with :class:`~repro.errors.Overloaded` (carrying a
+    ``retry_after_ms`` hint) instead of burning more budget.
     """
 
     max_pending: int = 1024
@@ -60,6 +71,9 @@ class TenantConfig:
     max_wait_ms: float = 2.0
     hedge_ms: "float | None" = None
     max_redispatch: int = 2
+    retry_policy: "RetryPolicy | None" = None
+    deadline_ms: "float | None" = None
+    breaker: "BreakerConfig | None" = None
 
 
 @dataclass
@@ -70,6 +84,8 @@ class _Tenant:
     inflight: int = 0
     quota_rejections: int = 0
     lane_offset: int = 0
+    breaker: "CircuitBreaker | None" = None
+    breaker_rejections: int = 0
 
 
 class TenantHost:
@@ -113,6 +129,9 @@ class TenantHost:
         mp_context=None,
         chaos: "Dict | None" = None,
         obs: "ObsConfig | None" = None,
+        lane_breaker: "BreakerConfig | None" = None,
+        supervise_ms: "float | None" = None,
+        standby: bool = False,
     ):
         self._workers = workers
         self._use_shared_memory = use_shared_memory
@@ -123,6 +142,19 @@ class TenantHost:
         self._tenants: "Dict[str, _Tenant]" = {}
         self._offsets = 0
         self._started = False
+        registry = obs.registry if obs is not None and obs.enabled else None
+        self._registry = registry
+        # One lane breaker board shared by every tenant's server: a
+        # flapping lane trips for all tenants at once, and recovery
+        # probes are host-wide rather than per-tenant.
+        self._lane_breakers = (
+            None
+            if lane_breaker is None
+            else BreakerBoard("lane", lane_breaker, metrics=registry)
+        )
+        self._supervise_ms = supervise_ms
+        self._standby = bool(standby)
+        self._supervisor: "LaneSupervisor | None" = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -137,12 +169,29 @@ class TenantHost:
         """The shared lane executor (``None`` before :meth:`start`)."""
         return self._executor
 
+    @property
+    def supervisor(self) -> "LaneSupervisor | None":
+        """The lane supervisor (``None`` unless ``supervise_ms`` was set)."""
+        return self._supervisor
+
+    @property
+    def lane_breakers(self) -> "BreakerBoard | None":
+        """The shared per-lane breaker board (``None`` when disabled)."""
+        return self._lane_breakers
+
     async def start(self) -> "TenantHost":
         """Spawn the shared lanes; tenants are added afterwards."""
         if self._started:
             raise TenantError("tenant host already started")
-        self._executor = LaneExecutor(self._workers, mp_context=self._mp_context).start()
+        self._executor = LaneExecutor(
+            self._workers, mp_context=self._mp_context, standby=self._standby
+        ).start()
         self._started = True
+        if self._supervise_ms is not None:
+            self._supervisor = LaneSupervisor(
+                self._executor, interval_ms=self._supervise_ms, metrics=self._registry
+            )
+            await self._supervisor.start()
         return self
 
     async def close(self) -> None:
@@ -150,6 +199,9 @@ class TenantHost:
         if not self._started:
             return
         try:
+            if self._supervisor is not None:
+                await self._supervisor.stop()
+                self._supervisor = None
             for name in list(self._tenants):
                 await self.evict(name, drain=True)
         finally:
@@ -219,13 +271,23 @@ class TenantHost:
             max_wait_ms=config.max_wait_ms,
             hedge_ms=config.hedge_ms,
             max_redispatch=config.max_redispatch,
+            retry_policy=config.retry_policy,
+            deadline_ms=config.deadline_ms,
+            breakers=self._lane_breakers,
             use_shared_memory=self._use_shared_memory,
             chaos=self._chaos,
             obs=self._obs.for_tenant(name) if self._obs is not None else None,
         )
         await server.start()
+        breaker = None
+        if config.breaker is not None:
+            breaker = CircuitBreaker(config.breaker)
         self._tenants[name] = _Tenant(
-            name=name, server=server, config=config, lane_offset=lane_offset
+            name=name,
+            server=server,
+            config=config,
+            lane_offset=lane_offset,
+            breaker=breaker,
         )
         return server
 
@@ -268,14 +330,18 @@ class TenantHost:
         query_type: str,
         *,
         trace: "TraceHandle | None" = None,
+        deadline: "Deadline | None" = None,
     ) -> np.ndarray:
         """Answer one query for one tenant (quota-checked, backpressured).
 
         Raises :class:`~repro.errors.TenantError` for unknown tenants
-        and quota violations; everything else matches the tenant
-        server's ``submit`` surface.  *trace* is passed through to the
-        tenant server, so a network-ingress-minted trace follows the
-        request through this tenant's queue, lanes, and workers.
+        and quota violations, and :class:`~repro.errors.Overloaded`
+        (with a ``retry_after_ms`` hint) while the tenant's deadline-burn
+        breaker is open; everything else matches the tenant server's
+        ``submit`` surface.  *trace* is passed through to the tenant
+        server, so a network-ingress-minted trace follows the request
+        through this tenant's queue, lanes, and workers; *deadline*
+        likewise (the ingress-minted budget).
         """
         tenant = self._tenant(name)
         quota = tenant.config.max_inflight
@@ -292,9 +358,34 @@ class TenantHost:
                 f"tenant {name!r} admission quota exceeded "
                 f"({tenant.inflight}/{quota} in flight); retry or back off"
             )
+        if tenant.breaker is not None and not tenant.breaker.allow():
+            # Open deadline-burn breaker: shed at admission with a typed,
+            # hinted error instead of queueing work that will expire.
+            tenant.breaker_rejections += 1
+            if self._obs is not None and self._obs.registry is not None:
+                self._obs.registry.counter(
+                    "repro_breaker_rejections_total",
+                    "Submissions shed while the tenant breaker was open",
+                    tenant=name,
+                ).inc()
+            raise Overloaded(
+                f"tenant {name!r} is shedding load (deadline-burn breaker open)",
+                retry_after_ms=tenant.breaker.retry_after_ms(),
+            )
         tenant.inflight += 1
         try:
-            return await tenant.server.submit(node, query_type, trace=trace)
+            answer = await tenant.server.submit(
+                node, query_type, trace=trace, deadline=deadline
+            )
+        except DeadlineExceeded:
+            # The tenant burned a full deadline budget: a breaker signal.
+            if tenant.breaker is not None:
+                tenant.breaker.record_failure()
+            raise
+        else:
+            if tenant.breaker is not None:
+                tenant.breaker.record_success()
+            return answer
         finally:
             tenant.inflight -= 1
 
@@ -313,8 +404,37 @@ class TenantHost:
             snapshot = tenant.server.stats.as_dict()
             snapshot["inflight"] = tenant.inflight
             snapshot["quota_rejections"] = tenant.quota_rejections
+            snapshot["breaker_rejections"] = tenant.breaker_rejections
             out[name] = snapshot
         return out
+
+    def health(self) -> "Dict[str, object]":
+        """Liveness/breaker snapshot behind the ``health`` wire op.
+
+        Lane health comes from the supervisor when one runs (its cached
+        view plus respawn counters) or a direct executor probe
+        otherwise; breaker snapshots cover the shared lane board and
+        every tenant's deadline-burn breaker.
+        """
+        executor = self._executor
+        payload: "Dict[str, object]" = {
+            "started": self._started,
+            "tenants": list(self._tenants),
+        }
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.snapshot()
+        elif executor is not None:
+            payload["lanes"] = executor.lane_health()
+        if self._lane_breakers is not None:
+            payload["lane_breakers"] = self._lane_breakers.snapshot()
+        tenant_breakers = {
+            name: tenant.breaker.snapshot()
+            for name, tenant in self._tenants.items()
+            if tenant.breaker is not None
+        }
+        if tenant_breakers:
+            payload["tenant_breakers"] = tenant_breakers
+        return payload
 
     def aggregate_stats(self) -> "Dict[str, int]":
         """Host-wide ledger: every tenant's counters summed.
@@ -351,6 +471,8 @@ _AGGREGATE_FIELDS = (
     "hedged",
     "hedge_wins",
     "redispatches",
+    "shed",
     "inflight",
     "quota_rejections",
+    "breaker_rejections",
 )

@@ -213,9 +213,102 @@ class DeltaLog:
         """Global stream offset up to which the log is durable."""
         return self._logged
 
+    @property
+    def origin(self) -> int:
+        """Global stream offset of the in-memory delta's local index 0."""
+        return self._origin
+
     def local_offset(self, global_offset: int) -> int:
         """Translate a global stream offset to this delta's local index."""
         return global_offset - self._origin
+
+    def global_offset(self, local_index: int) -> int:
+        """Translate a local pending index to its global stream offset."""
+        return self._origin + local_index
+
+    @staticmethod
+    def describe(directory: "str | os.PathLike[str]", *, verify: bool = True) -> dict:
+        """Inspect a log directory without replaying it into a delta.
+
+        The read-only half of :meth:`recover` — checks the same
+        invariants (a base exists, checksums pass when *verify*, the
+        durable segments form a gap-free run from the base's folded
+        offset) but never materializes edges, so ``repro doctor`` can
+        report on logs much larger than RAM.  Returns a dict with
+        ``ok``/``error`` plus ``generation``, ``folded_offset``,
+        ``logged_offset``, ``num_nodes``, and per-file listings.
+        """
+        directory = os.fspath(directory)
+        report: dict = {
+            "directory": directory,
+            "ok": False,
+            "error": None,
+            "generation": None,
+            "folded_offset": None,
+            "logged_offset": None,
+            "num_nodes": None,
+            "bases": [],
+            "segments": [],
+        }
+        try:
+            entries = sorted(os.listdir(directory))
+        except OSError as exc:
+            report["error"] = f"cannot list delta log: {exc}"
+            return report
+        segments: List[Tuple[int, int, str]] = []
+        for entry in entries:
+            match = _BASE_RE.match(entry)
+            if match:
+                report["bases"].append(entry)
+                continue
+            match = _SEG_RE.match(entry)
+            if match:
+                segments.append((int(match.group(1)), int(match.group(2)), entry))
+        if not report["bases"]:
+            report["error"] = "no base generation found"
+            return report
+        try:
+            generation = max(
+                int(_BASE_RE.match(entry).group(1)) for entry in report["bases"]
+            )
+            base = open_store(
+                os.path.join(directory, _base_name(generation)),
+                kind=BASE_KIND,
+                verify=verify,
+            )
+            offset = int(base.meta.get("pending_offset", -1))
+            report["generation"] = generation
+            report["folded_offset"] = offset
+            report["num_nodes"] = int(base.meta.get("num_nodes", -1))
+            base.close()
+            spans: List[Tuple[int, int, str]] = []
+            for _gen, _index, entry in sorted(segments):
+                container = open_store(
+                    os.path.join(directory, entry), kind=SEGMENT_KIND, verify=verify
+                )
+                start = int(container.meta.get("start", -1))
+                count = int(container.meta.get("count", -1))
+                container.close()
+                if start < 0 or count < 0:
+                    raise GraphFormatError(f"{entry}: segment start/count metadata invalid")
+                spans.append((start, count, entry))
+                report["segments"].append({"file": entry, "start": start, "count": count})
+            spans.sort()
+            cursor = offset
+            for start, count, entry in spans:
+                if start + count <= cursor:
+                    continue  # fully folded into the base
+                if start > cursor:
+                    raise GraphFormatError(
+                        f"delta log gap at global offset {cursor}: "
+                        f"next segment {entry} starts at {start}"
+                    )
+                cursor = start + count
+            report["logged_offset"] = cursor
+            report["ok"] = True
+        except GraphFormatError as exc:
+            report["error"] = str(exc)
+        return report
 
     def append(self, delta: GraphDelta) -> "str | None":
         """Persist every not-yet-durable pending edge as one new segment.

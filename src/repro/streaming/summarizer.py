@@ -142,6 +142,15 @@ class StreamingSummarizer:
         crash, ``DeltaLog.recover(log_dir)`` reconstructs exactly the
         durable stream.  ``None`` (default) keeps the stream in memory
         only.  The log is exposed as :attr:`log`.
+    checkpoint:
+        Optional ``callback(machine_id, summary, cursor)`` invoked after
+        each refresh with the machine's new base summary and the
+        **global** stream offset it was built at (local offset when no
+        log is attached).  The resilience layer's
+        :meth:`~repro.resilience.HostState.checkpoint_for` plugs in here
+        so a refreshed summary is re-persisted *before* the log compacts
+        the prefix it absorbed — the ordering whole-server recovery
+        relies on.
     """
 
     def __init__(
@@ -158,6 +167,7 @@ class StreamingSummarizer:
         workers: "int | None" = 1,
         use_shared_memory: bool = True,
         log_dir: "str | None" = None,
+        checkpoint=None,
     ):
         if drift_threshold < 0.0:
             raise StreamingError(
@@ -173,6 +183,7 @@ class StreamingSummarizer:
         self.budget_bits = float(budget_bits)
         self.config = config or PegasusConfig(seed=seed)
         self.drift_threshold = float(drift_threshold)
+        self.checkpoint = checkpoint
         self.workers = workers
         self.use_shared_memory = use_shared_memory
         parts = _resolve_parts(graph, num_machines, partitioner, assignment, seed)
@@ -406,6 +417,20 @@ class StreamingSummarizer:
             state.reset_filter(cursor)
             state.refreshes += 1
             self._swap(machine.machine_id, machine.source)
+        if self.checkpoint is not None:
+            # Persist the refreshed summaries (and their cursors) before
+            # compaction may fold the prefix they absorbed: a crash in
+            # between recovers new summaries over the old base, which is
+            # still exactly the durable stream.  The reverse order could
+            # leave checkpointed cursors behind a compacted base.
+            for machine in machines:
+                state = self._states[machine.machine_id]
+                global_cursor = (
+                    self.log.global_offset(state.cursor)
+                    if self.log is not None
+                    else state.cursor
+                )
+                self.checkpoint(machine.machine_id, state.summary, global_cursor)
         if self.log is not None:
             # Everything before the slowest machine's cursor is absorbed
             # by every summary — fold it into a new base generation.  The

@@ -71,3 +71,122 @@ def delay_machine(spec: Dict[str, Any], machine_id: int) -> None:
     if token is not None and not consume_token(str(token)):
         return
     time.sleep(float(spec.get("delay_s", 0.2)))
+
+
+def slow_lane(spec: Dict[str, Any], machine_id: int) -> None:
+    """Stall *every* batch on the targeted machine (no fire-once token).
+
+    Sustained pressure rather than a one-shot fault: the shape deadlines,
+    hedging, and lane circuit breakers exist for.
+    """
+    if not _targets(spec, machine_id):
+        return
+    time.sleep(float(spec.get("delay_s", 0.05)))
+
+
+async def trickle_frame(
+    port: int,
+    *,
+    host: str = "127.0.0.1",
+    header_bytes: int = 16 * 1024 * 1024,
+    dribbles: int = 4,
+    interval_s: float = 0.02,
+    read_timeout_s: float = 10.0,
+) -> str:
+    """Slow-loris a serving port: announce a huge frame, trickle bytes.
+
+    Opens a raw connection, sends a length header announcing
+    *header_bytes*, then dribbles single payload bytes — never enough
+    for a complete frame.  Returns what the server did once the trickle
+    stops: ``"error-frame"`` (typed error frame then close — the
+    bounded-decoder contract), ``"closed"`` (bare EOF), or ``"reset"``
+    (connection torn down mid-trickle).
+    """
+    import asyncio
+    import struct
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(struct.pack(">I", header_bytes))
+        await writer.drain()
+        try:
+            for _ in range(dribbles):
+                writer.write(b"\0")
+                await writer.drain()
+                await asyncio.sleep(interval_s)
+        except (ConnectionError, OSError):
+            pass  # server already gave up on us — go read its last word
+        try:
+            data = await asyncio.wait_for(reader.read(65536), read_timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return "reset"
+        return "error-frame" if data else "closed"
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+_PORT_RE = None
+
+
+def spawn_server(argv, *, timeout_s: float = 180.0):
+    """Launch a serving subprocess; wait for its port line.
+
+    *argv* is the python argument list (e.g. ``["-m", "repro.cli",
+    "serve-net", ...]`` or a test-owned server script).  The child runs
+    with ``src`` on ``PYTHONPATH`` and must print either
+    ``PORT <n>`` or ``listening host:<n>`` on stdout once accepting.
+    Returns ``(proc, port)``; the caller owns the process (see
+    :func:`kill_server`).
+    """
+    import re
+    import subprocess
+    import sys
+
+    global _PORT_RE
+    if _PORT_RE is None:
+        _PORT_RE = re.compile(r"(?:PORT\s+|listening\s+[\d.]+:)(\d+)")
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(root, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=root,
+    )
+    deadline = time.monotonic() + timeout_s
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = _PORT_RE.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    proc.wait(timeout=10)
+    raise RuntimeError(f"server subprocess never reported a port:\n{''.join(lines)}")
+
+
+def kill_server(proc) -> None:
+    """SIGKILL a spawned serving process — no goodbye frame, no cleanup.
+
+    Note the orphaned lane workers: forked pool children hold dup'd
+    accepted-socket fds, so the TCP connections do NOT see EOF when the
+    parent dies — exactly the mid-frame hang the client-side request
+    timeout exists for.  The workers themselves exit once the pool's
+    call-queue pipe breaks.
+    """
+    proc.kill()
+    proc.wait(timeout=10)
+    if proc.stdout is not None:
+        proc.stdout.close()

@@ -1,0 +1,98 @@
+"""Test-owned serving process for the whole-server crash-restart e2e.
+
+Two modes, both printing ``PORT <n>`` on stdout once accepting:
+
+``fresh <state_dir>``
+    Build a *streaming* tenant over a durable DeltaLog under
+    *state_dir*, serve it over TCP, then keep ingesting stream batches
+    (durable append + drift-driven refresh + summary checkpoints)
+    forever — printing ``INGESTED <global_offset> GEN <generation>``
+    after each durable batch.  This is the process the e2e test SIGKILLs
+    mid-stream.
+
+``recover <state_dir>``
+    Recover every tenant with :func:`repro.resilience.recover_host` and
+    serve the recovered state; prints ``GENERATION <tenant> <n>`` lines
+    after the port.
+
+Determinism: graph, stream, and summarizer seeds are fixed, so the test
+can independently recover the same state dir and demand byte-identical
+answers over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+import numpy as np
+
+SEED = 7
+
+
+def _graph():
+    from repro.graph import planted_partition
+
+    return planted_partition(120, 4, avg_degree_in=8.0, avg_degree_out=1.0, seed=11)
+
+
+async def _fresh(state_dir: str) -> None:
+    from repro.core import PegasusConfig
+    from repro.resilience import HostState
+    from repro.serving import NetServer, TenantHost
+    from repro.streaming import StreamingSummarizer
+
+    graph = _graph()
+    state = HostState(state_dir)
+    summarizer = StreamingSummarizer(
+        graph,
+        2,
+        0.5 * graph.size_in_bits(),
+        config=PegasusConfig(seed=SEED, t_max=3),
+        seed=SEED,
+        drift_threshold=0.05,
+        log_dir=state.delta_dir("stream"),
+        checkpoint=state.checkpoint_for("stream"),
+    )
+    state.save_streaming_tenant("stream", summarizer)
+    rng = np.random.default_rng(SEED)
+    async with TenantHost(workers=1) as host:
+        server = await host.add_tenant("stream", summarizer.cluster)
+        summarizer.attach(server)
+        async with NetServer(host) as net:
+            print(f"PORT {net.port}", flush=True)
+            while True:
+                batch = rng.integers(0, graph.num_nodes, size=(20, 2))
+                summarizer.ingest(batch)
+                log = summarizer.log
+                print(f"INGESTED {log.logged_offset} GEN {log.generation}", flush=True)
+                await asyncio.sleep(0.02)
+
+
+async def _recover(state_dir: str) -> None:
+    from repro.resilience import recover_host
+    from repro.serving import NetServer, TenantHost
+
+    recovered = recover_host(state_dir)
+    async with TenantHost(workers=1) as host:
+        for name, tenant in recovered.items():
+            await host.add_tenant(name, tenant.cluster)
+        async with NetServer(host) as net:
+            print(f"PORT {net.port}", flush=True)
+            for name, tenant in recovered.items():
+                print(f"GENERATION {name} {tenant.generation}", flush=True)
+            await asyncio.Event().wait()
+
+
+def main() -> None:
+    mode, state_dir = sys.argv[1], sys.argv[2]
+    if mode == "fresh":
+        asyncio.run(_fresh(state_dir))
+    elif mode == "recover":
+        asyncio.run(_recover(state_dir))
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main()

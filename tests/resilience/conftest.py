@@ -1,0 +1,36 @@
+"""Resilience-suite fixtures; makes the chaos harness importable.
+
+Same arrangement as the serving suite: the fault injectors and
+subprocess helpers live in ``tests/_chaos.py`` and are resolved *by
+name* inside pool workers via importlib, so the ``tests`` directory
+must be on ``sys.path`` — of this process (fork workers inherit it) and
+of any spawn worker re-importing the module.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
+
+
+@pytest.fixture(scope="package")
+def graph():
+    from repro.graph import planted_partition
+
+    return planted_partition(120, 4, avg_degree_in=8.0, avg_degree_out=1.0, seed=11)
+
+
+@pytest.fixture(scope="package")
+def cluster(graph):
+    from repro.core import PegasusConfig
+    from repro.distributed import build_summary_cluster
+
+    return build_summary_cluster(
+        graph, 4, 0.5 * graph.size_in_bits(), config=PegasusConfig(seed=1, t_max=8)
+    )

@@ -1,0 +1,153 @@
+"""Units for the circuit-breaker state machine and the keyed board."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import BreakerBoard, BreakerConfig, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, **overrides) -> CircuitBreaker:
+    defaults = dict(window=10, failure_threshold=0.5, min_samples=4, open_ms=1000.0)
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_min_samples(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()  # rate 1.0 but only 3 samples
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_failure_threshold(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+        assert breaker.rejections == 1
+
+    def test_retry_after_counts_down_the_cooldown(self, clock):
+        breaker = _breaker(clock)
+        assert breaker.retry_after_ms() == 0.0
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.retry_after_ms() == pytest.approx(1000.0)
+        clock.advance_ms(400.0)
+        assert breaker.retry_after_ms() == pytest.approx(600.0)
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance_ms(1000.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # probes exhausted
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens_with_fresh_cooldown(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance_ms(1000.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker.retry_after_ms() == pytest.approx(1000.0)
+
+    def test_window_forgets_old_outcomes(self, clock):
+        breaker = _breaker(clock, window=4)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance_ms(1000.0)
+        breaker.allow()
+        breaker.record_success()  # closes, clears the window
+        for _ in range(4):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # 1/4 in-window < 0.5
+
+    def test_snapshot_reports_state_and_counters(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["failure_rate"] == 1.0
+        assert snap["samples"] == 4
+        assert snap["opens"] == 1
+        assert snap["rejections"] == 1
+        assert snap["retry_after_ms"] == pytest.approx(1000.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_samples": 0},
+            {"open_ms": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self, clock):
+        board = BreakerBoard("lane", BreakerConfig(min_samples=2, window=4), clock=clock)
+        for _ in range(2):
+            board.get(0).record_failure()
+        assert not board.allow(0)
+        assert board.allow(1)
+        assert board.get(0) is board.get("0")  # int and str keys coincide
+
+    def test_snapshot_lists_every_key(self, clock):
+        board = BreakerBoard("lane", BreakerConfig(min_samples=2, window=4), clock=clock)
+        board.allow(0)
+        board.get(1).record_failure()
+        snap = board.snapshot()
+        assert set(snap) == {"0", "1"}
+        assert snap["0"]["state"] == "closed"
+
+    def test_transitions_export_state_gauges_and_open_counter(self, clock):
+        registry = MetricsRegistry()
+        board = BreakerBoard(
+            "lane", BreakerConfig(min_samples=2, window=4), clock=clock, metrics=registry
+        )
+        for _ in range(2):
+            board.get(0).record_failure()
+        rendered = registry.render_prometheus()
+        assert 'repro_breaker_state{key="0",scope="lane",state="open"} 1' in rendered
+        assert 'repro_breaker_state{key="0",scope="lane",state="closed"} 0' in rendered
+        assert 'repro_breaker_opens_total{key="0",scope="lane"} 1' in rendered
