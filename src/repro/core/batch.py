@@ -1,49 +1,72 @@
-"""Batched (vectorized) merge evaluation for Alg. 2's inner loop.
+"""The fused columnar window kernel for Alg. 2's inner loop.
 
 The scalar engine evaluates each sampled candidate pair with one
-:meth:`~repro.core.costs.CostModel.evaluate_merge` call — a fused Python
-pass over the two endpoints' block-edge-weight dicts.  That loop is the
+:meth:`~repro.core.costs.CostModel.evaluate_merge` call — the shared
+pricing core's fused Python pass over the two endpoints' block-edge-weight
+rows (:func:`repro.core.pricing.evaluate_pair`).  That loop is the
 summarize phase's hot spot: thousands of pairs per PeGaSus iteration, each
 paying Python-level dict iteration and scalar float arithmetic.
 
-:class:`BatchCostEvaluator` computes **every sampled pair of one attempt in
-a handful of numpy passes** instead:
+:class:`BatchCostEvaluator` prices **a whole batch of candidate pairs in
+a handful of numpy passes**.  Failed attempts mutate nothing (the
+summary, the block rows, and the superedge bit price ``2·log2|S|`` are
+exactly as before), and >90% of attempts fail, so the merge loop
+(:func:`repro.core.merge.merge_groups`) speculatively draws an AIMD
+window of attempts ahead, prices the window's not-yet-cached ordered
+pairs in one :meth:`BatchCostEvaluator.evaluate_scores` call, and
+resolves the attempts against an epoch-scoped pair→score cache.
+:meth:`BatchCostEvaluator.evaluate_window` packages the same kernel as a
+one-call window evaluator — dedup, pricing, and per-attempt first-wins
+selection fused end to end (this is what the call-count bench measures).
+One fused evaluation is:
 
-1. *gather* — each endpoint's block-edge-weight row is exported once into
-   columnar ``(partner, weight, has_superedge)`` arrays (insertion order
-   preserved, plus a partner-sorted copy for lookups; cached until a merge
-   touches the supernode) and fancy-indexed into one flat element array
-   laid out ``[row_A(pair 0), row_B(pair 0), row_A(pair 1), ...]``;
-2. *join* — one ``searchsorted`` against the concatenated sorted rows
-   resolves, per element, the partner's weight on the *other* endpoint's
-   row (``ew_BX`` for A-side elements) and the duplicate-block skip
-   (``X ∈ acc_A`` for B-side elements);
-3. *elementwise pricing* — every block's before/after cost terms and the
-   superedge-vs-correction choice (Eq. 9/10) are computed with vectorized
-   float64 arithmetic mirroring the scalar expressions operation for
-   operation;
-4. *segment-reduce* — per-pair ``before`` / ``merged_cost`` sums come
-   from ``np.bincount`` over pair ids, whose accumulation is sequential
-   in element order.
+1. *dedup* — attempts are deduplicated to the scalar ``seen``-set
+   semantics with one ``np.unique`` over per-attempt unordered index-pair
+   keys, and the union of *ordered* candidate pairs across attempts is
+   reduced to distinct pairs with a second ``np.unique`` (orientation
+   matters: the scalar accumulation order, hence the low bits, depends
+   on it);
+2. *join* (``merge.fused_join`` probe) — each touched supernode's row
+   lives in the log-structured :class:`_RowStore` (exported once into
+   columnar ``(partner, weight, has_superedge)`` buffers, reused across
+   epochs, invalidated and lazily re-exported only when a merge touches
+   the supernode); the pair rows are fancy-indexed into one flat element
+   array laid out ``[row_A(pair 0), row_B(pair 0), row_A(pair 1), ...]``
+   and **one concatenated** ``searchsorted`` — element partner queries
+   and the pairs' ``{a,b}`` cross-block queries in a single buffer —
+   resolves every lookup against the store's sorted row segments;
+3. *reduce* (``merge.fused_reduce`` probe) — the Eq. 9/10 arithmetic is
+   folded directly into one segmented reduce: every before-merge term
+   (row elements and the ``{a,a}``/``{b,b}``/``{a,b}`` tails) and every
+   merged-side term (optimal-superedge blocks and the self loop) is
+   priced branch-free by the shared pricing core
+   (:func:`~repro.core.pricing.block_cost_masked` /
+   :func:`~repro.core.pricing.merged_cost_masked`) into one stacked
+   weight array, and a single ``np.bincount`` accumulates both the
+   ``before`` and ``merged`` sums of every pair (bins ``p`` and
+   ``num_pairs + p``) sequentially in element order;
+4. *first-wins argmax* — each attempt's winner is selected with one
+   vectorized first-wins maximum (``np.fmax.reduceat`` +
+   ``np.minimum.reduceat`` over the attempt segments).
 
-On top of per-pair scoring, :meth:`BatchCostEvaluator.evaluate_window`
-amortizes the fixed vectorization cost over a whole *speculative window*
-of attempts: failed attempts mutate nothing (the summary, the block rows,
-and the superedge bit price ``2·log2|S|`` are exactly as before), and
->90% of attempts fail, so the merge loop draws up to the group's
-remaining consecutive-failure budget of attempts ahead and hands them
-over as one window.  The window is deduplicated per attempt (the scalar
-``seen``-set semantics, vectorized with ``np.unique`` on index-pair
-keys), the union of *ordered* candidate pairs across attempts is priced
-once (orientation matters: the scalar accumulation order, hence the low
-bits, depends on it), and each attempt's winner is selected with a
-vectorized first-wins maximum (``fmax.reduceat`` + ``minimum.reduceat``).
-The merge loop then resolves the attempts sequentially against the
-threshold; a committed merge invalidates the rest of the window, whose
-RNG draws are rewound by the caller.  Only a committing merge needs the
+Index bookkeeping between those passes (segment offsets, gather indices,
+interleaved layouts) runs on preallocated scratch and iota buffers with
+ndarray methods and operator arithmetic, so a steady-state window issues
+**under ten numpy-API calls** regardless of its size — measured, not
+asserted, by the counting shim in ``benchmarks/bench_merge_micro.py``
+(the old per-attempt evaluator issued ~100, whose fixed dispatch
+overhead kept sparse graphs at parity and motivated a profitability
+gate; both are gone — see below).
+
+The merge loop resolves the attempts sequentially against the
+threshold; a committed merge ends the pricing epoch (``|S|`` shrinks,
+repricing every superedge bit), drops the score cache, and rewinds the
+un-consumed speculative RNG draws.  Only a committing merge needs the
 winning pair's full :class:`~repro.core.costs.MergePlan`, rebuilt with
-one scalar ``evaluate_merge`` call (bit-identical by the
-shared-arithmetic contract).
+one scalar ``evaluate_merge`` call (bit-identical by the shared pricing
+core's contract).  Tiny miss batches skip numpy entirely and are priced
+through the core's Python entry point — same doubles, no dispatch floor
+(:data:`repro.core.merge.SMALL_MISS_PAIRS`).
 
 Byte-identical replay contract
 ------------------------------
@@ -55,17 +78,29 @@ storage backends, both objectives, and both threshold policies
 possible:
 
 * every elementwise term is the same IEEE-754 double expression, in the
-  same association order, as the scalar code in
-  :meth:`CostModel.evaluate_merge`;
+  same association order, as the scalar pass — both consume the pricing
+  core, and the branch-free mask selection is bitwise-equal to the
+  scalar branches (see :mod:`repro.core.pricing`);
 * per-pair sums accumulate **in the same element order** as the scalar
   ``+=`` sequence: rows are gathered in dict-insertion order and
   ``np.bincount`` adds its weights strictly left to right (terms the
-  scalar code never adds are emitted as ``+0.0``, which is bitwise
-  neutral);
+  scalar code never adds are emitted as ``±0.0``, which is bitwise
+  neutral — the accumulator can never itself be ``-0.0``);
 * the RNG is consumed identically (one
   :func:`~repro.core.merge._sample_pairs` draw per attempt; index-pair
   dedup keeps first occurrences in sample order), so both engines see the
   same candidate sequence.
+
+The retired profitability gate
+------------------------------
+
+Earlier revisions kept a gate (``min_batch_elements``) that routed
+short-row candidate groups to the scalar loop, because ~100 numpy calls
+of fixed overhead per window outweighed the vectorization win on sparse
+graphs.  The fused kernel removed the call floor, the gate lost its
+reason to exist, and ``engine="batch"`` is now unconditional.
+:data:`DEFAULT_MIN_BATCH_ELEMENTS` and the constructor knob survive as
+accepted-but-ignored compatibility vestiges only.
 
 When the scalar engine is still used
 ------------------------------------
@@ -83,18 +118,29 @@ coverage knobs, not semantic ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.costs import CostModel, MergePlan
+from repro.core.pricing import block_cost_masked, merged_cost_masked
 from repro.errors import GraphFormatError
 from repro.obs.profile import probe
 
-#: Default profitability gate: expected gathered elements per attempt
-#: (2 × the group's total row length) below which the scalar loop wins
-#: (tuned with ``benchmarks/bench_merge_micro.py``).
-DEFAULT_MIN_BATCH_ELEMENTS = 1024
+#: Retired profitability gate (kept as an accepted-but-ignored
+#: compatibility knob): the fused window kernel's numpy-call floor is
+#: gone, so the vectorized path is unconditional and the gate value is
+#: never consulted.
+DEFAULT_MIN_BATCH_ELEMENTS = 0
+
+#: One speculative window of attempts: ``(members, first, second)`` per
+#: attempt — the candidate group's member array and its
+#: ``_sample_pairs`` index draw.
+WindowAttempts = List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+#: Per-attempt window result: ``(best_scores, best_a, best_b,
+#: eval_counts)``; ``None`` signals the unclean-row scalar fallback.
+WindowResult = Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
 
 
 def _member(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
@@ -103,29 +149,6 @@ def _member(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
         return np.zeros(queries.shape, dtype=bool)
     pos = np.minimum(np.searchsorted(sorted_keys, queries), sorted_keys.size - 1)
     return sorted_keys[pos] == queries
-
-
-def _segment_gather(
-    offsets: np.ndarray, lengths: np.ndarray, sel: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Flat gather indices for the concatenation of the rows named by *sel*.
-
-    Given per-row ``offsets``/``lengths`` into one concatenated buffer,
-    returns ``(flat_indices, seg_len)`` such that ``buffer[flat_indices]``
-    is ``row[sel[0]] ++ row[sel[1]] ++ ...`` and ``seg_len[k]`` is the
-    length of segment *k* (for ``np.repeat``-ing per-segment attributes).
-    """
-    seg_len = lengths[sel]
-    total = int(seg_len.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64), seg_len
-    ends = np.cumsum(seg_len)
-    flat = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(ends - seg_len, seg_len)
-        + np.repeat(offsets[sel], seg_len)
-    )
-    return flat, seg_len
 
 
 class _RowStore:
@@ -139,8 +162,9 @@ class _RowStore:
     sorted lookup table.  ``flag`` marks partners that carry a superedge.
     Rows whose supernode a merge touches are *invalidated* (length −1)
     and lazily re-exported at the end of the buffers — log-structured, so
-    live offsets stay valid and window evaluation gathers rows with pure
-    numpy segment indexing, no per-window Python assembly.
+    live offsets stay valid across epochs and window evaluation gathers
+    rows with pure numpy segment indexing, no per-window Python assembly
+    and no rebuilds.
 
     ``clean[s]`` is False when some superedge of *s* spans an edgeless
     (or zero-weight) block — the baseline-summary corner the vectorized
@@ -148,7 +172,7 @@ class _RowStore:
     """
 
     __slots__ = (
-        "_n", "_cap", "_end", "off", "length", "clean",
+        "_n", "_cap", "_end", "off", "length", "clean", "any_unclean",
         "part", "val", "flag", "skey", "sval", "sflag",
     )
 
@@ -158,6 +182,10 @@ class _RowStore:
         self.off = np.zeros(size, dtype=np.int64)
         self.length = np.full(size, -1, dtype=np.int64)  # -1 = stale / unexported
         self.clean = np.ones(size, dtype=bool)
+        #: Sticky: has *any* export ever been unclean?  Summarize-made
+        #: summaries never trip it, letting the window kernel skip the
+        #: per-window clean gather entirely.
+        self.any_unclean = False
         cap = max(initial_capacity, 16)
         self._cap = cap
         self._end = 0
@@ -180,47 +208,76 @@ class _RowStore:
             setattr(self, name, grown)
         self._cap = cap
 
-    def export(self, supernode: int, acc: Dict[int, float], neighbors) -> None:
-        """(Re-)export one supernode's row at the end of the buffers."""
+    def export(
+        self, supernode: int, acc: Dict[int, float], neighbors: AbstractSet[int]
+    ) -> None:
+        """(Re-)export one supernode's row at the end of the buffers.
+
+        *neighbors* is the supernode's superedge-neighbor set.  Short rows
+        (the overwhelmingly common case on sparse graphs — a handful of
+        block partners) are assembled in plain Python, which beats the
+        numpy construction path by ~4× at these sizes; long rows take the
+        vectorized path.  Both produce byte-identical buffer contents.
+        """
         count = len(acc)
         self._reserve(count)
         start = self._end
         end = start + count
-        part = np.fromiter(acc.keys(), dtype=np.int64, count=count)
-        val = np.fromiter(acc.values(), dtype=np.float64, count=count)
-        order = np.argsort(part)
-        part_sorted = part[order]
-        val_sorted = val[order]
-        adj_sorted = np.sort(
-            np.fromiter(neighbors, dtype=np.int64, count=len(neighbors))
-        )
-        flag_sorted = _member(adj_sorted, part_sorted)
-        flag = np.empty(count, dtype=bool)
-        flag[order] = flag_sorted
-        self.part[start:end] = part
-        self.val[start:end] = val
-        self.flag[start:end] = flag
-        self.skey[start:end] = part_sorted + np.int64(supernode) * np.int64(self._n)
-        self.sval[start:end] = val_sorted
-        self.sflag[start:end] = flag_sorted
-        nonself = adj_sorted[adj_sorted != supernode] if adj_sorted.size else adj_sorted
-        if nonself.size == 0:
+        key_base = supernode * self._n
+        if count <= 16:
+            part = list(acc.keys())
+            val = list(acc.values())
+            flag = [x in neighbors for x in part]
+            order = sorted(range(count), key=part.__getitem__)
+            self.part[start:end] = part
+            self.val[start:end] = val
+            self.flag[start:end] = flag
+            self.skey[start:end] = [part[i] + key_base for i in order]
+            self.sval[start:end] = [val[i] for i in order]
+            self.sflag[start:end] = [flag[i] for i in order]
             clean = True
-        elif count == 0:
-            clean = False
+            for x in neighbors:
+                if x != supernode:
+                    w = acc.get(x)
+                    if w is None or w == 0.0:
+                        clean = False
+                        break
         else:
-            pos = np.minimum(np.searchsorted(part_sorted, nonself), count - 1)
-            clean = bool(
-                np.all((part_sorted[pos] == nonself) & (val_sorted[pos] != 0.0))
+            part_arr = np.fromiter(acc.keys(), dtype=np.int64, count=count)
+            val_arr = np.fromiter(acc.values(), dtype=np.float64, count=count)
+            order_arr = np.argsort(part_arr)
+            part_sorted = part_arr[order_arr]
+            val_sorted = val_arr[order_arr]
+            adj_sorted = np.sort(
+                np.fromiter(neighbors, dtype=np.int64, count=len(neighbors))
             )
+            flag_sorted = _member(adj_sorted, part_sorted)
+            flag_arr = np.empty(count, dtype=bool)
+            flag_arr[order_arr] = flag_sorted
+            self.part[start:end] = part_arr
+            self.val[start:end] = val_arr
+            self.flag[start:end] = flag_arr
+            self.skey[start:end] = part_sorted + np.int64(key_base)
+            self.sval[start:end] = val_sorted
+            self.sflag[start:end] = flag_sorted
+            nonself = adj_sorted[adj_sorted != supernode] if adj_sorted.size else adj_sorted
+            if nonself.size == 0:
+                clean = True
+            else:
+                pos = np.minimum(np.searchsorted(part_sorted, nonself), count - 1)
+                clean = bool(
+                    np.all((part_sorted[pos] == nonself) & (val_sorted[pos] != 0.0))
+                )
         self.off[supernode] = start
         self.length[supernode] = count
         self.clean[supernode] = clean
+        if not clean:
+            self.any_unclean = True
         self._end = end
 
 
 class BatchCostEvaluator:
-    """Vectorized merge evaluation over a ``cache="incremental"`` cost model.
+    """Fused window evaluation over a ``cache="incremental"`` cost model.
 
     The evaluator owns numpy mirrors of the cost model's per-supernode
     weight sums plus cached columnar exports of the block-edge-weight
@@ -233,21 +290,20 @@ class BatchCostEvaluator:
     cost_model:
         The live cost model; must use the incremental block cache.
     min_batch_elements:
-        Profitability gate: candidate groups whose expected per-attempt
-        gathered size (``2 ×`` the members' total row length) falls below
-        this run the scalar loop instead — numpy's fixed per-window
-        overhead beats Python dict loops only on long rows; the crossover
-        is measured by ``benchmarks/bench_merge_micro.py``.  ``0`` forces
-        the vectorized path everywhere (used by the equivalence tests).
+        Retired profitability-gate knob, accepted and recorded for
+        compatibility but never consulted: the fused kernel's numpy-call
+        floor is low enough that the vectorized path wins at every row
+        length, so batching is unconditional.
     """
 
-    def __init__(self, cost_model: CostModel, *, min_batch_elements: "int | None" = None):
+    def __init__(self, cost_model: CostModel, *, min_batch_elements: Optional[int] = None):
         if cost_model._blocks is None:
             raise GraphFormatError(
                 "BatchCostEvaluator requires CostModel(cache='incremental')"
             )
         self._cm = cost_model
         self._n = cost_model.summary.num_nodes
+        self._n64 = np.int64(self._n)  # hoisted off the per-window path
         self._sw = np.asarray(cost_model._sw, dtype=np.float64)
         self._sq = np.asarray(cost_model._sq, dtype=np.float64)
         self.min_batch_elements = (
@@ -256,41 +312,47 @@ class BatchCostEvaluator:
             else int(min_batch_elements)
         )
         size = max(self._n, 1)
-        # Eagerly maintained per-supernode scalars: row length (the
-        # profitability gate input) and the self block's weight /
-        # self-loop flag (the tail terms of every evaluation).
-        self._row_len = np.zeros(size, dtype=np.int64)
+        # Eagerly maintained per-supernode scalars: the self block's
+        # weight / self-loop flag (the tail terms of every evaluation).
         self._self_w = np.zeros(size, dtype=np.float64)
         self._self_adj = np.zeros(size, dtype=bool)
         summary = cost_model.summary
         for s, acc in cost_model._blocks.items():
-            self._row_len[s] = len(acc)
             self._self_w[s] = acc.get(s, 0.0)
             self._self_adj[s] = s in summary.superedge_neighbors(s)
         #: Global append-only columnar row store (see :class:`_RowStore`);
         #: rows are exported lazily and invalidated by apply_merge.
         self._store = _RowStore(self._n, initial_capacity=4 * summary.graph.num_edges + 16)
-        # Epoch score cache: (sorted ordered-pair keys, delta, relative)
-        # of every pair priced since the last merge.  Failed attempts
-        # mutate nothing, so these scores stay bit-exact until a merge
-        # commits (which changes 2·log2|S| and the touched rows) clears
-        # them.  Kept as parallel sorted arrays so the window evaluation
-        # joins against it with one searchsorted.
-        self._cache_key = np.empty(0, dtype=np.int64)
-        self._cache_delta = np.empty(0, dtype=np.float64)
-        self._cache_rel = np.empty(0, dtype=np.float64)
+        # Reusable scratch (grown geometrically, sliced per window) and
+        # one shared iota ramp: the index bookkeeping between the fused
+        # passes — interleaved layouts, gather offsets, stacked pricing
+        # inputs — runs on these with setitem/method/operator arithmetic,
+        # which is what keeps the per-window numpy-API call count in the
+        # single digits.
+        self._bufs: Dict[str, np.ndarray] = {}
+        self._iota_buf = np.arange(1024, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    # batching heuristics
+    # scratch management
     # ------------------------------------------------------------------
-    def total_row_length(self, supernodes: "np.ndarray | List[int]") -> int:
-        """Total block-row length of *supernodes*.
+    def _scratch(self, name: str, size: int, dtype: type) -> np.ndarray:
+        """A reusable buffer of at least *size*, sliced to exactly *size*.
 
-        An attempt over a group ``C`` gathers two rows per sampled pair
-        and samples ``|C|`` pairs, so its expected gathered size is twice
-        this total — the input of the merge loop's profitability gate.
+        Contents are undefined on entry; callers overwrite every slot
+        they feed onward.  Returned views alias the shared buffers and
+        are only valid until the next evaluation call.
         """
-        return int(self._row_len[np.asarray(supernodes, dtype=np.int64)].sum())
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < size:
+            cap = max(size, 16 if buf is None else 2 * buf.size)
+            self._bufs[name] = buf = np.empty(cap, dtype=dtype)
+        return buf[:size]
+
+    def _iota(self, size: int) -> np.ndarray:
+        """The shared ``0..size-1`` ramp (callers slice; do not mutate)."""
+        if self._iota_buf.size < size:
+            self._iota_buf = np.arange(max(size, 2 * self._iota_buf.size), dtype=np.int64)
+        return self._iota_buf
 
     # ------------------------------------------------------------------
     # columnar exports
@@ -299,8 +361,9 @@ class BatchCostEvaluator:
         """Export any stale rows among *ids*; returns their lengths."""
         store = self._store
         lengths = store.length[ids]
-        if np.any(lengths < 0):
+        if (lengths < 0).any():
             blocks = self._cm._blocks
+            assert blocks is not None  # guaranteed by the constructor
             summary = self._cm.summary
             for s in ids[lengths < 0].tolist():
                 acc = blocks.get(s)
@@ -311,11 +374,214 @@ class BatchCostEvaluator:
         return lengths
 
     # ------------------------------------------------------------------
+    # the fused pricing kernel
+    # ------------------------------------------------------------------
+    def _price_pairs(
+        self, a_ids: np.ndarray, b_ids: np.ndarray, table_ids: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Price distinct ordered pairs ``(a_ids[k], b_ids[k])`` fused.
+
+        *table_ids* is the ascending supernode universe backing the join
+        table; it must cover every pair endpoint (duplicates are
+        harmless).  Returns per-pair ``(delta, relative_delta)`` columns
+        bit-identical to the scalar pass, or ``None`` when some touched
+        row is unclean (the baseline-summary fallback).
+        """
+        n = self._n64
+        cm = self._cm
+        price = cm._error_bit_price
+        se_bits = cm._se_bits
+        sw, sq = self._sw, self._sq
+        store = self._store
+        num_pairs = int(a_ids.size)
+
+        with probe("merge.fused_join"):
+            # -- the sorted lookup table over the touched rows: the
+            # store's per-row sorted segments, gathered in ascending
+            # supernode order, concatenate to a globally sorted table.
+            tab_len = self._ensure_rows(table_ids)
+            if store.any_unclean and not store.clean[table_ids].all():
+                return None
+            tab_off = store.off[table_ids]
+            num_rows = int(table_ids.size)
+            total = int(tab_len.sum())
+            iota = self._iota(max(total, num_rows, 1))
+            if total:
+                t_ends = tab_len.cumsum()
+                t_seg = iota[:num_rows].repeat(tab_len)
+                t_flat = iota[:total] - (t_ends - tab_len)[t_seg] + tab_off[t_seg]
+                tab_key = store.skey[t_flat]
+                tab_val = store.sval[t_flat]
+                tab_flag = store.sflag[t_flat]
+
+            # -- gather the pair rows in one block layout: the A rows of
+            # every pair (the scalar pass's first fused loop), then the B
+            # rows (the second).  Bincount accumulates in global element
+            # order, and bins are per pair, so only each pair's own
+            # element order matters — row_A before row_B per pair holds
+            # in this layout exactly as it does interleaved.
+            two_p = 2 * num_pairs
+            ids2 = self._scratch("ids2", 2 * two_p, np.int64)
+            oth2 = ids2[two_p:]
+            ids2 = ids2[:two_p]
+            ids2[:num_pairs] = a_ids
+            ids2[num_pairs:] = b_ids
+            oth2[:num_pairs] = b_ids
+            oth2[num_pairs:] = a_ids
+            seg_off = store.off[ids2]
+            seg_len = store.length[ids2]
+            num_elems = int(seg_len.sum())
+            iota = self._iota(max(num_elems, two_p, 1))
+            e_seg = iota[:two_p].repeat(seg_len)
+            ends = seg_len.cumsum()
+            e_flat = iota[:num_elems] - (ends - seg_len)[e_seg] + seg_off[e_seg]
+            ea = int(ends[num_pairs - 1]) if num_pairs else 0
+            x = store.part[e_flat]
+            ew = store.val[e_flat]
+            own_flag = store.flag[e_flat]
+            pair_iota = iota[:num_pairs]
+            e_pair = e_seg - num_pairs * (e_seg >= num_pairs)
+            e_own_id = ids2[e_seg]
+            e_oth_id = oth2[e_seg]
+            sx = sw[x]
+            own_pi = sw[e_own_id] * sx
+
+            # -- the one concatenated join: every element's partner
+            # resolved against the *other* endpoint's row (ew_BX and its
+            # superedge flag for A elements; the X-in-acc_A duplicate
+            # skip for B elements) plus every pair's {a,b} cross block,
+            # in a single searchsorted over one query buffer.
+            num_q = num_elems + num_pairs
+            queries = self._scratch("queries", num_q, np.int64)
+            queries[:num_elems] = e_oth_id * n + x
+            queries[num_elems:] = a_ids * n + b_ids
+            if total:
+                pos = np.searchsorted(tab_key, queries)
+                pos[pos == total] = total - 1
+                found = tab_key[pos] == queries
+                f_val = tab_val[pos]
+                f_flag = tab_flag[pos]
+            else:
+                found = self._scratch("nf_found", num_q, bool)
+                found[:] = False
+                f_val = self._scratch("nf_val", num_q, np.float64)
+                f_val[:] = 0.0
+                f_flag = found
+
+            # Self blocks {a,a}, {b,b} and the cross block {a,b} are
+            # priced in the tail, exactly as the scalar loops `continue`
+            # past them; found B elements are the duplicates the scalar
+            # second loop skips.
+            e_found = found[:num_elems]
+            active = ~((x == e_own_id) | (x == e_oth_id))
+            active[ea:] &= ~e_found[ea:]
+            act_a = active[:ea]
+            # Masked-out products land on ±0.0, bitwise-neutral padding
+            # (see repro.core.pricing); clean rows guarantee flagged
+            # partners carry nonzero weight, so the edgeless-superedge
+            # branch cannot fire here.
+            ewbx = f_val[:ea] * (act_a & e_found[:ea])
+            oth_flag = e_found[:ea] & f_flag[:ea]
+            ew_ab = f_val[num_elems:] * found[num_elems:]
+            ab_edge = found[num_elems:] & f_flag[num_elems:]
+
+        with probe("merge.fused_reduce"):
+            # -- fold the Eq. 9/10 pricing of every term into one
+            # segmented bincount: bins [0, P) accumulate each pair's
+            # `before` (row elements in element order, then the aa/bb/ab
+            # tails — the scalar += sequence), bins [P, 2P) accumulate
+            # `merged` (optimal-superedge blocks, then the self loop).
+            p_sa = sw[a_ids]
+            p_sb = sw[b_ids]
+            p_qa = sq[a_ids]
+            p_qb = sq[b_ids]
+            p_sm = p_sa + p_sb
+            ew_aa = self._self_w[a_ids]
+            ew_bb = self._self_w[b_ids]
+            a_self = self._self_adj[a_ids]
+            b_self = self._self_adj[b_ids]
+            pi_a = (p_sa * p_sa - p_qa) * 0.5
+            pi_b = (p_sb * p_sb - p_qb) * 0.5
+
+            # Stacked `before` layout, preserving each bin's scalar +=
+            # order: A elements interleaved with their partner terms
+            # (own, ew_BX, own, ...), then B elements, then the
+            # aa/bb/ab tails as three contiguous blocks.
+            two_a = 2 * ea
+            eb = num_elems - ea
+            t3 = two_a + eb
+            len_before = t3 + 3 * num_pairs
+            len_total = len_before + num_elems + num_pairs
+            flags = self._scratch("st_flag", len_before, bool)
+            pis = self._scratch("st_pi", len_before, np.float64)
+            ews = self._scratch("st_ew", len_before, np.float64)
+            mask = self._scratch("st_mask", len_before, bool)
+            bins = self._scratch("st_bins", len_total, np.int64)
+            terms = self._scratch("st_terms", len_total, np.float64)
+
+            flags[0:two_a:2] = own_flag[:ea]
+            flags[1:two_a:2] = oth_flag
+            flags[two_a:t3] = own_flag[ea:]
+            pis[0:two_a:2] = own_pi[:ea]
+            pis[1:two_a:2] = sw[e_oth_id[:ea]] * sx[:ea]
+            pis[two_a:t3] = own_pi[ea:]
+            ews[0:two_a:2] = ew[:ea]
+            ews[1:two_a:2] = ewbx
+            ews[two_a:t3] = ew[ea:]
+            mask[0:two_a:2] = act_a
+            mask[1:two_a:2] = act_a
+            mask[two_a:t3] = active[ea:]
+            flags[t3:t3 + num_pairs] = a_self
+            flags[t3 + num_pairs:t3 + two_p] = b_self
+            flags[t3 + two_p:len_before] = ab_edge
+            pis[t3:t3 + num_pairs] = pi_a
+            pis[t3 + num_pairs:t3 + two_p] = pi_b
+            pis[t3 + two_p:len_before] = p_sa * p_sb
+            ews[t3:t3 + num_pairs] = ew_aa
+            ews[t3 + num_pairs:t3 + two_p] = ew_bb
+            ews[t3 + two_p:len_before] = ew_ab
+            mask[t3:len_before] = True
+            bins[0:two_a:2] = e_pair[:ea]
+            bins[1:two_a:2] = e_pair[:ea]
+            bins[two_a:t3] = e_pair[ea:]
+            bins[t3:t3 + num_pairs] = pair_iota
+            bins[t3 + num_pairs:t3 + two_p] = pair_iota
+            bins[t3 + two_p:len_before] = pair_iota
+            terms[:len_before] = block_cost_masked(flags, pis, ews, se_bits, price) * mask
+
+            ew_union = self._scratch("ew_union", num_elems, np.float64)
+            ew_union[:ea] = ew[:ea] + ewbx
+            ew_union[ea:] = ew[ea:]
+            ew_self = (ew_aa + ew_bb) + ew_ab
+            pi_self = (p_sm * p_sm - (p_qa + p_qb)) * 0.5
+            e_sm = p_sm[e_pair]
+            terms[len_before:len_before + num_elems] = (
+                merged_cost_masked(e_sm * sx, ew_union, se_bits, price) * active
+            )
+            terms[len_before + num_elems:] = merged_cost_masked(
+                pi_self, ew_self, se_bits, price
+            )
+            bins[len_before:len_before + num_elems] = e_pair + num_pairs
+            bins[len_before + num_elems:] = pair_iota + num_pairs
+
+            sums = np.bincount(bins, weights=terms, minlength=2 * num_pairs)
+            before = sums[:num_pairs]
+            merged = sums[num_pairs:]
+            delta = before - merged
+            positive = before > 0.0
+            # Branch-free Eq. 11, bitwise-equal to the scalar
+            # `delta / before if before > 0.0 else 0.0` (the masked-out
+            # quotient lands on ±0.0 and the trailing `+ 0.0`
+            # canonicalizes it to the scalar's +0.0).
+            relative = (delta / (before + ~positive)) * positive + 0.0
+            return delta, relative
+
+    # ------------------------------------------------------------------
     # the vectorized attempt
     # ------------------------------------------------------------------
     def evaluate_scores(
         self, a_ids: np.ndarray, b_ids: np.ndarray
-    ) -> "Tuple[np.ndarray, np.ndarray] | None":
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Per-pair ``(delta, relative_delta)`` for pairs ``(a_ids[k], b_ids[k])``.
 
         Both columns are bit-identical to what
@@ -324,288 +590,140 @@ class BatchCostEvaluator:
         edgeless block (see the module docstring) — the caller then runs
         the scalar loop.
         """
-        n = self._n
-        cm = self._cm
-        price = cm._error_bit_price
-        se_bits = cm._se_bits
-        num_pairs = int(a_ids.size)
-
-        ids, inverse = np.unique(np.concatenate((a_ids, b_ids)), return_inverse=True)
-        a_idx = inverse[:num_pairs]
-        b_idx = inverse[num_pairs:]
-        num_ids = ids.size
-
-        store = self._store
-        row_len = self._ensure_rows(ids)
-        if not np.all(store.clean[ids]):
-            return None
-        row_off = store.off[ids]
-        # Lookup table keyed by (supernode id, partner): gathering the
-        # rows' sorted segments in ascending-id order yields an already
-        # sorted table — no per-attempt sort, no Python assembly.
-        tab_idx, _ = _segment_gather(
-            row_off, row_len, np.arange(num_ids, dtype=np.int64)
-        )
-        tab_key = store.skey[tab_idx]
-        tab_val = store.sval[tab_idx]
-        tab_flag = store.sflag[tab_idx]
-
-        p_sa = self._sw[a_ids]
-        p_sb = self._sw[b_ids]
-        p_sm = p_sa + p_sb
-        p_qm = self._sq[a_ids] + self._sq[b_ids]
-
-        # Element layout: per pair, row_A then row_B — the scalar engine's
-        # two fused loops.  Segments interleave [A_0, B_0, A_1, B_1, ...].
-        seg_sel = np.empty(2 * num_pairs, dtype=np.int64)
-        seg_sel[0::2] = a_idx
-        seg_sel[1::2] = b_idx
-        seg_own_id = np.empty(2 * num_pairs, dtype=np.int64)
-        seg_own_id[0::2] = a_ids
-        seg_own_id[1::2] = b_ids
-        seg_oth_id = np.empty(2 * num_pairs, dtype=np.int64)
-        seg_oth_id[0::2] = b_ids
-        seg_oth_id[1::2] = a_ids
-        seg_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), 2)
-        seg_is_a = np.zeros(2 * num_pairs, dtype=bool)
-        seg_is_a[0::2] = True
-
-        gidx, seg_len = _segment_gather(row_off, row_len, seg_sel)
-        x = store.part[gidx]
-        ew = store.val[gidx]
-        own_flag = store.flag[gidx]
-        e_pair = np.repeat(seg_pair, seg_len)
-        e_is_a = np.repeat(seg_is_a, seg_len)
-        e_own_id = np.repeat(seg_own_id, seg_len)
-        e_oth_id = np.repeat(seg_oth_id, seg_len)
-        e_own_s = self._sw[e_own_id]
-        e_oth_s = self._sw[e_oth_id]
-        e_sm = p_sm[e_pair]
-        sx = self._sw[x]
-
-        # The one big join: resolve every element's partner against the
-        # *other* endpoint's row (for A elements that is ew_BX and its
-        # superedge flag; for B elements it is the X-in-acc_A skip test).
-        query = e_oth_id * n + x
-        if tab_key.size:
-            pos = np.minimum(np.searchsorted(tab_key, query), tab_key.size - 1)
-            found = tab_key[pos] == query
-        else:
-            pos = np.zeros(query.shape, dtype=np.int64)
-            found = np.zeros(query.shape, dtype=bool)
-
-        # Self blocks {a,a}, {b,b} and the cross block {a,b} are priced in
-        # the tail, exactly as the scalar loops `continue` past them.
-        excl = (x == e_own_id) | (x == e_oth_id)
-        active = ~excl & (e_is_a | ~found)
-        a_active = active & e_is_a
-
-        # `before` slot 1: the element's own side of the block cost.
-        slot1 = np.where(
-            active,
-            np.where(own_flag, se_bits + price * (e_own_s * sx - ew), price * ew),
-            0.0,
-        )
-        # `before` slot 2 (A elements only): the partner side (s_B · s_X
-        # terms, with s_B = the *other* endpoint's weight sum for A-side
-        # elements), folded into the same loop iteration by the scalar
-        # engine.  Clean rows guarantee flagged partners carry nonzero
-        # weight, so the edgeless-superedge branch cannot fire here.
-        ewbx = np.where(a_active & found, tab_val[pos], 0.0)
-        oth_flag = found & tab_flag[pos]
-        slot2 = np.where(
-            a_active,
-            np.where(oth_flag, se_bits + price * (e_oth_s * sx - ewbx), price * ewbx),
-            0.0,
-        )
-
-        # Post-merge pricing with the optimal superedge choice (line 9).
-        ew_union = ew + ewbx
-        with_edge = se_bits + price * (e_sm * sx - ew_union)
-        without_edge = price * ew_union
-        merged_term = np.where(
-            active, np.where(with_edge < without_edge, with_edge, without_edge), 0.0
-        )
-
-        row_contrib = np.empty(2 * slot1.size, dtype=np.float64)
-        row_contrib[0::2] = slot1
-        row_contrib[1::2] = slot2
-        row_contrib_pair = np.repeat(e_pair, 2)
-
-        # Tail: the self blocks {a,a}, {b,b} and the cross block {a,b}.
-        ew_aa = self._self_w[a_ids]
-        ew_bb = self._self_w[b_ids]
-        a_self = self._self_adj[a_ids]
-        b_self = self._self_adj[b_ids]
-        ab_query = a_ids * n + b_ids
-        if tab_key.size:
-            ab_pos = np.minimum(np.searchsorted(tab_key, ab_query), tab_key.size - 1)
-            ab_found = tab_key[ab_pos] == ab_query
-            ew_ab = np.where(ab_found, tab_val[ab_pos], 0.0)
-            ab_edge = ab_found & tab_flag[ab_pos]
-        else:
-            ew_ab = np.zeros(num_pairs, dtype=np.float64)
-            ab_edge = np.zeros(num_pairs, dtype=bool)
-        pi_a = (p_sa * p_sa - self._sq[a_ids]) * 0.5
-        pi_b = (p_sb * p_sb - self._sq[b_ids]) * 0.5
-        tail = np.empty((num_pairs, 3), dtype=np.float64)
-        tail[:, 0] = np.where(a_self, se_bits + price * (pi_a - ew_aa), price * ew_aa)
-        tail[:, 1] = np.where(b_self, se_bits + price * (pi_b - ew_bb), price * ew_bb)
-        tail[:, 2] = np.where(ab_edge, se_bits + price * (p_sa * p_sb - ew_ab), price * ew_ab)
-        tail_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), 3)
-
-        before = np.bincount(
-            np.concatenate((row_contrib_pair, tail_pair)),
-            weights=np.concatenate((row_contrib, tail.ravel())),
-            minlength=num_pairs,
-        )
-
-        ew_self = (ew_aa + ew_bb) + ew_ab
-        pi_self = (p_sm * p_sm - p_qm) * 0.5
-        with_loop = se_bits + price * (pi_self - ew_self)
-        without_loop = price * ew_self
-        loop_term = np.where(with_loop < without_loop, with_loop, without_loop)
-        merged = np.bincount(
-            np.concatenate((e_pair, np.arange(num_pairs, dtype=np.int64))),
-            weights=np.concatenate((merged_term, loop_term)),
-            minlength=num_pairs,
-        )
-
-        delta = before - merged
-        relative = np.divide(delta, before, out=np.zeros_like(delta), where=before > 0.0)
-        return delta, relative
+        a_ids = np.asarray(a_ids, dtype=np.int64)
+        b_ids = np.asarray(b_ids, dtype=np.int64)
+        table_ids = np.unique(np.concatenate((a_ids, b_ids)))
+        return self._price_pairs(a_ids, b_ids, table_ids)
 
     # ------------------------------------------------------------------
-    # the speculative window
+    # the fused window
     # ------------------------------------------------------------------
     def evaluate_window(
-        self,
-        attempts: "List[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
-        *,
-        use_relative: bool = True,
-    ):
-        """Score a speculative window of merge attempts.
+        self, attempts: WindowAttempts, *, use_relative: bool = True
+    ) -> WindowResult:
+        """Score a speculative window of merge attempts, fused.
 
         Each attempt is ``(members, first, second)`` — its candidate
         group's member array and its ``_sample_pairs`` index draw; every
         attempt sees the current summary state (the caller guarantees no
         merge separates them; attempts may span candidate groups, which
-        are disjoint).  Returns per-attempt
+        are disjoint, and attempts on the same group must share the same
+        member array object).  Returns per-attempt
         ``(best_scores, best_a, best_b, eval_counts)`` where
         ``best_scores[k]`` / ``(best_a[k], best_b[k])`` reproduce the
         scalar engine's first-wins maximum over attempt *k*'s deduplicated
         pairs bit for bit, and ``eval_counts[k]`` is the number of
-        distinct pairs attempt *k* evaluates.  Returns ``None`` when some
-        touched row is unclean (see the module docstring) — the caller
-        then falls back to the scalar loop.
+        distinct pairs attempt *k* evaluates (a view into reusable
+        scratch — consume it before the next evaluation call).  Returns
+        ``None`` when some touched row is unclean (see the module
+        docstring) — the caller then falls back to the scalar loop.
         """
-        with probe("merge.window_eval"):
-            return self._evaluate_window(attempts, use_relative=use_relative)
-
-    def _evaluate_window(
-        self,
-        attempts: "List[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
-        *,
-        use_relative: bool = True,
-    ):
         num_attempts = len(attempts)
         if num_attempts == 1:
             members, first, second = attempts[0]
-            mem_cat, f_cat, s_cat = members, first, second
-            counts = np.asarray([first.size], dtype=np.int64)
+            num_samples = int(first.size)
+            iota = self._iota(num_samples)
+            # Unordered index-pair key without min/max passes: within one
+            # attempt, (i + j, |i - j|) identifies {i, j} uniquely.
+            pair_key = (first + second) * num_samples + abs(first - second)
+            att_of = None
+            ga, gb = first, second
+            mem_cat = members
         else:
-            mem_cat = np.concatenate([a[0] for a in attempts])
-            f_cat = np.concatenate([a[1] for a in attempts])
-            s_cat = np.concatenate([a[2] for a in attempts])
-            counts = np.fromiter(
-                (a[1].size for a in attempts), dtype=np.int64, count=num_attempts
+            group_arrays: List[np.ndarray] = []
+            group_offsets: List[int] = []
+            slot_of: Dict[int, int] = {}
+            goff_list: List[int] = []
+            counts_list: List[int] = []
+            mem_total = 0
+            for members, first, _second in attempts:
+                key = id(members)
+                slot = slot_of.get(key)
+                if slot is None:
+                    slot_of[key] = slot = len(group_arrays)
+                    group_offsets.append(mem_total)
+                    mem_total += int(members.size)
+                    group_arrays.append(members)
+                goff_list.append(group_offsets[slot])
+                counts_list.append(int(first.size))
+            cat = np.concatenate(
+                group_arrays
+                + [a[1] for a in attempts]
+                + [a[2] for a in attempts]
             )
+            num_samples = (int(cat.size) - mem_total) // 2
+            mem_cat = cat[:mem_total]
+            f_cat = cat[mem_total:mem_total + num_samples]
+            s_cat = cat[mem_total + num_samples:]
+            meta = np.asarray(goff_list + counts_list, dtype=np.int64)
+            goff = meta[:num_attempts]
+            counts = meta[num_attempts:]
+            iota = self._iota(num_samples)
 
-        # Per-attempt dedup with first-occurrence order — the scalar
-        # `seen`-set semantics, vectorized: key by (attempt, unordered
-        # index pair), keep each key's first sample position.  Each
-        # attempt draws exactly |C| samples over |C| members, so the
-        # sample offsets double as member-array offsets.
-        lo = np.minimum(f_cat, s_cat)
-        hi = np.maximum(f_cat, s_cat)
-        if num_attempts > 1:
-            offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
-            space_off = np.concatenate(([0], np.cumsum(counts * counts)))[:-1]
-            count_rep = np.repeat(counts, counts)
-            pair_key = np.repeat(space_off, counts) + lo * count_rep + hi
-        else:
-            pair_key = lo * counts[0] + hi
-        _, first_pos = np.unique(pair_key, return_index=True)
-        retained = np.sort(first_pos)
-        if num_attempts > 1:
-            goff = np.repeat(offsets, counts)
-            ret_a = mem_cat[(f_cat + goff)[retained]]
-            ret_b = mem_cat[(s_cat + goff)[retained]]
-            eval_counts = np.bincount(
-                np.repeat(np.arange(num_attempts, dtype=np.int64), counts)[retained],
-                minlength=num_attempts,
+            # Per-attempt unordered dedup keys in disjoint ranges: the
+            # (sum, |diff|) encoding spans [0, 2c²) per attempt, offset
+            # by the exclusive cumulative sum of those spans.
+            c2 = 2 * counts * counts
+            space_off = c2.cumsum() - c2
+            count_rep = counts.repeat(counts)
+            pair_key = (
+                space_off.repeat(counts)
+                + (f_cat + s_cat) * count_rep
+                + abs(f_cat - s_cat)
             )
-        else:
-            ret_a = mem_cat[f_cat[retained]]
-            ret_b = mem_cat[s_cat[retained]]
-            eval_counts = np.asarray([retained.size], dtype=np.int64)
+            goff_rep = goff.repeat(counts)
+            ga = f_cat + goff_rep
+            gb = s_cat + goff_rep
+            att_of = iota[:num_attempts].repeat(counts)
 
-        # Price each distinct *ordered* pair once per merge epoch
-        # (orientation matters for the accumulation order, so (A, B) and
-        # (B, A) are distinct candidates, exactly as in the scalar loop).
-        # Pairs already priced since the last merge come from the sorted
-        # epoch cache; only the rest are evaluated.
-        ekey = ret_a * np.int64(self._n) + ret_b
-        uniq, inverse = np.unique(ekey, return_inverse=True)
-        cache_key = self._cache_key
-        if cache_key.size:
-            pos = np.minimum(np.searchsorted(cache_key, uniq), cache_key.size - 1)
-            hit = cache_key[pos] == uniq
-            missing = uniq[~hit]
+        # Scalar `seen`-set dedup, vectorized: a stable argsort groups
+        # equal keys with each run led by its earliest sample position,
+        # so the run starts are exactly the `seen`-set survivors.
+        order = pair_key.argsort(kind="stable")
+        sorted_keys = pair_key[order]
+        keep = self._scratch("keep", num_samples, bool)
+        keep[:1] = True
+        keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        retained = order[keep]
+        retained.sort()
+        ret_a = mem_cat[ga[retained]]
+        ret_b = mem_cat[gb[retained]]
+        if att_of is not None:
+            att_ret = att_of[retained]
+            # Attempt segment boundaries: att_ret is nondecreasing and
+            # every attempt retains its first sample, so the segments are
+            # nonempty and searchsorted finds each start.
+            seg_starts = att_ret.searchsorted(iota[:num_attempts])
         else:
-            pos = hit = None
-            missing = uniq
-        if missing.size:
-            scored = self.evaluate_scores(missing // self._n, missing % self._n)
-            if scored is None:
-                return None
-            delta_m, rel_m = scored
-            if hit is None:
-                delta, relative = delta_m, rel_m
-                self._cache_key = missing
-                self._cache_delta = delta_m
-                self._cache_rel = rel_m
-            else:
-                delta = np.empty(uniq.size, dtype=np.float64)
-                relative = np.empty(uniq.size, dtype=np.float64)
-                hit_pos = pos[hit]
-                delta[hit] = self._cache_delta[hit_pos]
-                relative[hit] = self._cache_rel[hit_pos]
-                miss = ~hit
-                delta[miss] = delta_m
-                relative[miss] = rel_m
-                merged_key = np.concatenate((cache_key, missing))
-                order = np.argsort(merged_key)
-                self._cache_key = merged_key[order]
-                self._cache_delta = np.concatenate((self._cache_delta, delta_m))[order]
-                self._cache_rel = np.concatenate((self._cache_rel, rel_m))[order]
-        else:
-            delta = self._cache_delta[pos]
-            relative = self._cache_rel[pos]
-        ret_score = (relative if use_relative else delta)[inverse]
+            seg_starts = iota[:1]  # a lone zero
+        eval_counts = self._scratch("eval_counts", num_attempts, np.int64)
+        eval_counts[:num_attempts - 1] = seg_starts[1:] - seg_starts[:-1]
+        eval_counts[num_attempts - 1] = retained.size - seg_starts[num_attempts - 1]
+
+        # Price the retained pairs directly (orientation matters for the
+        # accumulation order, so (A, B) and (B, A) are distinct
+        # candidates, exactly as in the scalar loop; the occasional
+        # repeat across attempts re-prices identically and costs less
+        # than deduplicating it would).
+        table_ids = mem_cat.copy()
+        table_ids.sort()
+        scored = self._price_pairs(ret_a, ret_b, table_ids)
+        if scored is None:
+            return None
+        delta, relative = scored
+        score = relative if use_relative else delta
 
         # First-wins maximum per attempt: fmax skips NaN like the scalar
         # strict-> scan; the earliest position attaining the maximum wins
         # ties, matching first-wins.
-        seg_starts = np.concatenate(([0], np.cumsum(eval_counts)[:-1]))
-        best_scores = np.fmax.reduceat(ret_score, seg_starts)
+        num_retained = int(score.size)
+        best_scores = np.fmax.reduceat(score, seg_starts)
+        best_of = best_scores[att_ret] if att_of is not None else best_scores[0]
         candidate = np.where(
-            ret_score == np.repeat(best_scores, eval_counts),
-            np.arange(ret_score.size, dtype=np.int64),
-            ret_score.size,
+            score == best_of, self._iota(num_retained)[:num_retained], num_retained
         )
         best_pos = np.minimum.reduceat(candidate, seg_starts)
-        best_pos = np.minimum(best_pos, ret_score.size - 1)  # all-NaN guard
+        best_pos[best_pos == num_retained] = num_retained - 1  # all-NaN guard
         return best_scores, ret_a[best_pos], ret_b[best_pos], eval_counts
 
     # ------------------------------------------------------------------
@@ -625,6 +743,7 @@ class BatchCostEvaluator:
     def _apply_merge(self, plan: MergePlan) -> int:
         cm = self._cm
         blocks = cm._blocks
+        assert blocks is not None  # guaranteed by the constructor
         summary = cm.summary
         touched = set(blocks[plan.a])
         touched.update(blocks[plan.b])
@@ -633,28 +752,20 @@ class BatchCostEvaluator:
         touched.add(plan.a)
         touched.add(plan.b)
         union = cm.apply_merge(plan)
-        # Every cached epoch score embeds the pre-merge superedge bit
-        # price 2·log2|S|, which this merge just changed — drop them all.
-        if self._cache_key.size:
-            self._cache_key = np.empty(0, dtype=np.int64)
-            self._cache_delta = np.empty(0, dtype=np.float64)
-            self._cache_rel = np.empty(0, dtype=np.float64)
         dead = plan.b if union == plan.a else plan.a
         self._sw[union] = cm._sw[union]
         self._sq[union] = cm._sq[union]
         self._sw[dead] = 0.0
         self._sq[dead] = 0.0
         length = self._store.length
-        row_len, self_w, self_adj = self._row_len, self._self_w, self._self_adj
+        self_w, self_adj = self._self_w, self._self_adj
         for s in touched:
             length[s] = -1  # lazy re-export at next use
             acc = blocks.get(s)
             if acc is None:
-                row_len[s] = 0
                 self_w[s] = 0.0
                 self_adj[s] = False
             else:
-                row_len[s] = len(acc)
                 self_w[s] = acc.get(s, 0.0)
                 self_adj[s] = s in summary.superedge_neighbors(s)
         return union

@@ -61,47 +61,25 @@ of the whole algorithm.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import AbstractSet, Dict, List, Tuple
 
 import numpy as np
 
 from repro._util import log2_capped
+from repro.core.pricing import (
+    MergePlan,
+    evaluate_pair,
+    evaluate_pair_rebuild,
+    superedge_cost_columns,
+)
 from repro.core.summary import SummaryGraph
 from repro.core.weights import PersonalizedWeights
 from repro.errors import GraphFormatError
 
+__all__ = ["COST_CACHES", "CostModel", "MergePlan", "personalized_error"]
+
 #: Available block-edge-weight caching strategies for :class:`CostModel`.
 COST_CACHES = ("incremental", "rebuild")
-
-
-@dataclass
-class MergePlan:
-    """The outcome of evaluating a candidate merge ``{A, B}`` (Eq. 10/11).
-
-    Attributes
-    ----------
-    a, b:
-        The candidate supernodes.
-    delta:
-        Absolute cost reduction ``ΔCost`` (Eq. 10), in bits.
-    relative_delta:
-        Relative reduction ``ΔCost / (Cost_A + Cost_B − Cost_AB)`` (Eq. 11).
-    superedges:
-        Supernodes ``X`` that should receive a superedge ``{A∪B, X}``.
-    self_loop:
-        Whether ``A∪B`` should receive a self-loop.
-    merged_cost:
-        ``Cost_{A∪B}`` after the optimal superedge additions.
-    """
-
-    a: int
-    b: int
-    delta: float
-    relative_delta: float
-    superedges: List[int] = field(default_factory=list)
-    self_loop: bool = False
-    merged_cost: float = 0.0
 
 
 class CostModel:
@@ -217,7 +195,9 @@ class CostModel:
     def _superedge_bits(self) -> float:
         return 2.0 * log2_capped(max(self.summary.num_supernodes, 1))
 
-    def _side_cost(self, node: int, acc: Dict[int, float], adjacency, se_bits: float) -> float:
+    def _side_cost(
+        self, node: int, acc: Dict[int, float], adjacency: "AbstractSet[int]", se_bits: float
+    ) -> float:
         """``Cost_A`` (Eq. 9) given the precomputed block edge weights."""
         sw, sq = self._sw, self._sq
         price = self._error_bit_price
@@ -262,196 +242,14 @@ class CostModel:
         Also computes the optimal superedge set of the union (line 9 of
         Alg. 2): a superedge ``{A∪B, X}`` is kept iff it lowers
         ``Cost_{(A∪B)X}``; ties prefer the sparser summary.
+
+        Delegates to the shared pricing core
+        (:func:`repro.core.pricing.evaluate_pair`), whose scalar pass
+        defines the bit pattern the batch window kernel reproduces.
         """
         if self._blocks is None:
-            return self._evaluate_merge_rebuild(a, b)
-
-        summary = self.summary
-        se_bits = self._se_bits
-        price = self._error_bit_price
-        sw, sq = self._sw, self._sq
-        try:
-            acc_a = self._blocks[a]
-            acc_b = self._blocks[b]
-        except KeyError as exc:
-            raise GraphFormatError(f"supernode {exc.args[0]} does not exist") from None
-        adj_a = summary.superedge_neighbors(a)
-        adj_b = summary.superedge_neighbors(b)
-        s_a = sw[a]
-        s_b = sw[b]
-        s_m = s_a + s_b
-        q_m = sq[a] + sq[b]
-
-        # One fused pass over the union of both partner dicts computes the
-        # pre-merge cost of every affected block (``before``, which is all
-        # of Cost_A + Cost_B − Cost_AB: every block of either side is
-        # affected) and the post-merge cost with the optimal superedge
-        # choice.  Self blocks {a,a}, {b,b} and the cross block {a,b} are
-        # priced after the loops.
-        before = 0.0
-        merged_cost = 0.0
-        chosen: List[int] = []
-        ew_aa = 0.0
-        ew_bb = 0.0
-        ew_ab = 0.0
-        get_b = acc_b.get
-
-        for x, ew in acc_a.items():
-            if x == a:
-                ew_aa = ew
-                continue
-            if x == b:
-                ew_ab = ew
-                continue
-            sx = sw[x]
-            if x in adj_a:
-                before += se_bits + price * (s_a * sx - ew)
-            else:
-                before += price * ew
-            ew_b_x = get_b(x, 0.0)
-            if ew_b_x:
-                if x in adj_b:
-                    before += se_bits + price * (s_b * sx - ew_b_x)
-                else:
-                    before += price * ew_b_x
-                ew = ew + ew_b_x
-            elif x in adj_b:
-                before += se_bits + price * (s_b * sx)
-            with_edge = se_bits + price * (s_m * sx - ew)
-            without_edge = price * ew
-            if with_edge < without_edge:
-                merged_cost += with_edge
-                chosen.append(x)
-            else:
-                merged_cost += without_edge
-
-        in_a = acc_a.__contains__
-        for x, ew in acc_b.items():
-            if x == b:
-                ew_bb = ew
-                continue
-            if x == a or in_a(x):
-                continue
-            sx = sw[x]
-            if x in adj_b:
-                before += se_bits + price * (s_b * sx - ew)
-            else:
-                before += price * ew
-            with_edge = se_bits + price * (s_m * sx - ew)
-            without_edge = price * ew
-            if with_edge < without_edge:
-                merged_cost += with_edge
-                chosen.append(x)
-            else:
-                merged_cost += without_edge
-
-        # Superedges over edgeless blocks (only baseline-made summaries
-        # have these; a summarize() run never does).
-        for x in adj_a:
-            if x != a and x != b and x not in acc_a:
-                before += se_bits + price * (s_a * sw[x])
-        for x in adj_b:
-            if x != a and x != b and x not in acc_b and x not in acc_a:
-                before += se_bits + price * (s_b * sw[x])
-
-        if ew_aa or a in adj_a:
-            pi = (s_a * s_a - sq[a]) * 0.5
-            if a in adj_a:
-                before += se_bits + price * (pi - ew_aa)
-            else:
-                before += price * ew_aa
-        if ew_bb or b in adj_b:
-            pi = (s_b * s_b - sq[b]) * 0.5
-            if b in adj_b:
-                before += se_bits + price * (pi - ew_bb)
-            else:
-                before += price * ew_bb
-        if ew_ab or b in adj_a:
-            if b in adj_a:
-                before += se_bits + price * (s_a * s_b - ew_ab)
-            else:
-                before += price * ew_ab
-
-        ew_self = ew_aa + ew_bb + ew_ab
-        pi_self = (s_m * s_m - q_m) * 0.5
-        with_loop = se_bits + price * (pi_self - ew_self)
-        without_loop = price * ew_self
-        self_loop = with_loop < without_loop
-        merged_cost += with_loop if self_loop else without_loop
-
-        delta = before - merged_cost
-        relative = delta / before if before > 0.0 else 0.0
-        return MergePlan(
-            a=a,
-            b=b,
-            delta=delta,
-            relative_delta=relative,
-            superedges=chosen,
-            self_loop=self_loop,
-            merged_cost=merged_cost,
-        )
-
-    def _evaluate_merge_rebuild(self, a: int, b: int) -> MergePlan:
-        """The original per-candidate rebuild evaluation (``cache="rebuild"``)."""
-        summary = self.summary
-        se_bits = self._superedge_bits()
-        price = self._error_bit_price
-        sw, sq = self._sw, self._sq
-
-        acc_a = self._walk_block_edge_weights(a)
-        acc_b = self._walk_block_edge_weights(b)
-        adj_a = summary.superedge_neighbors(a)
-        adj_b = summary.superedge_neighbors(b)
-
-        cost_a = self._side_cost(a, acc_a, adj_a, se_bits)
-        cost_b = self._side_cost(b, acc_b, adj_b, se_bits)
-        ew_ab = acc_a.get(b, 0.0)
-        pi_ab = sw[a] * sw[b]
-        if b in adj_a:
-            cost_ab = se_bits + price * (pi_ab - ew_ab)
-        else:
-            cost_ab = price * ew_ab
-        before = cost_a + cost_b - cost_ab
-
-        # Merged bookkeeping: s/q add; cross-edge weights add per partner.
-        s_m = sw[a] + sw[b]
-        q_m = sq[a] + sq[b]
-        acc_m: Dict[int, float] = {}
-        get_m = acc_m.get
-        for acc in (acc_a, acc_b):
-            for x, ew in acc.items():
-                if x != a and x != b:
-                    acc_m[x] = get_m(x, 0.0) + ew
-        ew_self = acc_a.get(a, 0.0) + acc_b.get(b, 0.0) + ew_ab
-
-        merged_cost = 0.0
-        chosen: List[int] = []
-        for x, ew in acc_m.items():
-            pi = s_m * sw[x]
-            with_edge = se_bits + price * (pi - ew)
-            without_edge = price * ew
-            if with_edge < without_edge:
-                merged_cost += with_edge
-                chosen.append(x)
-            else:
-                merged_cost += without_edge
-        pi_self = (s_m * s_m - q_m) * 0.5
-        with_loop = se_bits + price * (pi_self - ew_self)
-        without_loop = price * ew_self
-        self_loop = with_loop < without_loop
-        merged_cost += with_loop if self_loop else without_loop
-
-        delta = before - merged_cost
-        relative = delta / before if before > 0.0 else 0.0
-        return MergePlan(
-            a=a,
-            b=b,
-            delta=delta,
-            relative_delta=relative,
-            superedges=chosen,
-            self_loop=self_loop,
-            merged_cost=merged_cost,
-        )
+            return evaluate_pair_rebuild(self, a, b)
+        return evaluate_pair(self, a, b)
 
     def apply_merge(self, plan: MergePlan) -> int:
         """Commit a :class:`MergePlan`; returns the union supernode id.
@@ -552,7 +350,9 @@ class CostModel:
         s_hi = sw[hi]
         # potential_weight(), columnwise: self blocks use (s² − q)/2.
         pi = np.where(lo == hi, (s_lo * s_lo - sq[lo]) * 0.5, s_lo * s_hi)
-        cost = se_bits + price * (pi - ew)
+        # Every block here carries a superedge by construction, so the
+        # shared pricing core's superedge branch is the whole cost.
+        cost = superedge_cost_columns(pi, ew, se_bits, price)
         order = np.lexsort((hi, lo, cost))
         return list(
             zip(cost[order].tolist(), lo[order].tolist(), hi[order].tolist())

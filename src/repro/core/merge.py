@@ -28,27 +28,31 @@ Two evaluation engines drive step 2:
   evaluator) — one ``evaluate_merge`` call per sampled pair, with a
   ``seen``-set skipping duplicate index pairs; and
 * the **batch** engine (:func:`merge_groups` with a
-  :class:`~repro.core.batch.BatchCostEvaluator`) — *speculative window*
-  evaluation.  A failed merge attempt mutates nothing, and candidate
-  groups are disjoint, so as long as no merge commits, the upcoming
-  attempts — across group boundaries — all see exactly the current
-  summary state and the threshold value (which only changes between
-  iterations).  The engine therefore draws a whole window of future
-  attempts up front (snapshotting the RNG before each draw), prices the
-  union of their candidate pairs in one vectorized pass
-  (:meth:`~repro.core.batch.BatchCostEvaluator.evaluate_window`), and
-  resolves the attempts sequentially.  The first committed merge
-  invalidates the rest of the window: its RNG draws are rewound to the
-  exact post-merge state and speculation restarts.  The window size
-  ramps exponentially (``WINDOW_MIN_SAMPLES`` → ``WINDOW_MAX_SAMPLES``),
-  so merge-heavy phases waste little speculative work while stalled
-  phases amortize the vectorization overhead over thousands of pairs.
+  :class:`~repro.core.batch.BatchCostEvaluator`) — *speculative windows
+  over an epoch-scoped score cache*.  A failed merge attempt mutates
+  nothing: the block rows, the superedge bit price ``2·log2|S|``, and
+  hence every candidate pair's score are frozen between two committed
+  merges (one *epoch*).  The batch loop therefore draws a window of up
+  to :data:`WINDOW_MAX_ATTEMPTS` attempts ahead (snapshotting the RNG
+  state before each draw), prices the window's **not-yet-cached ordered
+  pairs in one pass** through the fused columnar kernel
+  (:meth:`~repro.core.batch.BatchCostEvaluator.evaluate_scores`) into a
+  pair→score dictionary, and then resolves the attempts sequentially
+  against the threshold as pure dictionary lookups — the scalar
+  ``seen``-set / first-wins scan with ``evaluate_merge`` replaced by a
+  cached double.  A committed merge ends the epoch (``|S|`` shrinks, so
+  the bit price changes globally): the cache is dropped and the RNG is
+  rewound to just after the committing attempt's draw, so the
+  not-yet-consumed speculative draws never happened as far as the
+  random stream is concerned.
 
 Both engines replay byte-identical merges for the same seed: the batch
-path consumes the RNG in the same order (rewinding un-consumed
-speculative draws), dedups index pairs to the same first-occurrence
-order the ``seen`` set produces, evaluates with bit-identical
-arithmetic, selects per attempt with the same first-wins maximum, and
+path consumes the RNG identically (one :func:`_sample_pairs` draw per
+resolved attempt, in attempt order — speculation is always rewound),
+dedups index pairs with the same first-occurrence ``seen``-set
+semantics, evaluates with bit-identical arithmetic (the cache holds the
+same doubles the scalar pass computes, priced once per ordered pair per
+epoch), selects per attempt with the same first-wins maximum, and
 records the same rejected scores on the threshold
 (``tests/core/test_engine_equivalence.py``).
 """
@@ -69,12 +73,26 @@ from repro.obs.profile import probe
 OBJECTIVES = ("relative", "absolute")
 
 #: Speculative-window ramp (in attempts): each window that resolves
-#: without a merge doubles the next one, a committed merge halves it —
-#: merge-dense phases speculate almost nothing while stalled phases
-#: amortize the vectorization overhead over thousands of pairs.  The
-#: sample cap bounds a single window's memory and wasted work.
-WINDOW_MAX_ATTEMPTS = 32
+#: without a merge doubles the next one, a committed merge halves it.
+#: Stalled phases (no merges for many attempts) thereby amortize one
+#: fused pricing pass over up to :data:`WINDOW_MAX_ATTEMPTS` attempts,
+#: while merge-dense phases shrink back to the floor so little
+#: speculative drawing is wasted.  The sample cap bounds a single
+#: window's memory.  The ramp is pure performance policy: the engines
+#: replay bit-identical merges for *any* window sizing, because
+#: un-consumed speculative draws are always rewound.
+WINDOW_MIN_ATTEMPTS = 1
+WINDOW_MAX_ATTEMPTS = 64
 WINDOW_MAX_SAMPLES = 16384
+
+#: Miss batches of at most this many pairs are priced through the shared
+#: pricing core's Python entry point (:meth:`CostModel.evaluate_merge`)
+#: instead of its numpy entry point — below it, numpy's fixed dispatch
+#: cost exceeds the whole batch's arithmetic.  Both entry points compute
+#: the same IEEE-754 doubles (the bit-identity contract of
+#: :mod:`repro.core.pricing`), so the cutoff is pure dispatch-cost
+#: policy, invisible in every output.
+SMALL_MISS_PAIRS = 32
 
 
 @dataclass
@@ -89,7 +107,14 @@ class GroupMergeStats:
 def _sample_pairs(
     size: int, count: int, rng: np.random.Generator
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """*count* uniform pairs of distinct indices below *size* (with repeats)."""
+    """*count* uniform pairs of distinct indices below *size* (with repeats).
+
+    Two generator calls per attempt is the repo's pinned draw pattern:
+    a single flat draw over the ordered-pair space would be ~2.5×
+    cheaper and equally uniform, but it changes the random stream —
+    and with it every downstream merge — which the integration suite's
+    absolute quality pins (fig7) do not allow.
+    """
     first = rng.integers(0, size, size=count)
     second = rng.integers(0, size - 1, size=count)
     second = second + (second >= first)
@@ -137,12 +162,11 @@ def _resolve_scalar_attempt(
 ) -> str:
     """Evaluate one drawn attempt with the scalar loop and resolve it.
 
-    The batch engine's shared commit-or-record protocol for
-    scalar-evaluated attempts (the profitability-gate path and the
-    unclean-row fallback): returns ``"merged"``, ``"failed"``, or
-    ``"abort"`` (the NaN guard, mirroring the scalar engine's group
-    break).  Merges flow through the evaluator so its mirrors stay
-    coherent.
+    The batch engine's commit-or-record protocol for the unclean-row
+    fallback (baseline-made summaries whose superedges span edgeless
+    blocks): returns ``"merged"``, ``"failed"``, or ``"abort"`` (the NaN
+    guard, mirroring the scalar engine's group break).  Merges flow
+    through the evaluator so its mirrors stay coherent.
     """
     evaluated = _scalar_attempt(cost_model, members, first, second, use_relative, stats)
     if evaluated is None:
@@ -186,8 +210,7 @@ def merge_within_group(
     evaluator:
         Optional :class:`~repro.core.batch.BatchCostEvaluator` built on
         *cost_model*; when given, delegates to :func:`merge_groups` for
-        speculative vectorized evaluation (byte-identical to the scalar
-        loop).
+        fused vectorized evaluation (byte-identical to the scalar loop).
     """
     if evaluator is not None:
         return merge_groups(
@@ -231,9 +254,10 @@ def merge_groups(
     """Run Alg. 2 over one iteration's candidate groups.
 
     Without an *evaluator* this is exactly the sequential
-    ``for group: merge_within_group(...)`` loop.  With one, attempts are
-    evaluated in speculative cross-group windows (see the module
-    docstring) — byte-identical outputs, vectorized throughput.
+    ``for group: merge_within_group(...)`` loop.  With one, speculative
+    windows of attempts resolve against an epoch-scoped cache of fused
+    pair pricings (see the module docstring) — byte-identical outputs,
+    vectorized throughput.
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
@@ -250,132 +274,174 @@ def merge_groups(
 
     use_relative = objective == "relative"
     glists: List[List[int]] = [[int(x) for x in group] for group in groups]
-    member_arrays: Dict[int, np.ndarray] = {}
-    gate = evaluator.min_batch_elements
+    num_groups = len(glists)
     gpos = 0  # current group index
     failures = 0  # current group's consecutive-failure count
-    est = -1  # current group's expected gathered elements per attempt
-    window_attempts = 1
+    window_attempts = WINDOW_MIN_ATTEMPTS
+    bit_generator = rng.bit_generator
+    #: The epoch cache: ordered pair (a, b) of supernode ids -> the score
+    #: CostModel.evaluate_merge(a, b) would report.  Every entry is
+    #: frozen until the next committed merge, which drops the whole cache
+    #: (the merge shrinks |S|, repricing every superedge bit globally).
+    pair_scores: Dict[Tuple[int, int], float] = {}
 
-    def members_array(index: int) -> np.ndarray:
-        arr = member_arrays.get(index)
-        if arr is None:
-            member_arrays[index] = arr = np.asarray(glists[index], dtype=np.int64)
-        return arr
-
-    while gpos < len(glists):
-        members = glists[gpos]
-        count = len(members)
-        if count < 2 or failures > math.log2(count):
+    while gpos < num_groups:
+        count = len(glists[gpos])
+        # `failures > log2(count)` without the float round-trip.
+        if count < 2 or (1 << failures) > count:
             gpos += 1
             failures = 0
-            est = -1
-            continue
-        if est < 0:
-            est = 2 * evaluator.total_row_length(members_array(gpos))
-        if est < gate:
-            # Profitability gate: short rows — one plain scalar attempt
-            # (numpy's fixed per-window overhead would dominate here).
-            stats.attempts += 1
-            first, second = _sample_pairs(count, count, rng)
-            outcome = _resolve_scalar_attempt(
-                cost_model, evaluator, members, first, second, use_relative, threshold, stats
-            )
-            if outcome == "abort":
-                gpos, failures, est = gpos + 1, 0, -1
-            elif outcome == "merged":
-                member_arrays.pop(gpos, None)
-                failures, est = 0, -1
-            else:
-                failures += 1
             continue
 
-        # ---- construct a speculative window (assume every attempt
-        # fails), spanning consecutive gate-passing groups
-        specs: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
-        states: List[object] = []
-        p, fail, p_est = gpos, failures, est
+        # ---- draw one speculative window of attempts, snapshotting the
+        # RNG state before each draw so any attempt invalidated by an
+        # earlier commit can be rewound (= never drawn).  The walk mirrors
+        # the sequential loop's group advancement under the assumption
+        # that every attempt fails — the common case; a commit discards
+        # the rest of the window.
+        specs: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        states: List[dict] = []
+        p, fail = gpos, failures
         drawn = 0
-        while p < len(glists):
-            p_members = glists[p]
-            p_count = len(p_members)
-            if p_count < 2 or fail > math.log2(p_count):
+        while p < num_groups:
+            p_count = len(glists[p])
+            if p_count < 2 or (1 << fail) > p_count:
                 p += 1
                 fail = 0
-                p_est = -1
                 continue
-            if p_est < 0:
-                p_est = 2 * evaluator.total_row_length(members_array(p))
-            if p_est < gate:
-                break  # the scalar fast path picks this group up next
             if len(specs) >= window_attempts or drawn >= WINDOW_MAX_SAMPLES:
                 break
-            states.append(rng.bit_generator.state)
+            states.append(bit_generator.state)
             first, second = _sample_pairs(p_count, p_count, rng)
-            specs.append((p, members_array(p), first, second))
+            specs.append((p, first, second))
             drawn += p_count
             fail += 1
-        end_state = (p, fail, p_est)
+        end_state = (p, fail)
 
-        resolved = evaluator.evaluate_window(
-            [spec[1:] for spec in specs], use_relative=use_relative
-        )
-        if resolved is None:
-            # Unclean rows (baseline-made summary): rewind the speculative
-            # draws and process the first attempt with the scalar loop.
-            if len(states) > 1:
-                rng.bit_generator.state = states[1]
-            p, _arr, first, second = specs[0]
-            stats.attempts += 1
-            outcome = _resolve_scalar_attempt(
-                cost_model, evaluator, glists[p], first, second, use_relative, threshold, stats
-            )
-            if outcome == "abort":
-                gpos, failures, est = p + 1, 0, -1
-            elif outcome == "merged":
-                member_arrays.pop(p, None)
-                gpos, failures, est = p, 0, -1
+        # ---- dedup each attempt to the scalar seen-set semantics and
+        # collect the window's not-yet-priced ordered pairs (the cache
+        # key is the ordered supernode-id pair: orientation decides the
+        # scalar accumulation order, and a commit clears the cache, so
+        # entries never go stale).
+        py_specs: List[Tuple[int, List[Tuple[int, int]]]] = []
+        miss_a: List[int] = []
+        miss_b: List[int] = []
+        window_miss: set = set()
+        for spec_p, first, second in specs:
+            ids = glists[spec_p]
+            seen = set()
+            pairs: List[Tuple[int, int]] = []
+            for i, j in zip(first.tolist(), second.tolist()):
+                key = (i, j) if i < j else (j, i)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append((i, j))
+                pkey = (ids[i], ids[j])
+                if pkey in pair_scores or pkey in window_miss:
+                    continue
+                window_miss.add(pkey)
+                miss_a.append(pkey[0])
+                miss_b.append(pkey[1])
+            py_specs.append((spec_p, pairs))
+
+        # ---- price every miss in one fused pass (tiny batches through
+        # the pricing core's Python entry point — same bits, no numpy
+        # dispatch floor).
+        if miss_a and len(miss_a) <= SMALL_MISS_PAIRS:
+            if use_relative:
+                for k in range(len(miss_a)):
+                    pair_scores[(miss_a[k], miss_b[k])] = cost_model.evaluate_merge(
+                        miss_a[k], miss_b[k]
+                    ).relative_delta
             else:
-                gpos = p
-                failures += 1
-            continue
+                for k in range(len(miss_a)):
+                    pair_scores[(miss_a[k], miss_b[k])] = cost_model.evaluate_merge(
+                        miss_a[k], miss_b[k]
+                    ).delta
+        elif miss_a:
+            scored = evaluator.evaluate_scores(
+                np.asarray(miss_a, dtype=np.int64), np.asarray(miss_b, dtype=np.int64)
+            )
+            if scored is None:
+                # Unclean rows (baseline-made summary): rewind the
+                # speculation and price the first attempt with the
+                # scalar loop instead.
+                if len(states) > 1:
+                    bit_generator.state = states[1]
+                window_attempts = WINDOW_MIN_ATTEMPTS
+                spec_p, first, second = specs[0]
+                outcome = _resolve_scalar_attempt(
+                    cost_model, evaluator, glists[spec_p], first, second,
+                    use_relative, threshold, stats,
+                )
+                if outcome == "abort":
+                    gpos += 1
+                    failures = 0
+                elif outcome == "merged":
+                    pair_scores.clear()
+                    failures = 0
+                else:
+                    failures += 1
+                continue
+            delta, relative = scored
+            col = (relative if use_relative else delta).tolist()
+            for k in range(len(miss_a)):
+                pair_scores[(miss_a[k], miss_b[k])] = col[k]
 
-        # ---- resolve the window sequentially against the threshold
-        best_scores, best_a, best_b, eval_counts = resolved
-        outcome = 0  # 0 = all failed, 1 = merged, 2 = aborted (NaN guard)
-        k = 0
-        for k in range(len(specs)):
-            p = specs[k][0]
+        # ---- resolve the attempts sequentially against the threshold:
+        # the scalar first-wins scan over each attempt's deduplicated
+        # pairs, with evaluate_merge replaced by a cache lookup.
+        committed = -1
+        aborted = -1
+        for k, (spec_p, pairs) in enumerate(py_specs):
             stats.attempts += 1
-            stats.evaluations += int(eval_counts[k])
-            best_score = float(best_scores[k])
-            if best_score != best_score:  # all-NaN: impossible, but guard
-                outcome = 2
+            stats.evaluations += len(pairs)
+            ids = glists[spec_p]
+            best_score = -math.inf
+            best_i = -1
+            best_j = 0
+            for i, j in pairs:
+                score = pair_scores[(ids[i], ids[j])]
+                if score > best_score:
+                    best_score = score
+                    best_i = i
+                    best_j = j
+            if best_i < 0:  # all scores NaN: impossible, but guard
+                aborted = k
                 break
             if best_score >= threshold.value:
                 # Only a committing merge needs the full plan (chosen
                 # superedges); rebuild it with one scalar evaluation —
                 # bit-identical by the shared-arithmetic contract.
-                plan = cost_model.evaluate_merge(int(best_a[k]), int(best_b[k]))
+                plan = cost_model.evaluate_merge(ids[best_i], ids[best_j])
                 union = evaluator.apply_merge(plan)
                 dead = plan.b if union == plan.a else plan.a
-                glists[p].remove(dead)
-                member_arrays.pop(p, None)
+                ids.remove(dead)
+                pair_scores.clear()  # the epoch ended
                 stats.merges += 1
-                outcome = 1
+                committed = k
                 break
             threshold.record(best_score)
-        if outcome == 0:
-            gpos, failures, est = end_state
+
+        if committed < 0 and aborted < 0:
+            # The whole window failed: the construction walk's end state
+            # is exactly where sequential processing stands; speculate
+            # further next time (AIMD increase).
+            gpos, failures = end_state
             window_attempts = min(window_attempts * 2, WINDOW_MAX_ATTEMPTS)
+            continue
+        # A commit (or the NaN guard) invalidates the un-resolved tail of
+        # the window: rewind the RNG to just after the deciding attempt's
+        # draw, so the speculative draws never happened.
+        k = committed if committed >= 0 else aborted
+        if k + 1 < len(states):
+            bit_generator.state = states[k + 1]
+        if committed >= 0:
+            gpos = py_specs[k][0]
+            failures = 0
+            window_attempts = max(window_attempts // 2, WINDOW_MIN_ATTEMPTS)
         else:
-            # Rewind the RNG to just after the last resolved attempt's
-            # draw: the speculative draws beyond it never happened.
-            if k + 1 < len(specs):
-                rng.bit_generator.state = states[k + 1]
-            if outcome == 1:
-                gpos, failures, est = specs[k][0], 0, -1
-                window_attempts = max(window_attempts // 2, 1)
-            else:  # aborted: mirror the scalar engine's per-group break
-                gpos, failures, est = specs[k][0] + 1, 0, -1
+            gpos = py_specs[k][0] + 1
+            failures = 0
     return stats

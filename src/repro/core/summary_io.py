@@ -77,7 +77,7 @@ def save_summary(summary: SummaryGraph, path: "str | os.PathLike[str]") -> None:
         raise
 
 
-def _parse_id(token: str, num_nodes: int, path, lineno: int, what: str) -> int:
+def _parse_id(token: str, num_nodes: int, path: str, lineno: int, what: str) -> int:
     """Parse a node/supernode id and range-check it against ``num_nodes``.
 
     Ids outside ``[0, num_nodes)`` must be rejected here: a *negative*

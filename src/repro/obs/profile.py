@@ -3,8 +3,8 @@
 The summarize merge engines, the streaming swap path, and the store
 load/spill path are instrumented with :func:`probe` timers::
 
-    with probe("merge.window_eval"):
-        ... the batch kernel ...
+    with probe("merge.fused_join"):
+        ... the batch kernel's join pass ...
 
 Profiling is **off by default**: a disabled :func:`probe` returns a
 shared no-op context manager — one dict read and no timer calls — so

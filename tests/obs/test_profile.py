@@ -27,7 +27,7 @@ from repro.obs.profile import _NOOP
 class TestSwitch:
     def test_disabled_probe_is_the_shared_noop(self):
         disable_profiling()
-        assert probe("merge.window_eval") is _NOOP
+        assert probe("merge.fused_join") is _NOOP
         assert probe("anything.else") is _NOOP  # one object, zero allocs
 
     def test_enable_disable_roundtrip(self):
@@ -48,15 +48,19 @@ class TestRecording:
     def test_probe_records_phase_histogram(self):
         registry = MetricsRegistry()
         enable_profiling(registry)
-        with probe("merge.window_eval"):
+        with probe("merge.fused_join"):
             pass
-        with probe("merge.window_eval"):
+        with probe("merge.fused_reduce"):
             pass
         with probe("store.load_graph"):
             pass
         samples = samples_for(registry.snapshot(), "repro_phase_seconds")
         by_phase = {s["labels"]["phase"]: s["count"] for s in samples}
-        assert by_phase == {"merge.window_eval": 2, "store.load_graph": 1}
+        assert by_phase == {
+            "merge.fused_join": 1,
+            "merge.fused_reduce": 1,
+            "store.load_graph": 1,
+        }
 
     def test_probe_records_even_on_exception(self):
         registry = MetricsRegistry()
@@ -99,4 +103,4 @@ class TestInstrumentedPathsStayExact:
             for s in samples_for(registry.snapshot(), "repro_phase_seconds")
         }
         assert "merge.apply" in phases
-        assert {"merge.window_eval", "merge.scalar_attempt"} & phases
+        assert {"merge.fused_join", "merge.fused_reduce", "merge.scalar_attempt"} & phases

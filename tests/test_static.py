@@ -1,0 +1,52 @@
+"""Static analysis gates: ruff over the repo, mypy over the typed core.
+
+Both tools are optional at development time (the reference container
+does not ship them); the tests skip cleanly when a tool is missing and
+the CI lint job — which installs both — enforces them on every push.
+Configuration lives in ``pyproject.toml`` so editors, CI, and these
+tests all see the same rules.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run(tool: str, *args: str) -> "subprocess.CompletedProcess[str]":
+    if shutil.which(tool) is None:
+        pytest.skip(f"{tool} is not installed")
+    return subprocess.run(
+        [tool, *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_ruff_clean():
+    result = _run("ruff", "check", ".")
+    assert result.returncode == 0, f"ruff found issues:\n{result.stdout}{result.stderr}"
+
+
+def test_mypy_core_clean():
+    env_path = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), os.environ.get("MYPYPATH", "")])
+    )
+    if shutil.which("mypy") is None:
+        pytest.skip("mypy is not installed")
+    result = subprocess.run(
+        ["mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={**os.environ, "MYPYPATH": env_path},
+    )
+    assert result.returncode == 0, f"mypy found issues:\n{result.stdout}{result.stderr}"
